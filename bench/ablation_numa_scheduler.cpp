@@ -1,0 +1,35 @@
+// Ablation: the paper's future-work NUMA-aware task scheduler vs the
+// default FIFO, on the distributed CG application.
+#include "bench/common.hpp"
+#include "runtime/apps.hpp"
+
+using namespace cci;
+
+int main() {
+  bench::banner("Ablation", "NUMA-aware task scheduling vs FIFO (distributed CG)");
+
+  auto machine = hw::MachineConfig::henri();
+  auto np = net::NetworkParams::ib_edr();
+
+  trace::Table t({"scheduler", "workers", "makespan_ms", "send_bw_GBps", "stall_pct"});
+  for (int workers : {8, 16, 34}) {
+    for (bool numa : {false, true}) {
+      auto cfg = runtime::RuntimeConfig::for_machine("henri");
+      cfg.numa_aware_scheduling = numa;
+      runtime::CgAppOptions opt;
+      opt.n = 32768;
+      opt.iterations = 3;
+      opt.workers = workers;
+      auto r = runtime::run_cg_app(machine, np, cfg, opt);
+      t.add_text_row({numa ? "numa-aware" : "fifo", std::to_string(workers),
+                      std::to_string(r.makespan * 1e3).substr(0, 6),
+                      std::to_string(r.sending_bw / 1e9).substr(0, 5),
+                      std::to_string(100.0 * r.stall_fraction).substr(0, 4)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nThe NUMA-aware scheduler keeps GEMV chunks on cores local to their\n"
+               "rows, removing cross-socket traffic; the paper's conclusion proposes\n"
+               "exactly this as a mitigation for the measured interference.\n";
+  return 0;
+}

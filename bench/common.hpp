@@ -1,0 +1,36 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/interference_lab.hpp"
+#include "trace/table.hpp"
+
+namespace cci::bench {
+
+/// Standard banner: which paper element this binary regenerates.
+inline void banner(const std::string& figure, const std::string& what) {
+  std::cout << "=== " << figure << " — " << what << " ===\n";
+  std::cout << "(simulated cluster; see EXPERIMENTS.md for paper-vs-measured)\n\n";
+}
+
+/// Computing-core counts used for the sweeps on a 36-core machine.
+inline std::vector<int> core_sweep(int max_cores) {
+  std::vector<int> cores{0, 1, 2, 3, 5, 8, 12, 16, 20, 24, 28, 32};
+  std::vector<int> out;
+  for (int c : cores)
+    if (c < max_cores) out.push_back(c);
+  out.push_back(max_cores);
+  return out;
+}
+
+/// Message sizes for NetPIPE-style sweeps.
+inline std::vector<std::size_t> size_sweep() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 4; s <= (64u << 20); s *= 4) sizes.push_back(s);
+  return sizes;
+}
+
+}  // namespace cci::bench

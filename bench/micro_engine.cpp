@@ -1,0 +1,66 @@
+// Engine microbenchmarks (google-benchmark): solver and simulation
+// throughput — not a paper figure, but the cost model of every experiment.
+#include <benchmark/benchmark.h>
+
+#include "mpi/pingpong.hpp"
+#include "sim/maxmin.hpp"
+#include "sim/rng.hpp"
+
+using namespace cci;
+
+namespace {
+
+void BM_MaxMinSolve(benchmark::State& state) {
+  sim::Rng rng(7);
+  sim::MaxMinProblem p;
+  const auto n_res = static_cast<std::size_t>(state.range(0));
+  const auto n_flows = static_cast<std::size_t>(state.range(1));
+  for (std::size_t r = 0; r < n_res; ++r) p.capacity.push_back(rng.uniform(1.0, 100.0));
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    sim::MaxMinFlow flow;
+    flow.weight = rng.uniform(0.5, 2.0);
+    for (int h = 0; h < 3; ++h)
+      flow.entries.push_back({rng.below(n_res), rng.uniform(0.5, 2.0)});
+    p.flows.push_back(std::move(flow));
+  }
+  for (auto _ : state) {
+    auto sol = sim::solve_max_min(p);
+    benchmark::DoNotOptimize(sol.rate.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n_flows));
+}
+BENCHMARK(BM_MaxMinSolve)->Args({8, 16})->Args({32, 64})->Args({128, 256});
+
+void BM_EngineTimerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i)
+      engine.call_at(static_cast<double>(i) * 1e-6, [] {});
+    engine.run();
+    benchmark::DoNotOptimize(engine.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_EngineTimerChurn);
+
+void BM_SimulatedPingPong(benchmark::State& state) {
+  // How many simulated 4-byte ping-pong iterations per wall second.
+  for (auto _ : state) {
+    net::Cluster cluster(hw::MachineConfig::henri(), net::NetworkParams::ib_edr());
+    mpi::World world(cluster, {{0, -1}, {1, -1}});
+    mpi::PingPongOptions opt;
+    opt.bytes = 4;
+    opt.iterations = 100;
+    mpi::PingPong pp(world, 0, 1, opt);
+    pp.start();
+    cluster.engine().run();
+    benchmark::DoNotOptimize(pp.latencies().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_SimulatedPingPong);
+
+}  // namespace
+
+BENCHMARK_MAIN();

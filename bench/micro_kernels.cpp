@@ -1,0 +1,84 @@
+// Real-kernel microbenchmarks (google-benchmark): the host-executed
+// kernels whose traits parameterize the simulator.
+#include <benchmark/benchmark.h>
+
+#include "kernels/cg.hpp"
+#include "kernels/dense.hpp"
+#include "kernels/primes.hpp"
+#include "kernels/stream.hpp"
+#include "kernels/tunable_triad.hpp"
+#include "kernels/vecflops.hpp"
+
+using namespace cci::kernels;
+
+namespace {
+
+void BM_StreamTriad(benchmark::State& state) {
+  StreamArrays s(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) bytes += s.triad();
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_StreamTriad)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StreamCopy(benchmark::State& state) {
+  StreamArrays s(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) bytes += s.copy();
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_StreamCopy)->Arg(1 << 20);
+
+void BM_TunableTriad(benchmark::State& state) {
+  TunableTriad t(1 << 16, static_cast<int>(state.range(0)));
+  std::size_t flops = 0;
+  for (auto _ : state) flops += t.run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(flops));
+  state.SetLabel("AI=" + std::to_string(t.arithmetic_intensity()) + " flop/B");
+}
+BENCHMARK(BM_TunableTriad)->Arg(1)->Arg(72)->Arg(1200);
+
+void BM_PrimeCount(benchmark::State& state) {
+  std::uint64_t count = 0;
+  for (auto _ : state) count += count_primes(2, static_cast<std::uint64_t>(state.range(0)));
+  benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_PrimeCount)->Arg(20000);
+
+void BM_VecFlops(benchmark::State& state) {
+  VecFlops v;
+  double sum = 0;
+  for (auto _ : state) sum += v.run(static_cast<std::size_t>(state.range(0)));
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_VecFlops)->Arg(100000);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a(n, n), b(n, n), c(n, n);
+  a.randomize(1);
+  b.randomize(2);
+  for (auto _ : state) {
+    gemm_blocked(a, b, c, 64);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmBlocked)->Arg(128)->Arg(256);
+
+void BM_CgSparseIteration(benchmark::State& state) {
+  auto a = CsrMatrix::laplacian2d(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> b(a.n, 1.0);
+  for (auto _ : state) {
+    std::vector<double> x(a.n, 0.0);
+    auto res = cg_solve_csr(a, b, x, 1e-6, 50);
+    benchmark::DoNotOptimize(res.iterations);
+  }
+}
+BENCHMARK(BM_CgSparseIteration)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Extension: node-count scaling of the distributed applications — how the
+// paper's 2-node interference picture extends to larger clusters.
+#include "bench/common.hpp"
+#include "runtime/apps.hpp"
+
+using namespace cci;
+
+int main() {
+  bench::banner("Scaling", "CG and GEMM across node counts (switched fabric)");
+
+  auto machine = hw::MachineConfig::henri();
+  auto np = net::NetworkParams::ib_edr();
+  auto cfg = runtime::RuntimeConfig::for_machine("henri");
+
+  trace::Table t({"app", "size", "ranks", "makespan_ms", "send_bw_GBps", "stall_pct"});
+  for (int ranks : {2, 4, 8}) {
+    runtime::CgAppOptions cg;
+    cg.n = 32768;
+    cg.iterations = 3;
+    cg.workers = 16;
+    cg.ranks = ranks;
+    auto rc = runtime::run_cg_app(machine, np, cfg, cg);
+    t.add_text_row({"CG", "n=32768", std::to_string(ranks),
+                    std::to_string(rc.makespan * 1e3).substr(0, 6),
+                    std::to_string(rc.sending_bw / 1e9).substr(0, 5),
+                    std::to_string(100 * rc.stall_fraction).substr(0, 4)});
+
+    // GEMM in both regimes: broadcast-bound (small m) and compute-bound.
+    for (std::size_t m : {2048u, 8192u}) {
+      runtime::GemmAppOptions gm;
+      gm.m = m;
+      gm.tile = 512;
+      gm.workers = 16;
+      gm.ranks = ranks;
+      auto rg = runtime::run_gemm_app(machine, np, cfg, gm);
+      t.add_text_row({"GEMM", "m=" + std::to_string(m), std::to_string(ranks),
+                      std::to_string(rg.makespan * 1e3).substr(0, 6),
+                      std::to_string(rg.sending_bw / 1e9).substr(0, 5),
+                      std::to_string(100 * rg.stall_fraction).substr(0, 4)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nTwo regimes: at m=8192 computation dominates and GEMM strong-scales;\n"
+               "at m=2048 the panel broadcasts dominate and adding nodes *hurts* —\n"
+               "the communication/computation granularity crossover.  CG scales its\n"
+               "GEMV but rides an ever-longer ring of latency-bound block exchanges.\n";
+  return 0;
+}

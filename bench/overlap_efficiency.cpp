@@ -1,0 +1,55 @@
+// Extension: communication/computation overlap efficiency (after the
+// authors' earlier benchmark, reference [7]) as a function of the
+// computation's arithmetic intensity and core count.
+#include "bench/common.hpp"
+#include "kernels/primes.hpp"
+#include "kernels/stream.hpp"
+#include "kernels/tunable_triad.hpp"
+#include "mpi/overlap.hpp"
+
+using namespace cci;
+
+namespace {
+
+mpi::OverlapResult run_case(const hw::KernelTraits& kernel, int cores) {
+  net::Cluster cluster(hw::MachineConfig::henri(), net::NetworkParams::ib_edr());
+  mpi::World world(cluster, {{0, -1}, {1, -1}});
+  mpi::OverlapOptions opt;
+  opt.bytes = 8 << 20;
+  opt.kernel = kernel;
+  for (int c = 0; c < cores; ++c) opt.compute_cores.push_back(c);
+  return measure_overlap(world, opt);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Overlap", "isend/compute/wait overlap ratio (1.0 = perfect hiding)");
+
+  trace::Table t({"kernel", "cores", "t_comm_ms", "t_comp_ms", "t_overlap_ms", "ratio"});
+  struct Case {
+    const char* label;
+    hw::KernelTraits traits;
+  };
+  std::vector<Case> cases = {
+      {"primes (CPU-bound)", kernels::prime_traits()},
+      {"triad AI=6", kernels::TunableTriad(16, 72).traits()},
+      {"stream triad (AI=0.08)", kernels::triad_traits()},
+  };
+  for (const Case& c : cases) {
+    for (int cores : {2, 8, 16}) {
+      auto r = run_case(c.traits, cores);
+      t.add_text_row({c.label, std::to_string(cores),
+                      std::to_string(r.t_comm * 1e3).substr(0, 5),
+                      std::to_string(r.t_comp * 1e3).substr(0, 5),
+                      std::to_string(r.t_overlap * 1e3).substr(0, 5),
+                      std::to_string(r.ratio()).substr(0, 5)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nCPU-bound computation hides the DMA almost perfectly; memory-bound\n"
+               "computation and the transfer serialize on the controller — the same\n"
+               "interference the reproduced paper measures, seen through the overlap\n"
+               "lens of its companion benchmark [7].\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Table 1 — qualitative summary of data / comm-thread placement impact,
+// derived from the same sweeps as Fig. 4/5 (onset detection + drop shape).
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "kernels/stream.hpp"
+
+using namespace cci;
+
+namespace {
+
+struct Row {
+  std::string data, thread;
+  int latency_onset = -1;       // first core count with >15% latency increase
+  double latency_factor = 1.0;  // at full machine
+  double bw_ratio_mid = 1.0;    // bandwidth remaining at 12 cores
+  double bw_ratio_full = 1.0;   // bandwidth remaining at 35 cores
+};
+
+Row measure(core::Placement data, core::Placement thread) {
+  Row row;
+  row.data = to_string(data);
+  row.thread = to_string(thread);
+  for (int cores : {0, 2, 4, 6, 9, 12, 16, 20, 25, 30, 35}) {
+    core::Scenario s;
+    s.kernel = kernels::triad_traits();
+    s.data = data;
+    s.comm_thread = thread;
+    s.computing_cores = cores;
+    s.message_bytes = 4;
+    s.compute_repetitions = 3;
+    s.target_pass_seconds = 0.01;
+    auto r = core::InterferenceLab(s).run();
+    double f = r.comm_together.latency.median / r.comm_alone.latency.median;
+    if (cores > 0 && f > 1.08 && row.latency_onset < 0) row.latency_onset = cores;
+    if (cores == 35) row.latency_factor = f;
+
+    if (cores == 12 || cores == 35) {
+      core::Scenario b = s;
+      b.message_bytes = 64 << 20;
+      b.pingpong_iterations = 4;
+      b.pingpong_warmup = 1;
+      auto rb = core::InterferenceLab(b).run();
+      double ratio = rb.comm_together.bandwidth.median / rb.comm_alone.bandwidth.median;
+      (cores == 12 ? row.bw_ratio_mid : row.bw_ratio_full) = ratio;
+    }
+  }
+  return row;
+}
+
+std::string classify_latency(const Row& r) {
+  if (r.latency_factor >= 1.5) return "increases highly (from " + std::to_string(r.latency_onset) + " cores)";
+  if (r.latency_onset > 0) return "increases slightly (from " + std::to_string(r.latency_onset) + " cores)";
+  return "stable";
+}
+
+std::string classify_bw(const Row& r) {
+  // Abrupt = most of the final loss already present at 12 cores.
+  double final_loss = 1.0 - r.bw_ratio_full;
+  double mid_loss = 1.0 - r.bw_ratio_mid;
+  if (final_loss < 0.1) return "unaffected";
+  return mid_loss > 0.6 * final_loss ? "decreases abruptly" : "decreases steadily";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 1", "summary of data and communication-thread placement impact");
+
+  trace::Table t({"data", "comm_thread", "latency", "bandwidth", "lat_x_at_35", "bw_left_at_35"});
+  for (auto data : {core::Placement::kNearNic, core::Placement::kFarFromNic})
+    for (auto thread : {core::Placement::kNearNic, core::Placement::kFarFromNic}) {
+      Row r = measure(data, thread);
+      char latx[32], bwr[32];
+      std::snprintf(latx, sizeof(latx), "%.2fx", r.latency_factor);
+      std::snprintf(bwr, sizeof(bwr), "%.0f%%", 100.0 * r.bw_ratio_full);
+      t.add_text_row({r.data, r.thread, classify_latency(r), classify_bw(r), latx, bwr});
+    }
+  t.print(std::cout);
+
+  std::cout << "\nPaper's Table 1: latency increases slightly from ~6 cores (thread near)\n"
+               "or highly from ~25 cores (thread far); bandwidth decreases steadily\n"
+               "(data near) or abruptly (data far); STREAM impacted only by large\n"
+               "transfers (see fig06_message_size).\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// CG vs GEMM on a task runtime over two nodes (§6, Fig. 10): how the
+// arithmetic intensity of the application kernel decides whether adding
+// workers strangles the network.
+#include <iostream>
+
+#include "runtime/apps.hpp"
+#include "trace/table.hpp"
+
+int main() {
+  using namespace cci;
+  auto machine = hw::MachineConfig::henri();
+  auto np = net::NetworkParams::ib_edr();
+  auto rt_cfg = runtime::RuntimeConfig::for_machine("henri");
+
+  std::cout << "Distributed CG vs GEMM on 2 simulated henri nodes\n"
+               "(mini StarPU-like runtime: workers, polling, comm thread)\n\n";
+
+  trace::Table t({"app", "workers", "makespan_ms", "send_bw_GBps", "mem_stall_pct", "tasks"});
+  for (int workers : {4, 16, 34}) {
+    runtime::CgAppOptions cg;
+    cg.n = 32768;
+    cg.iterations = 3;
+    cg.workers = workers;
+    auto rc = runtime::run_cg_app(machine, np, rt_cfg, cg);
+    t.add_text_row({"CG", std::to_string(workers),
+                    std::to_string(rc.makespan * 1e3).substr(0, 6),
+                    std::to_string(rc.sending_bw / 1e9).substr(0, 5),
+                    std::to_string(100.0 * rc.stall_fraction).substr(0, 4),
+                    std::to_string(rc.tasks)});
+
+    runtime::GemmAppOptions gm;
+    gm.m = 4096;
+    gm.tile = 512;
+    gm.workers = workers;
+    auto rg = runtime::run_gemm_app(machine, np, rt_cfg, gm);
+    t.add_text_row({"GEMM", std::to_string(workers),
+                    std::to_string(rg.makespan * 1e3).substr(0, 6),
+                    std::to_string(rg.sending_bw / 1e9).substr(0, 5),
+                    std::to_string(100.0 * rg.stall_fraction).substr(0, 4),
+                    std::to_string(rg.tasks)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading the table: CG (0.25 flop/B) saturates the memory bus as\n"
+               "workers grow — stalls rise, the p-exchange bandwidth collapses.\n"
+               "GEMM (~43 flop/B at 512 tiles) stays pipeline-bound: the panels\n"
+               "ship at full speed no matter how many workers compute.\n";
+  return 0;
+}

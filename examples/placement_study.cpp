@@ -1,0 +1,59 @@
+// Placement study: where should the communication thread and the data
+// live, relative to the NIC?  (The decision §4.3 / Table 1 informs.)
+//
+// Sweeps the four placement combinations for a user-supplied workload and
+// recommends the binding with the best combined outcome.
+#include <iostream>
+
+#include "core/interference_lab.hpp"
+#include "kernels/stream.hpp"
+#include "trace/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cci;
+
+  int cores = argc > 1 ? std::atoi(argv[1]) : 18;
+  std::cout << "Placement study on simulated henri nodes, " << cores
+            << " computing cores (pass a core count as argv[1])\n\n";
+
+  trace::Table table({"data", "comm_thread", "latency_us", "bandwidth_GBps",
+                      "stream_GBps_per_core"});
+  double best_score = 0.0;
+  std::string best;
+  for (auto data : {core::Placement::kNearNic, core::Placement::kFarFromNic}) {
+    for (auto thread : {core::Placement::kNearNic, core::Placement::kFarFromNic}) {
+      core::Scenario s;
+      s.kernel = kernels::triad_traits();
+      s.computing_cores = cores;
+      s.data = data;
+      s.comm_thread = thread;
+      s.message_bytes = 4;
+      auto lat = core::InterferenceLab(s).run();
+
+      s.message_bytes = 64 << 20;
+      s.pingpong_iterations = 4;
+      s.pingpong_warmup = 1;
+      auto bw = core::InterferenceLab(s).run();
+
+      double latency = lat.comm_together.latency.median;
+      double bandwidth = bw.comm_together.bandwidth.median;
+      double stream = bw.compute_together.per_core_bandwidth.median;
+      table.add_text_row({to_string(data), to_string(thread),
+                          std::to_string(sim::to_usec(latency)).substr(0, 5),
+                          std::to_string(bandwidth / 1e9).substr(0, 5),
+                          std::to_string(stream / 1e9).substr(0, 5)});
+      // Combined figure of merit: bandwidth and latency both matter.
+      double score = bandwidth / 1e9 + 1.0 / sim::to_usec(latency) * 5.0 + stream / 1e9;
+      if (score > best_score) {
+        best_score = score;
+        best = std::string("data ") + to_string(data) + " NIC, comm thread " +
+               to_string(thread) + " NIC";
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nRecommended binding for this workload: " << best << "\n";
+  std::cout << "(paper: keep the comm thread near the NIC for latency; keep the\n"
+               "transferred data near the NIC for bandwidth)\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: measure communication/computation interference on a
+// simulated henri pair in ~30 lines of API.
+//
+//   $ ./quickstart
+//
+// Builds the paper's three-phase protocol (§2.1): computation alone,
+// communication alone, both side by side — and prints how much each side
+// loses to the other.
+#include <iostream>
+
+#include "core/interference_lab.hpp"
+#include "kernels/stream.hpp"
+#include "trace/table.hpp"
+
+int main() {
+  using namespace cci;
+
+  core::Scenario scenario;                             // henri + InfiniBand EDR defaults
+  scenario.kernel = kernels::triad_traits();           // STREAM TRIAD on the compute cores
+  scenario.computing_cores = 35;                       // all cores but the comm core
+  scenario.comm_thread = core::Placement::kFarFromNic; // §4.2 reference placement
+  scenario.data = core::Placement::kNearNic;
+  scenario.message_bytes = 64 << 20;                   // asymptotic bandwidth messages
+  scenario.pingpong_iterations = 6;
+  scenario.pingpong_warmup = 2;
+
+  core::InterferenceLab lab(scenario);
+  core::SideBySideResult r = lab.run();
+
+  std::cout << "cci-lab quickstart — STREAM TRIAD vs 64 MB ping-pong on simulated "
+            << scenario.machine.name << " nodes\n\n";
+  std::cout << "network bandwidth alone    : "
+            << trace::format_bw(r.comm_alone.bandwidth.median) << "\n";
+  std::cout << "network bandwidth together : "
+            << trace::format_bw(r.comm_together.bandwidth.median) << "  ("
+            << static_cast<int>(100.0 * (1.0 - r.comm_together.bandwidth.median /
+                                                   r.comm_alone.bandwidth.median))
+            << "% lost to memory contention)\n\n";
+  std::cout << "STREAM per-core bw alone    : "
+            << trace::format_bw(r.compute_alone.per_core_bandwidth.median) << "\n";
+  std::cout << "STREAM per-core bw together : "
+            << trace::format_bw(r.compute_together.per_core_bandwidth.median) << "  ("
+            << static_cast<int>(100.0 * (1.0 - r.compute_together.per_core_bandwidth.median /
+                                                   r.compute_alone.per_core_bandwidth.median))
+            << "% lost to the network)\n\n";
+  std::cout << "Try: fewer computing cores, data/comm-thread placement "
+               "(core::Placement), other machines (hw::MachineConfig::billy()...).\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "core/compute_team.hpp"
+
+#include <algorithm>
+
+namespace cci::core {
+
+sim::Coro ComputeTeam::run() {
+  sim::Engine& engine = machine_.engine();
+  auto& gov = machine_.governor();
+  for (int core : opt_.cores) gov.core_busy(core, opt_.kernel.vec);
+
+  const double cyc = hw::cycles_per_iter(machine_.config(), opt_.kernel);
+  for (int rep = 0; rep < opt_.repetitions; ++rep) {
+    const sim::Time t0 = engine.now();
+    std::vector<sim::ActivityPtr> acts;
+    std::vector<double> iters_of;
+    std::vector<double> cpu_rate_of;  // pipeline-only rate at pass start
+    acts.reserve(opt_.cores.size());
+    for (int core : opt_.cores) {
+      double iters = opt_.iters_per_pass * rng_.jitter(opt_.noise_rel);
+      acts.push_back(
+          machine_.model().start(hw::make_compute_spec(machine_, core, opt_.data_numa,
+                                                       opt_.kernel, iters)));
+      iters_of.push_back(iters);
+      cpu_rate_of.push_back(gov.core_freq(core) / cyc);
+    }
+    for (auto& act : acts) co_await *act;
+    const double pass = engine.now() - t0;
+    durations_.push_back(pass);
+
+    if (opt_.kernel.bytes_per_iter > 0.0 && pass > 0.0) {
+      double mean_iters = 0.0;
+      for (double it : iters_of) mean_iters += it;
+      mean_iters /= static_cast<double>(iters_of.size());
+      bandwidths_.push_back(mean_iters * opt_.kernel.bytes_per_iter / pass);
+    }
+
+    // Memory-stall fraction: compare each core's wall time against the time
+    // its pipeline alone would have needed at the frequency it started with.
+    for (std::size_t i = 0; i < acts.size(); ++i) {
+      double wall = acts[i]->duration();
+      if (wall <= 0.0 || cpu_rate_of[i] <= 0.0) continue;
+      double cpu_only = iters_of[i] / cpu_rate_of[i];
+      stall_sum_ += std::clamp(1.0 - cpu_only / wall, 0.0, 1.0);
+      ++stall_samples_;
+    }
+  }
+
+  for (int core : opt_.cores) gov.core_idle(core);
+  done_->set();
+}
+
+}  // namespace cci::core

@@ -1,0 +1,63 @@
+// ComputeTeam: the OpenMP-style computing threads of the benchmark (§2).
+//
+// Each member core repeatedly runs the kernel over its share of the data
+// (one "pass" = one parallel region with an implicit barrier).  Records
+// per-pass wall durations, achieved per-core memory bandwidth, and the
+// memory-stall fraction (the pmu-tools counter of Fig. 10: share of time
+// the cores were limited by the memory system rather than the pipeline).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/frequency_governor.hpp"
+#include "hw/machine.hpp"
+#include "hw/workload.hpp"
+#include "sim/rng.hpp"
+#include "sim/sync.hpp"
+
+namespace cci::core {
+
+class ComputeTeam {
+ public:
+  struct Options {
+    std::vector<int> cores;
+    int data_numa = 0;
+    hw::KernelTraits kernel;
+    double iters_per_pass = 0.0;  ///< per core
+    int repetitions = 1;
+    double noise_rel = 0.01;  ///< run-to-run jitter on per-pass work
+  };
+
+  ComputeTeam(hw::Machine& machine, Options options, sim::Rng& rng)
+      : machine_(machine), opt_(std::move(options)), rng_(rng),
+        done_(std::make_unique<sim::OneShotEvent>(machine.engine())) {}
+
+  /// Spawn the team process; done() fires after all repetitions.
+  void start() { machine_.engine().spawn(run()); }
+  sim::OneShotEvent& done() { return *done_; }
+
+  /// Wall duration of each pass (barrier to barrier).
+  [[nodiscard]] const std::vector<double>& pass_durations() const { return durations_; }
+  /// Achieved DRAM bandwidth per core, per pass (B/s); empty for
+  /// cache-resident kernels.
+  [[nodiscard]] const std::vector<double>& per_core_bandwidths() const { return bandwidths_; }
+  /// Mean fraction of time the team was memory-bound (0 when compute-bound).
+  [[nodiscard]] double mem_stall_fraction() const {
+    return stall_samples_ > 0 ? stall_sum_ / static_cast<double>(stall_samples_) : 0.0;
+  }
+
+ private:
+  sim::Coro run();
+
+  hw::Machine& machine_;
+  Options opt_;
+  sim::Rng& rng_;
+  std::unique_ptr<sim::OneShotEvent> done_;
+  std::vector<double> durations_;
+  std::vector<double> bandwidths_;
+  double stall_sum_ = 0.0;
+  int stall_samples_ = 0;
+};
+
+}  // namespace cci::core

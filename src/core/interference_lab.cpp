@@ -1,0 +1,113 @@
+#include "core/interference_lab.hpp"
+
+namespace cci::core {
+
+InterferenceLab::InterferenceLab(Scenario scenario) : scenario_(std::move(scenario)) {
+  cluster_ = std::make_unique<net::Cluster>(scenario_.machine, scenario_.network,
+                                            /*nodes=*/2, scenario_.seed);
+  int comm = scenario_.comm_core();
+  world_ = std::make_unique<mpi::World>(*cluster_, std::vector<mpi::RankConfig>{
+                                                       {0, comm}, {1, comm}});
+}
+
+InterferenceLab::~InterferenceLab() = default;
+
+std::unique_ptr<ComputeTeam> InterferenceLab::make_team(int node) {
+  ComputeTeam::Options opt;
+  opt.cores = scenario_.compute_cores();
+  opt.data_numa = scenario_.data_numa();
+  opt.kernel = scenario_.kernel;
+  opt.iters_per_pass = scenario_.iters_per_pass();
+  opt.repetitions = scenario_.compute_repetitions;
+  return std::make_unique<ComputeTeam>(cluster_->machine(node), std::move(opt),
+                                       cluster_->rng());
+}
+
+ComputePhase InterferenceLab::summarize(const ComputeTeam& team) {
+  ComputePhase phase;
+  phase.pass_duration = trace::Stats::of(team.pass_durations());
+  phase.per_core_bandwidth = trace::Stats::of(team.per_core_bandwidths());
+  phase.mem_stall_fraction = team.mem_stall_fraction();
+  return phase;
+}
+
+CommPhase InterferenceLab::summarize(const mpi::PingPong& pp, std::size_t bytes) {
+  CommPhase phase;
+  phase.latency = trace::Stats::of(pp.latencies());
+  std::vector<double> bws;
+  bws.reserve(pp.latencies().size());
+  for (double lat : pp.latencies())
+    if (lat > 0) bws.push_back(static_cast<double>(bytes) / lat);
+  phase.bandwidth = trace::Stats::of(std::move(bws));
+  return phase;
+}
+
+CommPhase InterferenceLab::run_comm_alone(int tag_base) {
+  mpi::PingPongOptions opt;
+  opt.bytes = scenario_.message_bytes;
+  opt.iterations = scenario_.pingpong_iterations;
+  opt.warmup = scenario_.pingpong_warmup;
+  opt.tag = tag_base;
+  opt.data_numa_a = scenario_.data_numa();
+  opt.data_numa_b = scenario_.data_numa();
+  mpi::PingPong pp(*world_, 0, 1, opt);
+  pp.start();
+  cluster_->engine().run();
+  return summarize(pp, opt.bytes);
+}
+
+ComputePhase InterferenceLab::run_compute_alone() {
+  if (scenario_.computing_cores <= 0) return {};
+  auto team0 = make_team(0);
+  auto team1 = make_team(1);
+  team0->start();
+  team1->start();
+  cluster_->engine().run();
+  return summarize(*team0);
+}
+
+void InterferenceLab::run_together(ComputePhase& compute, CommPhase& comm, int tag_base) {
+  mpi::PingPongOptions opt;
+  opt.bytes = scenario_.message_bytes;
+  opt.iterations = scenario_.pingpong_iterations;
+  opt.warmup = scenario_.pingpong_warmup;
+  opt.tag = tag_base;
+  opt.data_numa_a = scenario_.data_numa();
+  opt.data_numa_b = scenario_.data_numa();
+  opt.continuous = scenario_.computing_cores > 0;
+  mpi::PingPong pp(*world_, 0, 1, opt);
+
+  if (scenario_.computing_cores <= 0) {
+    pp.start();
+    cluster_->engine().run();
+    compute = {};
+    comm = summarize(pp, opt.bytes);
+    return;
+  }
+
+  auto team0 = make_team(0);
+  auto team1 = make_team(1);
+  pp.start();
+  team0->start();
+  team1->start();
+  // Stop the ping-pong once both compute teams have finished (the paper
+  // measures communication while computation is in flight).
+  cluster_->engine().spawn([](ComputeTeam& a, ComputeTeam& b, mpi::PingPong& p) -> sim::Coro {
+    co_await a.done();
+    co_await b.done();
+    p.request_stop();
+  }(*team0, *team1, pp));
+  cluster_->engine().run();
+  compute = summarize(*team0);
+  comm = summarize(pp, opt.bytes);
+}
+
+SideBySideResult InterferenceLab::run() {
+  SideBySideResult result;
+  result.compute_alone = run_compute_alone();
+  result.comm_alone = run_comm_alone(1000);
+  run_together(result.compute_together, result.comm_together, 2000);
+  return result;
+}
+
+}  // namespace cci::core

@@ -1,0 +1,68 @@
+// InterferenceLab: the paper's benchmarking protocol (§2.1).
+//
+//   (1) computation without communication,
+//   (2) communication without computation,
+//   (3) computation with side-by-side communication,
+//
+// on a two-node simulated cluster, symmetric on both nodes (MPI+OpenMP:
+// one communication thread, N computing threads per node).  Results carry
+// medians and deciles exactly as the paper plots them.
+#pragma once
+
+#include <memory>
+
+#include "core/compute_team.hpp"
+#include "core/scenario.hpp"
+#include "mpi/pingpong.hpp"
+#include "mpi/world.hpp"
+#include "trace/stats.hpp"
+
+namespace cci::core {
+
+struct CommPhase {
+  trace::Stats latency;    ///< half round-trip (s)
+  trace::Stats bandwidth;  ///< message bytes / latency (B/s)
+};
+
+struct ComputePhase {
+  trace::Stats pass_duration;       ///< per-pass wall time (s)
+  trace::Stats per_core_bandwidth;  ///< DRAM B/s per core (0 if cache-resident)
+  double mem_stall_fraction = 0.0;
+};
+
+struct SideBySideResult {
+  ComputePhase compute_alone;
+  CommPhase comm_alone;
+  ComputePhase compute_together;
+  CommPhase comm_together;
+};
+
+class InterferenceLab {
+ public:
+  explicit InterferenceLab(Scenario scenario);
+  ~InterferenceLab();
+
+  /// Run the full three-phase protocol.
+  SideBySideResult run();
+
+  /// Phase primitives, for benches that need only part of the protocol.
+  CommPhase run_comm_alone(int tag_base = 1000);
+  ComputePhase run_compute_alone();
+  /// Runs computation and the ping-pong together; fills both out-params.
+  void run_together(ComputePhase& compute, CommPhase& comm, int tag_base = 2000);
+
+  const Scenario& scenario() const { return scenario_; }
+  net::Cluster& cluster() { return *cluster_; }
+  mpi::World& world() { return *world_; }
+
+ private:
+  std::unique_ptr<ComputeTeam> make_team(int node);
+  static ComputePhase summarize(const ComputeTeam& team);
+  static CommPhase summarize(const mpi::PingPong& pp, std::size_t bytes);
+
+  Scenario scenario_;
+  std::unique_ptr<net::Cluster> cluster_;
+  std::unique_ptr<mpi::World> world_;
+};
+
+}  // namespace cci::core

@@ -1,0 +1,47 @@
+// Multi-run repetition: the paper's curves are "median value of the
+// results obtained with several runs" with first/last-decile bands.  This
+// helper runs a scenario under several seeds and aggregates the per-run
+// medians, giving honest run-to-run spread on top of per-iteration spread.
+#pragma once
+
+#include <vector>
+
+#include "core/interference_lab.hpp"
+
+namespace cci::core {
+
+struct RepeatedResult {
+  /// Distribution of per-run medians across the seeds.
+  trace::Stats latency_alone;
+  trace::Stats latency_together;
+  trace::Stats bandwidth_alone;
+  trace::Stats bandwidth_together;
+  trace::Stats compute_pass_together;
+  int runs = 0;
+};
+
+inline RepeatedResult run_repeated(const Scenario& base, int runs) {
+  RepeatedResult out;
+  out.runs = runs;
+  std::vector<double> la, lt, ba, bt, cp;
+  for (int r = 0; r < runs; ++r) {
+    Scenario s = base;
+    s.seed = base.seed + static_cast<std::uint64_t>(r) * 0x9E3779B9u;
+    InterferenceLab lab(s);
+    SideBySideResult result = lab.run();
+    la.push_back(result.comm_alone.latency.median);
+    lt.push_back(result.comm_together.latency.median);
+    ba.push_back(result.comm_alone.bandwidth.median);
+    bt.push_back(result.comm_together.bandwidth.median);
+    if (result.compute_together.pass_duration.n > 0)
+      cp.push_back(result.compute_together.pass_duration.median);
+  }
+  out.latency_alone = trace::Stats::of(std::move(la));
+  out.latency_together = trace::Stats::of(std::move(lt));
+  out.bandwidth_alone = trace::Stats::of(std::move(ba));
+  out.bandwidth_together = trace::Stats::of(std::move(bt));
+  out.compute_pass_together = trace::Stats::of(std::move(cp));
+  return out;
+}
+
+}  // namespace cci::core

@@ -1,0 +1,138 @@
+#include "core/result_io.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace cci::core {
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) { first_in_scope_.push_back(true); }
+JsonWriter::~JsonWriter() = default;
+
+void JsonWriter::comma() {
+  if (!first_in_scope_.back()) os_ << ",";
+  first_in_scope_.back() = false;
+  os_ << "\n";
+  indent();
+}
+
+void JsonWriter::indent() {
+  for (int i = 0; i < depth_; ++i) os_ << "  ";
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  os_ << "{";
+  ++depth_;
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  --depth_;
+  first_in_scope_.pop_back();
+  os_ << "\n";
+  indent();
+  os_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& key) {
+  comma();
+  os_ << '"' << key << "\": [";
+  ++depth_;
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  --depth_;
+  first_in_scope_.pop_back();
+  os_ << "\n";
+  indent();
+  os_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::object_field(const std::string& key) {
+  comma();
+  os_ << '"' << key << "\": {";
+  ++depth_;
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double value) {
+  comma();
+  if (std::isfinite(value)) {
+    os_ << '"' << key << "\": " << value;
+  } else {
+    os_ << '"' << key << "\": null";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const std::string& value) {
+  comma();
+  os_ << '"' << key << "\": \"" << value << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, int value) {
+  comma();
+  os_ << '"' << key << "\": " << value;
+  return *this;
+}
+
+namespace {
+
+void write_stats(JsonWriter& w, const char* key, const trace::Stats& s) {
+  w.object_field(key);
+  w.field("n", static_cast<int>(s.n));
+  w.field("median", s.median);
+  w.field("decile1", s.decile1);
+  w.field("decile9", s.decile9);
+  w.field("mean", s.mean);
+  w.end_object();
+}
+
+void write_comm(JsonWriter& w, const char* key, const CommPhase& phase) {
+  w.object_field(key);
+  write_stats(w, "latency_s", phase.latency);
+  write_stats(w, "bandwidth_Bps", phase.bandwidth);
+  w.end_object();
+}
+
+void write_compute(JsonWriter& w, const char* key, const ComputePhase& phase) {
+  w.object_field(key);
+  write_stats(w, "pass_duration_s", phase.pass_duration);
+  write_stats(w, "per_core_bandwidth_Bps", phase.per_core_bandwidth);
+  w.field("mem_stall_fraction", phase.mem_stall_fraction);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_result_json(std::ostream& os, const Scenario& scenario,
+                       const SideBySideResult& result) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.object_field("scenario");
+  w.field("machine", scenario.machine.name);
+  w.field("fabric", scenario.network.fabric);
+  w.field("kernel", scenario.kernel.name);
+  w.field("arithmetic_intensity", scenario.kernel.arithmetic_intensity());
+  w.field("computing_cores", scenario.computing_cores);
+  w.field("message_bytes", static_cast<double>(scenario.message_bytes));
+  w.field("data_placement", to_string(scenario.data));
+  w.field("comm_thread_placement", to_string(scenario.comm_thread));
+  w.field("seed", static_cast<double>(scenario.seed));
+  w.end_object();
+  write_compute(w, "compute_alone", result.compute_alone);
+  write_comm(w, "comm_alone", result.comm_alone);
+  write_compute(w, "compute_together", result.compute_together);
+  write_comm(w, "comm_together", result.comm_together);
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace cci::core

@@ -1,0 +1,43 @@
+// Result serialization: JSON records for downstream analysis pipelines.
+//
+// Every figure bench can be replotted offline; this writer produces a
+// stable, self-describing JSON document from scenarios and results (no
+// third-party JSON dependency — the subset we emit is trivial).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/interference_lab.hpp"
+
+namespace cci::core {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os);
+  ~JsonWriter();
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array(const std::string& key);
+  JsonWriter& end_array();
+  JsonWriter& field(const std::string& key, double value);
+  JsonWriter& field(const std::string& key, const std::string& value);
+  JsonWriter& field(const std::string& key, int value);
+  /// Open a nested object under `key`.
+  JsonWriter& object_field(const std::string& key);
+
+ private:
+  void comma();
+  void indent();
+  std::ostream& os_;
+  int depth_ = 0;
+  std::vector<bool> first_in_scope_;
+};
+
+/// Serialize one scenario + its three-phase result as a JSON object.
+void write_result_json(std::ostream& os, const Scenario& scenario,
+                       const SideBySideResult& result);
+
+}  // namespace cci::core

@@ -1,0 +1,104 @@
+// Declarative parameter sweeps over scenarios.
+//
+// The figure benches loop over core counts / message sizes / placements by
+// hand; Sweep packages that pattern for downstream users: declare the axis
+// and the metrics, get a Table (text or CSV) back.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/interference_lab.hpp"
+#include "trace/table.hpp"
+
+namespace cci::core {
+
+class Sweep {
+ public:
+  using Mutator = std::function<void(Scenario&, double)>;
+  using Metric = std::function<double(const SideBySideResult&)>;
+
+  explicit Sweep(Scenario base) : base_(std::move(base)) {}
+
+  /// Define the swept axis: a label, the values, and how a value mutates
+  /// the scenario.
+  Sweep& axis(std::string label, std::vector<double> values, Mutator apply) {
+    axis_label_ = std::move(label);
+    values_ = std::move(values);
+    mutator_ = std::move(apply);
+    return *this;
+  }
+
+  /// Add an output column computed from each point's result.
+  Sweep& metric(std::string label, Metric fn) {
+    metric_labels_.push_back(std::move(label));
+    metrics_.push_back(std::move(fn));
+    return *this;
+  }
+
+  /// Run every point (a fresh lab per point) and build the table.
+  trace::Table run() const {
+    std::vector<std::string> headers{axis_label_};
+    for (const auto& l : metric_labels_) headers.push_back(l);
+    trace::Table table(std::move(headers));
+    for (double v : values_) {
+      Scenario s = base_;
+      mutator_(s, v);
+      InterferenceLab lab(s);
+      SideBySideResult r = lab.run();
+      std::vector<double> row{v};
+      for (const auto& m : metrics_) row.push_back(m(r));
+      table.add_row(row);
+    }
+    return table;
+  }
+
+  // ---- prebuilt metrics ----------------------------------------------------
+  static Metric latency_together_us() {
+    return [](const SideBySideResult& r) { return r.comm_together.latency.median * 1e6; };
+  }
+  static Metric latency_ratio() {
+    return [](const SideBySideResult& r) {
+      return r.comm_alone.latency.median > 0
+                 ? r.comm_together.latency.median / r.comm_alone.latency.median
+                 : 0.0;
+    };
+  }
+  static Metric bandwidth_together_gbps() {
+    return [](const SideBySideResult& r) { return r.comm_together.bandwidth.median / 1e9; };
+  }
+  static Metric bandwidth_ratio() {
+    return [](const SideBySideResult& r) {
+      return r.comm_alone.bandwidth.median > 0
+                 ? r.comm_together.bandwidth.median / r.comm_alone.bandwidth.median
+                 : 0.0;
+    };
+  }
+  static Metric stream_per_core_gbps() {
+    return [](const SideBySideResult& r) {
+      return r.compute_together.per_core_bandwidth.median / 1e9;
+    };
+  }
+  static Metric stall_fraction() {
+    return [](const SideBySideResult& r) { return r.compute_together.mem_stall_fraction; };
+  }
+
+  // ---- prebuilt axes ---------------------------------------------------------
+  static Mutator cores_axis() {
+    return [](Scenario& s, double v) { s.computing_cores = static_cast<int>(v); };
+  }
+  static Mutator message_bytes_axis() {
+    return [](Scenario& s, double v) { s.message_bytes = static_cast<std::size_t>(v); };
+  }
+
+ private:
+  Scenario base_;
+  std::string axis_label_;
+  std::vector<double> values_;
+  Mutator mutator_;
+  std::vector<std::string> metric_labels_;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace cci::core

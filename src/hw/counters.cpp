@@ -1,0 +1,48 @@
+#include "hw/counters.hpp"
+
+namespace cci::hw {
+
+sim::Coro CounterSampler::sample_loop() {
+  const auto& cfg = machine_.config();
+  ctrl_samples_.resize(static_cast<std::size_t>(cfg.numa_count()));
+  core_freqs_.resize(static_cast<std::size_t>(cfg.total_cores()));
+  while (running_) {
+    times_.push_back(machine_.engine().now());
+    for (int n = 0; n < cfg.numa_count(); ++n) {
+      const sim::Resource* r = machine_.mem_ctrl(n);
+      ctrl_samples_[static_cast<std::size_t>(n)].push_back(
+          {r->utilization(), r->pressure(), r->load()});
+    }
+    const sim::Resource* x = machine_.cross_link();
+    xlink_samples_.push_back({x->utilization(), x->pressure(), x->load()});
+    for (int c = 0; c < cfg.total_cores(); ++c)
+      core_freqs_[static_cast<std::size_t>(c)].push_back(machine_.governor().core_freq(c));
+    co_await machine_.engine().sleep(period_);
+  }
+}
+
+CounterSampler::ResourceStats CounterSampler::aggregate(
+    const std::vector<Sample>& samples) const {
+  ResourceStats out;
+  if (samples.empty()) return out;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out.mean_utilization += samples[i].utilization;
+    out.mean_pressure += samples[i].pressure;
+    out.peak_pressure = std::max(out.peak_pressure, samples[i].pressure);
+    if (i + 1 < samples.size())
+      out.bytes_transferred += samples[i].load * (times_[i + 1] - times_[i]);
+  }
+  out.mean_utilization /= static_cast<double>(samples.size());
+  out.mean_pressure /= static_cast<double>(samples.size());
+  return out;
+}
+
+std::map<double, double> CounterSampler::freq_residency(int core) const {
+  std::map<double, double> residency;
+  const auto& freqs = core_freqs_.at(static_cast<std::size_t>(core));
+  for (std::size_t i = 0; i + 1 < freqs.size(); ++i)
+    residency[freqs[i]] += times_[i + 1] - times_[i];
+  return residency;
+}
+
+}  // namespace cci::hw

@@ -1,0 +1,66 @@
+// Hardware-counter sampling: the simulator's stand-in for pmu-tools (§6).
+//
+// A CounterSampler is a simulation process that periodically snapshots the
+// machine's resources and governor, accumulating time-weighted histories:
+// memory-controller utilization and pressure, link traffic, per-core
+// frequency residency.  Experiments read the aggregates after the run,
+// like `perf stat` counters.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "hw/frequency_governor.hpp"
+#include "hw/machine.hpp"
+
+namespace cci::hw {
+
+class CounterSampler {
+ public:
+  /// Samples every `period` seconds once start() is called.
+  CounterSampler(Machine& machine, double period = 1e-3)
+      : machine_(machine), period_(period) {}
+
+  void start() {
+    running_ = true;
+    machine_.engine().spawn(sample_loop());
+  }
+  void stop() { running_ = false; }
+
+  struct ResourceStats {
+    double mean_utilization = 0.0;
+    double mean_pressure = 0.0;
+    double peak_pressure = 0.0;
+    double bytes_transferred = 0.0;  ///< integral of load over time
+  };
+
+  [[nodiscard]] ResourceStats mem_ctrl_stats(int numa) const {
+    return aggregate(ctrl_samples_.at(static_cast<std::size_t>(numa)));
+  }
+  [[nodiscard]] ResourceStats cross_link_stats() const { return aggregate(xlink_samples_); }
+
+  /// Time-weighted frequency residency of one core: freq -> seconds.
+  [[nodiscard]] std::map<double, double> freq_residency(int core) const;
+
+  [[nodiscard]] std::size_t sample_count() const { return times_.size(); }
+
+ private:
+  struct Sample {
+    double utilization;
+    double pressure;
+    double load;
+  };
+
+  sim::Coro sample_loop();
+  [[nodiscard]] ResourceStats aggregate(const std::vector<Sample>& samples) const;
+
+  Machine& machine_;
+  double period_;
+  bool running_ = false;
+  std::vector<double> times_;
+  std::vector<std::vector<Sample>> ctrl_samples_;  ///< [numa][sample]
+  std::vector<Sample> xlink_samples_;
+  std::vector<std::vector<double>> core_freqs_;  ///< [core][sample]
+};
+
+}  // namespace cci::hw

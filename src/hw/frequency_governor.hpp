@@ -1,0 +1,84 @@
+// DVFS model: per-core frequency driven by load, licence class and policy.
+//
+// Responsibilities:
+//  * core frequencies: ondemand (idle cores drop to min), performance
+//    (idle cores hold nominal), userspace (operator-pinned, as with the
+//    cpupower tool in the paper);
+//  * turbo: busy cores clock to the turbo table entry for their socket's
+//    active-core count and their instruction licence (AVX512 down-clocking);
+//  * the communication core: its poll duty-cycle keeps it at a stable
+//    frequency (paper §3.2/3.3), modelled as a dedicated pin;
+//  * uncore: per-socket, ondemand (max when any core busy) or fixed; scales
+//    the socket's memory-controller capacities (Likwid-style control).
+//
+// Every change is pushed into the FlowModel as a capacity update and
+// reported to an optional trace sink (Fig. 2/3 frequency timelines).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hw/machine_config.hpp"
+
+namespace cci::hw {
+
+class Machine;
+
+enum class CpuPolicy { kOndemand, kPerformance, kUserspace };
+
+class FrequencyGovernor {
+ public:
+  explicit FrequencyGovernor(Machine& machine);
+
+  // ---- operator controls (BIOS / cpupower / Likwid equivalents) ----------
+  void set_policy(CpuPolicy policy);
+  void set_turbo_enabled(bool enabled);
+  /// Pin all cores (userspace policy) to `hz`.
+  void pin_core_freq(double hz);
+  /// Pin the uncore of both sockets to `hz`; pass <= 0 to restore ondemand.
+  void pin_uncore_freq(double hz);
+
+  // ---- runtime notifications ---------------------------------------------
+  /// A kernel with licence `vc` started executing on `core`.
+  void core_busy(int core, VectorClass vc);
+  /// The kernel on `core` finished; core returns to idle.
+  void core_idle(int core);
+  /// `core` runs a communication progress thread (stable duty cycle).
+  void core_comm(int core);
+
+  // ---- observations -------------------------------------------------------
+  [[nodiscard]] double core_freq(int core) const {
+    return freq_.at(static_cast<std::size_t>(core));
+  }
+  [[nodiscard]] double uncore_freq(int socket) const {
+    return uncore_freq_.at(static_cast<std::size_t>(socket));
+  }
+  [[nodiscard]] int active_cores(int socket) const;
+
+  /// Called as (core, new_freq_hz) at every core transition; (-1 - socket,
+  /// hz) encodes uncore changes.  Timestamping is up to the sink.
+  using TraceFn = std::function<void(int core, double freq_hz)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+ private:
+  enum class CoreState { kIdle, kBusy, kComm };
+  void recompute_socket(int socket);
+  void recompute_all();
+  void apply_core_freq(int core, double hz);
+  void apply_uncore(int socket, double hz);
+
+  Machine& machine_;
+  CpuPolicy policy_ = CpuPolicy::kOndemand;
+  bool turbo_ = true;
+  double pinned_core_hz_ = 0.0;
+  double pinned_uncore_hz_ = 0.0;
+  std::vector<CoreState> state_;
+  std::vector<VectorClass> vclass_;
+  std::vector<double> freq_;
+  std::vector<double> uncore_freq_;
+  std::vector<std::uint64_t> transition_gen_;  ///< per-core DVFS ramp epoch
+  TraceFn trace_;
+};
+
+}  // namespace cci::hw

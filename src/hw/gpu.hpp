@@ -1,0 +1,71 @@
+// GPU transfer model — the paper's closing future-work item: "considering
+// the impact of data movements between main memory and GPUs".
+//
+// A GpuDevice hangs off one NUMA node's PCIe root, like the NIC.  Host to
+// device and device to host copies are DMA flows crossing [host memory
+// controller (+ on-chip links), the GPU's PCIe link], so they contend with
+// both computation *and* network DMA exactly the way the paper's
+// mechanisms predict.  Device-side state is deliberately minimal: the
+// interference story is entirely on the host side of the copy.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hw/machine.hpp"
+
+namespace cci::hw {
+
+struct GpuConfig {
+  std::string name = "gpu0";
+  /// NUMA node whose PCIe root hosts the GPU.
+  int numa = 0;
+  /// PCIe gen3 x16-class sustained copy bandwidth, per direction (B/s).
+  double pcie_bw = 12.5e9;
+  /// Driver/launch overhead per copy (s): cudaMemcpy setup, doorbell.
+  double copy_overhead = 8e-6;
+  /// Copies share host DRAM like NIC DMA: same scheduler weight semantics.
+  double dma_weight = 1.2;
+};
+
+class GpuDevice {
+ public:
+  GpuDevice(Machine& machine, GpuConfig config)
+      : machine_(machine),
+        config_(std::move(config)),
+        pcie_(machine.model().add_resource(config_.name + ".pcie", config_.pcie_bw)) {}
+
+  [[nodiscard]] const GpuConfig& config() const { return config_; }
+  sim::Resource* pcie() { return pcie_; }
+  [[nodiscard]] int numa() const { return config_.numa; }
+
+  enum class Direction { kHostToDevice, kDeviceToHost };
+
+  /// Start an async copy of `bytes` between host memory on `host_numa`
+  /// and the device.  Returns the flow activity; co_await it to "sync".
+  sim::ActivityPtr copy_async(Direction dir, std::size_t bytes, int host_numa) {
+    sim::ActivitySpec spec;
+    spec.label = config_.name + (dir == Direction::kHostToDevice ? ".h2d" : ".d2h");
+    spec.work = static_cast<double>(bytes);
+    spec.weight = config_.dma_weight;
+    for (sim::Resource* r : machine_.mem_path(config_.numa, host_numa))
+      spec.demands.push_back({r, 1.0});
+    spec.demands.push_back({pcie_, 1.0});
+    return machine_.model().start(spec);
+  }
+
+  /// Blocking copy usable from a simulation process: overhead + flow.
+  sim::Coro copy(Direction dir, std::size_t bytes, int host_numa,
+                 sim::OneShotEvent* done = nullptr) {
+    co_await machine_.engine().sleep(config_.copy_overhead);
+    co_await *copy_async(dir, bytes, host_numa);
+    if (done) done->set();
+  }
+
+ private:
+  Machine& machine_;
+  GpuConfig config_;
+  sim::Resource* pcie_;
+};
+
+}  // namespace cci::hw

@@ -1,0 +1,88 @@
+#include "hw/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hw/frequency_governor.hpp"
+
+namespace cci::hw {
+
+Machine::Machine(sim::FlowModel& model, MachineConfig config, std::string prefix)
+    : model_(model), config_(std::move(config)), prefix_(std::move(prefix)) {
+  assert(config_.sockets == 2 && "the node model assumes dual-socket machines");
+  const int n_cores = config_.total_cores();
+  cores_.reserve(static_cast<std::size_t>(n_cores));
+  for (int i = 0; i < n_cores; ++i) {
+    // Initial capacity: minimum frequency (idle, ondemand); the governor
+    // re-applies policy immediately after construction.
+    cores_.push_back(
+        model_.add_resource(prefix_ + "core" + std::to_string(i), config_.core_freq_min_hz));
+  }
+  for (int n = 0; n < config_.numa_count(); ++n) {
+    mem_ctrls_.push_back(
+        model_.add_resource(prefix_ + "memctrl" + std::to_string(n), config_.mem_bw_per_numa));
+  }
+  if (config_.numa_per_socket > 1) {
+    for (int s = 0; s < config_.sockets; ++s) {
+      intra_links_.push_back(
+          model_.add_resource(prefix_ + "mesh" + std::to_string(s), config_.intra_socket_bw));
+    }
+  }
+  cross_link_ = model_.add_resource(prefix_ + "xsocket", config_.cross_socket_bw);
+  governor_ = std::make_unique<FrequencyGovernor>(*this);
+}
+
+Machine::~Machine() = default;
+
+std::vector<sim::Resource*> Machine::mem_path(int from_numa, int data_numa) {
+  std::vector<sim::Resource*> path;
+  path.push_back(mem_ctrl(data_numa));
+  if (from_numa == data_numa) return path;
+  if (config_.socket_of_numa(from_numa) == config_.socket_of_numa(data_numa)) {
+    if (sim::Resource* mesh = intra_link(config_.socket_of_numa(from_numa))) path.push_back(mesh);
+  } else {
+    path.push_back(cross_link_);
+  }
+  return path;
+}
+
+double Machine::inflation(const sim::Resource* r) const {
+  double p = std::min(r->pressure(), config_.queueing_pressure_clamp);
+  return 1.0 + config_.queueing_kappa * p * p;
+}
+
+double Machine::uncore_latency_scale(int socket) const {
+  double span = config_.uncore_freq_max_hz - config_.uncore_freq_min_hz;
+  double u = governor_->uncore_freq(socket);
+  double x = span > 0.0 ? (u - config_.uncore_freq_min_hz) / span : 1.0;
+  x = std::clamp(x, 0.0, 1.0);
+  return 1.0 + config_.uncore_latency_penalty * (1.0 - x);
+}
+
+double Machine::mem_access_latency(int from_numa, int data_numa) const {
+  const sim::Resource* ctrl = mem_ctrls_.at(static_cast<std::size_t>(data_numa));
+  // Controller/mesh queue pressure stretches accesses issued from the same
+  // socket (they share the CHA ingress with the contending cores); remote
+  // requesters feel contention through the inter-socket link instead.
+  const bool same_socket =
+      config_.socket_of_numa(from_numa) == config_.socket_of_numa(data_numa);
+  double t = config_.mem_latency * (same_socket ? inflation(ctrl) : 1.0) *
+             uncore_latency_scale(config_.socket_of_numa(data_numa));
+  if (from_numa == data_numa) return t;
+  if (same_socket) {
+    // SNC hop: small constant, inflated by mesh pressure.
+    const sim::Resource* mesh =
+        intra_links_.at(static_cast<std::size_t>(config_.socket_of_numa(from_numa)));
+    t += 0.25 * config_.cross_socket_latency * inflation(mesh);
+  } else {
+    t += config_.cross_socket_latency * inflation(cross_link_);
+  }
+  return t;
+}
+
+double Machine::cross_socket_hop_latency() const {
+  return config_.cross_socket_latency * inflation(cross_link_);
+}
+
+}  // namespace cci::hw

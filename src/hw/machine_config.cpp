@@ -1,0 +1,171 @@
+#include "hw/machine_config.hpp"
+
+#include <cassert>
+
+namespace cci::hw {
+
+const char* to_string(VectorClass vc) {
+  switch (vc) {
+    case VectorClass::kScalar: return "scalar";
+    case VectorClass::kSse: return "sse";
+    case VectorClass::kAvx2: return "avx2";
+    case VectorClass::kAvx512: return "avx512";
+    case VectorClass::kNeon: return "neon";
+  }
+  return "?";
+}
+
+double MachineConfig::flops_per_cycle(VectorClass vc) const {
+  switch (vc) {
+    case VectorClass::kScalar: return flops_per_cycle_scalar;
+    case VectorClass::kSse: return flops_per_cycle_scalar * 2.0;
+    case VectorClass::kAvx2: return flops_per_cycle_avx2;
+    case VectorClass::kAvx512: return flops_per_cycle_avx512;
+    case VectorClass::kNeon: return flops_per_cycle_avx2 / 2.0;
+  }
+  return flops_per_cycle_scalar;
+}
+
+double MachineConfig::turbo_freq(VectorClass vc, int active) const {
+  const std::vector<TurboStep>* table = &turbo_scalar;
+  if (vc == VectorClass::kAvx2) table = &turbo_avx2;
+  if (vc == VectorClass::kAvx512) table = &turbo_avx512;
+  if (table->empty()) return core_freq_nominal_hz;
+  for (const TurboStep& step : *table)
+    if (active <= step.max_active_cores) return step.freq_hz;
+  return table->back().freq_hz;
+}
+
+MachineConfig MachineConfig::henri() {
+  MachineConfig c;
+  c.name = "henri";
+  // Dual Intel Xeon Gold 6140 @ 2.3 GHz, 36 cores, sub-NUMA clustering on:
+  // 4 NUMA nodes of 9 cores.  InfiniBand ConnectX-4 EDR on NUMA 0.
+  c.sockets = 2;
+  c.numa_per_socket = 2;
+  c.cores_per_numa = 9;
+  c.nic_numa = 0;
+  c.core_freq_min_hz = 1.0e9;
+  c.core_freq_nominal_hz = 2.3e9;
+  c.turbo_scalar = {{2, 3.7e9}, {4, 3.5e9}, {8, 3.3e9}, {12, 3.1e9}, {18, 3.0e9}};
+  c.turbo_avx2 = {{2, 3.5e9}, {4, 3.3e9}, {8, 3.0e9}, {12, 2.9e9}, {18, 2.8e9}};
+  // Matches the paper's Fig. 3: 4 AVX512 cores run at 3.0 GHz, 20 at 2.3.
+  c.turbo_avx512 = {{2, 3.5e9}, {4, 3.0e9}, {8, 2.7e9}, {18, 2.3e9}};
+  c.comm_core_freq_hz = 2.5e9;  // observed stable in §3.3
+  c.uncore_freq_min_hz = 1.2e9;
+  c.uncore_freq_max_hz = 2.4e9;
+  c.uncore_min_mem_scale = 0.75;
+  c.flops_per_cycle_scalar = 2.0;
+  c.flops_per_cycle_avx2 = 16.0;
+  c.flops_per_cycle_avx512 = 32.0;
+  // 6x DDR4-2666 per socket ~ 90 GB/s sustained; SNC halves it per node.
+  c.mem_bw_per_numa = 45e9;
+  c.per_core_mem_bw = 12e9;
+  c.llc_bytes_per_socket = 25e6;  // 24.75 MB L3 (Skylake-SP 18c)
+  c.cross_socket_bw = 38e9;  // 2x UPI 10.4 GT/s, sustained
+  c.intra_socket_bw = 70e9;  // mesh between SNC halves
+  c.mem_latency = 90e-9;
+  c.cross_socket_latency = 70e-9;
+  c.queueing_kappa = 0.35;
+  c.queueing_pressure_clamp = 3.0;
+  c.nic_dma_weight = 1.2;
+  return c;
+}
+
+MachineConfig MachineConfig::bora() {
+  MachineConfig c = henri();
+  c.name = "bora";
+  // Dual Intel Xeon Gold 6240 @ 2.6 GHz, 36 cores, 2 NUMA nodes.
+  c.numa_per_socket = 1;
+  c.cores_per_numa = 18;
+  c.core_freq_nominal_hz = 2.6e9;
+  c.turbo_scalar = {{2, 3.9e9}, {4, 3.7e9}, {8, 3.5e9}, {12, 3.3e9}, {18, 3.1e9}};
+  c.turbo_avx2 = {{2, 3.7e9}, {4, 3.5e9}, {8, 3.2e9}, {12, 3.0e9}, {18, 2.9e9}};
+  c.turbo_avx512 = {{2, 3.6e9}, {4, 3.1e9}, {8, 2.8e9}, {18, 2.4e9}};
+  c.comm_core_freq_hz = 2.7e9;
+  // Full socket behind one controller: contention onset moves later (the
+  // paper sees bandwidth impact from ~20 cores instead of 3).
+  c.mem_bw_per_numa = 100e9;
+  c.per_core_mem_bw = 13e9;
+  c.llc_bytes_per_socket = 25e6;
+  c.intra_socket_bw = 100e9;  // unused (one NUMA per socket)
+  return c;
+}
+
+MachineConfig MachineConfig::billy() {
+  MachineConfig c;
+  c.name = "billy";
+  // Dual AMD EPYC 7502 (Zen2 Rome) @ 2.5 GHz, 64 cores, NPS4: 8 NUMA nodes.
+  // InfiniBand ConnectX-6 HDR.
+  c.sockets = 2;
+  c.numa_per_socket = 4;
+  c.cores_per_numa = 8;
+  c.nic_numa = 0;
+  c.core_freq_min_hz = 1.5e9;
+  c.core_freq_nominal_hz = 2.5e9;
+  c.turbo_scalar = {{4, 3.35e9}, {8, 3.2e9}, {16, 3.0e9}, {32, 2.8e9}};
+  // Zen2 has no AVX512 and no licence throttling; AVX2 runs at full turbo.
+  c.turbo_avx2 = c.turbo_scalar;
+  c.turbo_avx512 = c.turbo_scalar;  // executed as 2x256-bit, same clocks
+  c.comm_core_freq_hz = 2.7e9;
+  c.uncore_freq_min_hz = 1.2e9;  // Infinity Fabric clock range
+  c.uncore_freq_max_hz = 1.467e9;
+  c.uncore_min_mem_scale = 0.85;
+  c.flops_per_cycle_scalar = 2.0;
+  c.flops_per_cycle_avx2 = 16.0;
+  c.flops_per_cycle_avx512 = 16.0;  // double-pumped 256-bit units
+  // 8x DDR4-3200 per socket ~ 120 GB/s sustained, NPS4 quarters it.
+  c.mem_bw_per_numa = 30e9;
+  c.per_core_mem_bw = 14e9;
+  c.llc_bytes_per_socket = 128e6;  // 16x 8 MB CCX L3
+  c.cross_socket_bw = 50e9;  // xGMI
+  c.intra_socket_bw = 45e9;  // IF between quadrants
+  c.mem_latency = 100e-9;
+  c.cross_socket_latency = 110e-9;
+  c.queueing_kappa = 0.35;
+  c.queueing_pressure_clamp = 3.0;
+  c.nic_dma_weight = 1.2;
+  return c;
+}
+
+MachineConfig MachineConfig::pyxis() {
+  MachineConfig c;
+  c.name = "pyxis";
+  // Dual Cavium ThunderX2 99xx @ 2.5 GHz, 64 cores, 2 NUMA nodes.
+  // InfiniBand ConnectX-6 EDR.
+  c.sockets = 2;
+  c.numa_per_socket = 1;
+  c.cores_per_numa = 32;
+  c.nic_numa = 0;
+  c.core_freq_min_hz = 1.0e9;
+  c.core_freq_nominal_hz = 2.5e9;
+  c.turbo_scalar = {{64, 2.5e9}};  // ThunderX2: no meaningful turbo range
+  c.turbo_avx2 = c.turbo_scalar;
+  c.turbo_avx512 = c.turbo_scalar;
+  c.comm_core_freq_hz = 2.5e9;
+  c.uncore_freq_min_hz = 1.0e9;
+  c.uncore_freq_max_hz = 2.0e9;
+  c.uncore_min_mem_scale = 0.85;
+  // 128-bit NEON, 2 FMA pipes.
+  c.flops_per_cycle_scalar = 2.0;
+  c.flops_per_cycle_avx2 = 8.0;   // stands in for "widest vector" = NEON
+  c.flops_per_cycle_avx512 = 8.0;
+  // 8x DDR4-2666 per socket ~ 110 GB/s sustained.
+  c.mem_bw_per_numa = 110e9;
+  c.per_core_mem_bw = 10e9;
+  c.llc_bytes_per_socket = 32e6;
+  c.cross_socket_bw = 60e9;  // CCPI2
+  c.intra_socket_bw = 110e9;
+  c.mem_latency = 110e-9;
+  c.cross_socket_latency = 120e-9;
+  c.queueing_kappa = 0.35;
+  c.queueing_pressure_clamp = 3.0;
+  c.nic_dma_weight = 1.2;
+  return c;
+}
+
+std::vector<MachineConfig> MachineConfig::all_presets() {
+  return {henri(), bora(), billy(), pyxis()};
+}
+
+}  // namespace cci::hw

@@ -1,0 +1,51 @@
+#include "hw/topology.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace cci::hw {
+
+void print_topology(std::ostream& os, const MachineConfig& config) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "Machine %s (%d cores, %d NUMA nodes, %d sockets)\n",
+                config.name.c_str(), config.total_cores(), config.numa_count(),
+                config.sockets);
+  os << line;
+  for (int s = 0; s < config.sockets; ++s) {
+    os << "  Socket " << s << "  (uncore " << config.uncore_freq_min_hz / 1e9 << "-"
+       << config.uncore_freq_max_hz / 1e9 << " GHz)\n";
+    for (int n = 0; n < config.numa_count(); ++n) {
+      if (config.socket_of_numa(n) != s) continue;
+      int first = n * config.cores_per_numa;
+      int last = first + config.cores_per_numa - 1;
+      std::snprintf(line, sizeof(line), "    NUMA %d%s  cores %d-%d  mem %.1f GB/s\n", n,
+                    n == config.nic_numa ? " [NIC]" : "      ", first, last,
+                    config.mem_bw_per_numa / 1e9);
+      os << line;
+    }
+  }
+  std::snprintf(line, sizeof(line),
+                "  links: cross-socket %.1f GB/s%s; core %.1f-%.1f GHz (nominal %.1f)\n",
+                config.cross_socket_bw / 1e9,
+                config.numa_per_socket > 1 ? ", intra-socket mesh" : "",
+                config.core_freq_min_hz / 1e9,
+                config.turbo_scalar.empty() ? config.core_freq_nominal_hz / 1e9
+                                            : config.turbo_scalar.front().freq_hz / 1e9,
+                config.core_freq_nominal_hz / 1e9);
+  os << line;
+}
+
+std::string describe_placement(const MachineConfig& config, int comm_core, int data_numa) {
+  const int comm_numa = config.numa_of_core(comm_core);
+  const int comm_socket = config.socket_of_core(comm_core);
+  const int nic_socket = config.socket_of_numa(config.nic_numa);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "comm core %d (socket %d, NUMA %d, %s the NIC), data on NUMA %d (%s)",
+                comm_core, comm_socket, comm_numa,
+                comm_socket == nic_socket ? "near" : "far from", data_numa,
+                data_numa == config.nic_numa ? "near" : "far");
+  return buf;
+}
+
+}  // namespace cci::hw

@@ -1,0 +1,27 @@
+// Topology rendering: an lstopo-lite for simulated machines.
+//
+// The paper's placement discussion (§4.3, Table 1) is about where things
+// sit relative to the NIC; this renders the machine tree (sockets, NUMA
+// nodes, cores, NIC attachment) as text so scenarios can be eyeballed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hw/machine_config.hpp"
+
+namespace cci::hw {
+
+/// Render the machine tree:
+///   Machine henri (36 cores, 4 NUMA nodes, 2 sockets)
+///     Socket 0
+///       NUMA 0 [NIC]  cores 0-8    mem 45.0 GB/s
+///       ...
+void print_topology(std::ostream& os, const MachineConfig& config);
+
+/// One-line placement summary for a (comm core, data numa) choice, e.g.
+/// "comm core 35 (socket 1, NUMA 3, far from NIC), data on NUMA 0 (near)".
+std::string describe_placement(const MachineConfig& config, int comm_core, int data_numa);
+
+}  // namespace cci::hw

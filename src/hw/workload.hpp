@@ -1,0 +1,77 @@
+// Kernel traits: the bridge between real kernels and simulated compute.
+//
+// A KernelTraits describes the per-iteration cost of an inner loop (flops,
+// bytes moved to/from DRAM, instruction licence).  The kernels library
+// derives these from its real implementations; make_compute_spec turns
+// them into a roofline-coupled activity on a given core.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "hw/machine.hpp"
+
+namespace cci::hw {
+
+struct KernelTraits {
+  std::string name;
+  double flops_per_iter = 0.0;
+  /// DRAM traffic per iteration (bytes); zero for cache-resident kernels.
+  double bytes_per_iter = 0.0;
+  VectorClass vec = VectorClass::kScalar;
+  /// Total working set (bytes).  0 = streaming/already-amortized traffic
+  /// (bytes_per_iter hits DRAM as-is).  When set, the fraction of the
+  /// working set that fits in the socket's LLC is served from cache and
+  /// generates no bus traffic — see dram_fraction().
+  double working_set_bytes = 0.0;
+
+  [[nodiscard]] double arithmetic_intensity() const {
+    return bytes_per_iter > 0.0 ? flops_per_iter / bytes_per_iter
+                                : std::numeric_limits<double>::infinity();
+  }
+
+  /// Share of bytes_per_iter that actually reaches DRAM given an LLC of
+  /// `llc_bytes`: 1 for streaming kernels, down to 0 when the working set
+  /// is fully resident.
+  [[nodiscard]] double dram_fraction(double llc_bytes) const {
+    if (working_set_bytes <= 0.0 || llc_bytes <= 0.0) return 1.0;
+    if (working_set_bytes <= llc_bytes) return 0.0;
+    return 1.0 - llc_bytes / working_set_bytes;
+  }
+};
+
+/// Core cycles needed per iteration: flop issue, floored by load/store
+/// issue (a core cannot move more than ~64 B/cycle even with zero flops,
+/// which is what prices pure-copy kernels).
+inline double cycles_per_iter(const MachineConfig& cfg, const KernelTraits& k) {
+  double flop_cycles = k.flops_per_iter / cfg.flops_per_cycle(k.vec);
+  double lsu_cycles = k.bytes_per_iter / 64.0;
+  return std::max({flop_cycles, lsu_cycles, 1e-3});
+}
+
+/// Build the activity spec for `iters` iterations of kernel `k` on `core`,
+/// with its arrays homed on `data_numa`.  Progress couples the core's
+/// cycle throughput with the memory path (roofline); the per-core memory
+/// bandwidth cap models limited MLP of a single core.
+inline sim::ActivitySpec make_compute_spec(Machine& machine, int core, int data_numa,
+                                           const KernelTraits& k, double iters) {
+  const MachineConfig& cfg = machine.config();
+  sim::ActivitySpec spec;
+  spec.label = k.name + "@core" + std::to_string(core);
+  spec.work = iters;
+  spec.demands.push_back({machine.core(core), cycles_per_iter(cfg, k)});
+  const double dram_bytes = k.bytes_per_iter * k.dram_fraction(cfg.llc_bytes_per_socket);
+  if (dram_bytes > 0.0) {
+    for (sim::Resource* r : machine.mem_path(cfg.numa_of_core(core), data_numa))
+      spec.demands.push_back({r, dram_bytes});
+    spec.rate_cap = cfg.per_core_mem_bw / dram_bytes;
+    // Weight convention: weight * demand == bytes/s per unit of the max-min
+    // scale, so one core's memory stream and one byte-granular transfer
+    // flow with weight 1 receive equal DRAM shares under contention.
+    spec.weight = 1.0 / dram_bytes;
+  }
+  return spec;
+}
+
+}  // namespace cci::hw

@@ -1,0 +1,71 @@
+#include "kernels/access_patterns.hpp"
+
+#include <algorithm>
+
+namespace cci::kernels {
+
+Transpose::Transpose(std::size_t n, std::size_t block)
+    : n_(n), block_(std::max<std::size_t>(1, block)), a_(n * n), b_(n * n, 0.0) {
+  for (std::size_t i = 0; i < n_ * n_; ++i)
+    a_[i] = static_cast<double>(i % 8191) * 0.125;
+}
+
+std::size_t Transpose::run() {
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(n_);
+       ii += static_cast<std::ptrdiff_t>(block_))
+    for (std::ptrdiff_t jj = 0; jj < static_cast<std::ptrdiff_t>(n_);
+         jj += static_cast<std::ptrdiff_t>(block_)) {
+      const std::size_t i_end = std::min(static_cast<std::size_t>(ii) + block_, n_);
+      const std::size_t j_end = std::min(static_cast<std::size_t>(jj) + block_, n_);
+      for (std::size_t i = static_cast<std::size_t>(ii); i < i_end; ++i)
+        for (std::size_t j = static_cast<std::size_t>(jj); j < j_end; ++j)
+          b_[j * n_ + i] = a_[i * n_ + j];
+    }
+  return n_ * n_ * 16;
+}
+
+bool Transpose::verify() const {
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < n_; ++j)
+      if (b_[j * n_ + i] != a_[i * n_ + j]) return false;
+  return true;
+}
+
+hw::KernelTraits Transpose::traits() {
+  return hw::KernelTraits{"transpose", 0.0, 16.0, hw::VectorClass::kSse};
+}
+
+RandomAccess::RandomAccess(std::size_t table_words) : table_(table_words) {
+  for (std::size_t i = 0; i < table_.size(); ++i) table_[i] = i;
+}
+
+std::uint64_t RandomAccess::run(std::size_t updates) {
+  const std::size_t mask = table_.size() - 1;  // callers pass powers of two
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  std::uint64_t checksum = 0;
+  for (std::size_t u = 0; u < updates; ++u) {
+    h ^= h << 13;
+    h ^= h >> 7;
+    h ^= h << 17;
+    table_[h & mask] ^= h;
+    checksum += h;
+  }
+  return checksum;
+}
+
+bool RandomAccess::verify_involution(std::size_t updates) {
+  std::vector<std::uint64_t> snapshot = table_;
+  run(updates);
+  run(updates);  // identical stream: xor cancels every update
+  return table_ == snapshot;
+}
+
+hw::KernelTraits RandomAccess::traits() {
+  // 8 B payload per update but a full cache line moves, and the dependent
+  // pointer chase cannot pipeline: charge the line (64 B) per iteration to
+  // reflect the wasted bus traffic of random access.
+  return hw::KernelTraits{"gups", 0.0, 64.0, hw::VectorClass::kScalar};
+}
+
+}  // namespace cci::kernels

@@ -1,0 +1,56 @@
+// Additional memory-access-pattern kernels: matrix transpose (strided
+// streaming) and GUPS-style random updates (latency-bound traffic).
+//
+// Together with STREAM/TRIAD (unit stride), the cursor TRIAD (tunable AI)
+// and the dense kernels, these cover the access-pattern axes the
+// interference study cares about.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/workload.hpp"
+
+namespace cci::kernels {
+
+/// Out-of-place blocked matrix transpose: B = A^T.
+class Transpose {
+ public:
+  explicit Transpose(std::size_t n, std::size_t block = 32);
+
+  /// One full transpose; returns bytes moved (16 per element).
+  std::size_t run();
+  [[nodiscard]] bool verify() const;
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Strided writes defeat some prefetching: slightly worse per-byte cost
+  /// than STREAM, same arithmetic intensity class (0 flops).
+  static hw::KernelTraits traits();
+
+ private:
+  std::size_t n_, block_;
+  std::vector<double> a_, b_;
+};
+
+/// GUPS-style random updates: table[h] ^= h over a pseudo-random stream.
+/// Every access is a dependent DRAM-latency-bound transaction.
+class RandomAccess {
+ public:
+  explicit RandomAccess(std::size_t table_words);
+
+  /// Perform `updates` updates; returns a checksum.
+  std::uint64_t run(std::size_t updates);
+  /// The table must be restorable: running the same updates twice returns
+  /// the table to its initial state (xor involution) — used for verify.
+  [[nodiscard]] bool verify_involution(std::size_t updates);
+
+  /// Zero flops, 8 bytes per update, and (unlike STREAM) no spatial
+  /// locality: per-core achievable bandwidth is latency-limited, so the
+  /// traits carry a much lower per-iteration DRAM efficiency.
+  static hw::KernelTraits traits();
+
+ private:
+  std::vector<std::uint64_t> table_;
+};
+
+}  // namespace cci::kernels

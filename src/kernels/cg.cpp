@@ -1,0 +1,131 @@
+#include "kernels/cg.hpp"
+
+#include <cmath>
+
+namespace cci::kernels {
+
+CgResult cg_solve(const Matrix& a, const std::vector<double>& b, std::vector<double>& x,
+                  double tol, int max_iter) {
+  const std::size_t n = b.size();
+  std::vector<double> r(n), p(n), q(n);
+  gemv(a, x, q);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - q[i];
+  p = r;
+  double rho = dot(r, r);
+  const double b_norm = std::sqrt(dot(b, b));
+  const double stop = tol * (b_norm > 0 ? b_norm : 1.0);
+
+  CgResult res;
+  for (int it = 0; it < max_iter; ++it) {
+    if (std::sqrt(rho) <= stop) {
+      res.converged = true;
+      break;
+    }
+    gemv(a, p, q);
+    double alpha = rho / dot(p, q);
+    axpy(alpha, p, x);
+    axpy(-alpha, q, r);
+    double rho_new = dot(r, r);
+    double beta = rho_new / rho;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rho = rho_new;
+    res.iterations = it + 1;
+  }
+  res.residual = std::sqrt(rho);
+  res.converged = res.converged || res.residual <= stop;
+  return res;
+}
+
+CsrMatrix CsrMatrix::laplacian2d(std::size_t side) {
+  CsrMatrix m;
+  m.n = side * side;
+  m.row_ptr.reserve(m.n + 1);
+  m.row_ptr.push_back(0);
+  auto idx = [side](std::size_t i, std::size_t j) { return i * side + j; };
+  for (std::size_t i = 0; i < side; ++i)
+    for (std::size_t j = 0; j < side; ++j) {
+      if (i > 0) {
+        m.col.push_back(idx(i - 1, j));
+        m.val.push_back(-1.0);
+      }
+      if (j > 0) {
+        m.col.push_back(idx(i, j - 1));
+        m.val.push_back(-1.0);
+      }
+      m.col.push_back(idx(i, j));
+      m.val.push_back(4.0);
+      if (j + 1 < side) {
+        m.col.push_back(idx(i, j + 1));
+        m.val.push_back(-1.0);
+      }
+      if (i + 1 < side) {
+        m.col.push_back(idx(i + 1, j));
+        m.val.push_back(-1.0);
+      }
+      m.row_ptr.push_back(m.col.size());
+    }
+  return m;
+}
+
+void CsrMatrix::spmv(const std::vector<double>& x, std::vector<double>& y) const {
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    const auto row = static_cast<std::size_t>(i);
+    double acc = 0.0;
+    for (std::size_t k = row_ptr[row]; k < row_ptr[row + 1]; ++k) acc += val[k] * x[col[k]];
+    y[row] = acc;
+  }
+}
+
+CgResult cg_solve_csr(const CsrMatrix& a, const std::vector<double>& b, std::vector<double>& x,
+                      double tol, int max_iter) {
+  const std::size_t n = b.size();
+  std::vector<double> r(n), p(n), q(n);
+  a.spmv(x, q);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - q[i];
+  p = r;
+  double rho = dot(r, r);
+  const double b_norm = std::sqrt(dot(b, b));
+  const double stop = tol * (b_norm > 0 ? b_norm : 1.0);
+
+  CgResult res;
+  for (int it = 0; it < max_iter; ++it) {
+    if (std::sqrt(rho) <= stop) {
+      res.converged = true;
+      break;
+    }
+    a.spmv(p, q);
+    double alpha = rho / dot(p, q);
+    axpy(alpha, p, x);
+    axpy(-alpha, q, r);
+    double rho_new = dot(r, r);
+    double beta = rho_new / rho;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rho = rho_new;
+    res.iterations = it + 1;
+  }
+  res.residual = std::sqrt(rho);
+  res.converged = res.converged || res.residual <= stop;
+  return res;
+}
+
+hw::KernelTraits cg_gemv_traits() {
+  // One iteration = one matrix element: multiply+add over 8 streamed bytes.
+  return hw::KernelTraits{"cg-gemv", 2.0, 8.0, hw::VectorClass::kSse};
+}
+
+hw::KernelTraits cg_gemv_traits_for(std::size_t n) {
+  hw::KernelTraits t = cg_gemv_traits();
+  t.working_set_bytes = static_cast<double>(n) * static_cast<double>(n) * sizeof(double);
+  return t;
+}
+
+hw::KernelTraits gemm_tile_traits(std::size_t tile) {
+  const double t = static_cast<double>(tile);
+  // One iteration = one b x b x b tile pass: 2 t^3 flops, 3 tiles of DRAM
+  // traffic (A and B tiles read, C tile updated).
+  return hw::KernelTraits{"gemm-tile" + std::to_string(tile), 2.0 * t * t * t,
+                          24.0 * t * t, hw::VectorClass::kAvx512};
+}
+
+}  // namespace cci::kernels

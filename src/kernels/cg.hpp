@@ -1,0 +1,53 @@
+// Conjugate gradient (§6): the paper's memory-bound use-case kernel.
+//
+// Dense CG (GEMV-dominated, arithmetic intensity ~0.25 flop/B) plus a CSR
+// sparse variant for coverage.  Both are real solvers, tested against
+// residual reduction; the traits below feed the simulated task versions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/workload.hpp"
+#include "kernels/dense.hpp"
+
+namespace cci::kernels {
+
+struct CgResult {
+  int iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+/// Solve A x = b for SPD dense A.  `x` is in/out (initial guess).
+CgResult cg_solve(const Matrix& a, const std::vector<double>& b, std::vector<double>& x,
+                  double tol = 1e-9, int max_iter = 1000);
+
+/// Compressed sparse row matrix.
+struct CsrMatrix {
+  std::size_t n = 0;
+  std::vector<std::size_t> row_ptr;
+  std::vector<std::size_t> col;
+  std::vector<double> val;
+
+  /// 2D 5-point Laplacian on a grid of `side` x `side` points (SPD).
+  static CsrMatrix laplacian2d(std::size_t side);
+  void spmv(const std::vector<double>& x, std::vector<double>& y) const;
+};
+
+CgResult cg_solve_csr(const CsrMatrix& a, const std::vector<double>& b, std::vector<double>& x,
+                      double tol = 1e-9, int max_iter = 2000);
+
+/// Traits of the dominant CG operation (dense GEMV row sweep): 2 flops per
+/// matrix element streamed at 8 bytes -> AI = 0.25 flop/B.
+hw::KernelTraits cg_gemv_traits();
+
+/// Same, with the working set sized for an n x n dense system so that
+/// small problems become LLC-resident (KernelTraits::dram_fraction).
+hw::KernelTraits cg_gemv_traits_for(std::size_t n);
+
+/// Traits of one cache-blocked GEMM tile pass: for a b x b x b tile
+/// multiply, 2b^3 flops over ~3 * 8 b^2 bytes of DRAM traffic -> AI = b/12.
+hw::KernelTraits gemm_tile_traits(std::size_t tile);
+
+}  // namespace cci::kernels

@@ -1,0 +1,90 @@
+#include "kernels/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace cci::kernels {
+
+void Matrix::randomize(std::uint64_t seed) {
+  std::uint64_t x = seed ? seed : 1;
+  for (double& v : data_) {
+    // xorshift64*
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    std::uint64_t r = x * 0x2545F4914F6CDD1Dull;
+    v = static_cast<double>(r >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+  }
+}
+
+void Matrix::make_spd() {
+  const std::size_t n = rows_;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double s = 0.5 * (at(i, j) + at(j, i));
+      at(i, j) = s;
+      at(j, i) = s;
+    }
+  for (std::size_t i = 0; i < n; ++i) at(i, i) += static_cast<double>(n);
+}
+
+double Matrix::frobenius_distance(const Matrix& other) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    double d = data_[i] - other.data_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t p = 0; p < k; ++p) {
+      double aip = a.at(i, p);
+      for (std::size_t j = 0; j < n; ++j) c.at(i, j) += aip * b.at(p, j);
+    }
+}
+
+void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c, std::size_t block) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const std::size_t bs = std::max<std::size_t>(1, block);
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(m); ii += static_cast<std::ptrdiff_t>(bs))
+    for (std::ptrdiff_t jj = 0; jj < static_cast<std::ptrdiff_t>(n); jj += static_cast<std::ptrdiff_t>(bs))
+      for (std::size_t pp = 0; pp < k; pp += bs) {
+        const std::size_t i_end = std::min(static_cast<std::size_t>(ii) + bs, m);
+        const std::size_t j_end = std::min(static_cast<std::size_t>(jj) + bs, n);
+        const std::size_t p_end = std::min(pp + bs, k);
+        for (std::size_t i = static_cast<std::size_t>(ii); i < i_end; ++i)
+          for (std::size_t p = pp; p < p_end; ++p) {
+            double aip = a.at(i, p);
+            for (std::size_t j = static_cast<std::size_t>(jj); j < j_end; ++j)
+              c.at(i, j) += aip * b.at(p, j);
+          }
+      }
+}
+
+void gemv(const Matrix& a, const std::vector<double>& x, std::vector<double>& y) {
+  const std::size_t m = a.rows(), n = a.cols();
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(m); ++i) {
+    double acc = 0.0;
+    const auto row = static_cast<std::size_t>(i);
+    for (std::size_t j = 0; j < n; ++j) acc += a.at(row, j) * x[j];
+    y[row] = acc;
+  }
+}
+
+double dot(const std::vector<double>& x, const std::vector<double>& y) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace cci::kernels

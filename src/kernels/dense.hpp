@@ -1,0 +1,49 @@
+// Minimal dense linear algebra used by the GEMM and CG kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cci::kernels {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  double& at(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+  double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  /// Deterministic pseudo-random fill in [-1, 1].
+  void randomize(std::uint64_t seed);
+  /// Make the matrix symmetric positive definite: A <- (A + A^T)/2 + n*I.
+  void make_spd();
+
+  [[nodiscard]] double frobenius_distance(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C += A * B, straightforward triple loop (reference).
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C += A * B, cache-blocked with `block`-sized tiles (OpenMP over tiles).
+void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c, std::size_t block);
+
+/// y = A * x.
+void gemv(const Matrix& a, const std::vector<double>& x, std::vector<double>& y);
+
+double dot(const std::vector<double>& x, const std::vector<double>& y);
+/// y += alpha * x.
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+}  // namespace cci::kernels

@@ -1,0 +1,86 @@
+#include "kernels/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cci::kernels {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925287;
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+int log2_of(std::size_t n) {
+  int k = 0;
+  while ((std::size_t{1} << k) < n) ++k;
+  return k;
+}
+}  // namespace
+
+Fft::Fft(std::size_t n) : n_(n), bitrev_(n), twiddles_(n / 2) {
+  assert(is_pow2(n) && "FFT size must be a power of two");
+  (void)&is_pow2;  // assert-only in release builds
+  const int bits = log2_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (int b = 0; b < bits; ++b)
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
+    bitrev_[i] = r;
+  }
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    twiddles_[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+}
+
+void Fft::forward(std::vector<Complex>& data) const {
+  assert(data.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    if (bitrev_[i] > i) std::swap(data[i], data[bitrev_[i]]);
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t stride = n_ / len;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        Complex w = twiddles_[k * stride];
+        Complex u = data[start + k];
+        Complex v = data[start + k + half] * w;
+        data[start + k] = u + v;
+        data[start + k + half] = u - v;
+      }
+    }
+  }
+}
+
+void Fft::inverse(std::vector<Complex>& data) const {
+  for (auto& x : data) x = std::conj(x);
+  forward(data);
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  for (auto& x : data) x = std::conj(x) * inv_n;
+}
+
+std::vector<Fft::Complex> Fft::dft_reference(const std::vector<Complex>& in) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      double ang = -kTwoPi * static_cast<double>(k * j % n) / static_cast<double>(n);
+      acc += in[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+hw::KernelTraits Fft::traits(std::size_t n) {
+  hw::KernelTraits t{"fft" + std::to_string(n), 10.0, 32.0, hw::VectorClass::kSse};
+  t.working_set_bytes = 16.0 * static_cast<double>(n);
+  return t;
+}
+
+double Fft::butterflies(std::size_t n) {
+  return 0.5 * static_cast<double>(n) * log2_of(n);
+}
+
+}  // namespace cci::kernels

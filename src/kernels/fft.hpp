@@ -1,0 +1,42 @@
+// Iterative radix-2 complex FFT: a real transform kernel whose memory
+// behaviour sits between STREAM and GEMM (log2(n) streaming passes).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "hw/workload.hpp"
+
+namespace cci::kernels {
+
+class Fft {
+ public:
+  using Complex = std::complex<double>;
+
+  /// `n` must be a power of two.
+  explicit Fft(std::size_t n);
+
+  /// In-place forward transform of `data` (size n).
+  void forward(std::vector<Complex>& data) const;
+  /// In-place inverse transform (normalized).
+  void inverse(std::vector<Complex>& data) const;
+
+  /// Reference O(n^2) DFT for verification.
+  static std::vector<Complex> dft_reference(const std::vector<Complex>& in);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Traits for one butterfly: 10 flops over ~32 streamed bytes when the
+  /// transform exceeds the cache; working set = 16n bytes.
+  static hw::KernelTraits traits(std::size_t n);
+  /// Butterflies in one transform: (n/2) * log2(n).
+  static double butterflies(std::size_t n);
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> bitrev_;
+  std::vector<Complex> twiddles_;
+};
+
+}  // namespace cci::kernels

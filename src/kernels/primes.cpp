@@ -1,0 +1,38 @@
+#include "kernels/primes.hpp"
+
+namespace cci::kernels {
+
+bool is_prime_naive(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t d = 2; d * d <= n; ++d)
+    if (n % d == 0) return false;
+  return true;
+}
+
+std::uint64_t count_primes(std::uint64_t lo, std::uint64_t hi) {
+  std::uint64_t count = 0;
+#pragma omp parallel for schedule(static) reduction(+ : count)
+  for (std::int64_t n = static_cast<std::int64_t>(lo); n < static_cast<std::int64_t>(hi); ++n)
+    if (is_prime_naive(static_cast<std::uint64_t>(n))) ++count;
+  return count;
+}
+
+double prime_trial_divisions(std::uint64_t lo, std::uint64_t hi) {
+  double total = 0.0;
+  for (std::uint64_t n = lo; n < hi; ++n) {
+    if (n < 2) continue;
+    std::uint64_t d = 2;
+    for (; d * d <= n; ++d)
+      if (n % d == 0) break;
+    total += static_cast<double>(d - 1);
+  }
+  return total;
+}
+
+hw::KernelTraits prime_traits() {
+  // A trial division is ~an integer divide: charge 4 "flop-equivalents"
+  // (2 cycles at 2 ops/cycle scalar issue) and zero bytes.
+  return hw::KernelTraits{"primes", 4.0, 0.0, hw::VectorClass::kScalar};
+}
+
+}  // namespace cci::kernels

@@ -1,0 +1,28 @@
+// Naive prime counting (§3.2): the paper's purely CPU-bound kernel.
+//
+// "counts in a very naive way the number of prime numbers in an interval
+// ... uses only few integer variables" — zero memory pressure, pure
+// integer/branch work, used to drive DVFS without touching the bus.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/workload.hpp"
+
+namespace cci::kernels {
+
+/// True iff `n` is prime, by trial division (deliberately naive).
+bool is_prime_naive(std::uint64_t n);
+
+/// Count primes in [lo, hi).
+std::uint64_t count_primes(std::uint64_t lo, std::uint64_t hi);
+
+/// Cost of count_primes in "iterations" for the simulator: total trial
+/// divisions performed (the inner-loop unit).
+double prime_trial_divisions(std::uint64_t lo, std::uint64_t hi);
+
+/// Simulator traits: one trial division per iteration, ~4 cycles of
+/// integer work, no memory traffic.
+hw::KernelTraits prime_traits();
+
+}  // namespace cci::kernels

@@ -1,0 +1,52 @@
+// 7-point 3D stencil — the memory-bound kernel family of Langguth et
+// al. [12], whose bandwidth-sharing model we compare against.
+//
+// One sweep: out[i,j,k] = c0*in[i,j,k] + c1*(6 neighbours).  Real,
+// verifiable implementation plus traits: 8 flops per point, ~16 DRAM
+// bytes per point for large grids (in read + out write; neighbour reuse
+// hits cache).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/workload.hpp"
+
+namespace cci::kernels {
+
+class Stencil3D {
+ public:
+  Stencil3D(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  /// One Jacobi sweep from `in_` to `out_`; returns interior points updated.
+  std::size_t sweep();
+  /// Swap in/out (double buffering).
+  void swap_buffers() { in_.swap(out_); }
+
+  /// Verify one sweep against a scalar reference on a sampled subset.
+  [[nodiscard]] bool verify() const;
+
+  [[nodiscard]] std::size_t interior_points() const {
+    return (nx_ - 2) * (ny_ - 2) * (nz_ - 2);
+  }
+  double at_in(std::size_t i, std::size_t j, std::size_t k) const {
+    return in_[idx(i, j, k)];
+  }
+  double at_out(std::size_t i, std::size_t j, std::size_t k) const {
+    return out_[idx(i, j, k)];
+  }
+
+  /// Simulator traits: 8 flops / 16 DRAM bytes per point -> AI 0.5 flop/B.
+  static hw::KernelTraits traits();
+
+ private:
+  [[nodiscard]] std::size_t idx(std::size_t i, std::size_t j, std::size_t k) const {
+    return (i * ny_ + j) * nz_ + k;
+  }
+  std::size_t nx_, ny_, nz_;
+  std::vector<double> in_, out_;
+  static constexpr double kC0 = 0.4;
+  static constexpr double kC1 = 0.1;
+};
+
+}  // namespace cci::kernels

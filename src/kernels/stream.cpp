@@ -1,0 +1,59 @@
+#include "kernels/stream.hpp"
+
+#include <cmath>
+
+namespace cci::kernels {
+
+StreamArrays::StreamArrays(std::size_t n, double scalar)
+    : a_(n), b_(n), c_(n), scalar_(scalar) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a_[i] = 1.0 + static_cast<double>(i % 1024) * 0.5;
+    b_[i] = 2.0 - static_cast<double>(i % 512) * 0.25;
+    c_[i] = 0.0;
+  }
+}
+
+std::size_t StreamArrays::copy() {
+  const std::size_t n = a_.size();
+  double* __restrict b = b_.data();
+  const double* __restrict a = a_.data();
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i)
+    b[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)];
+  return n * 16;
+}
+
+std::size_t StreamArrays::triad() {
+  const std::size_t n = a_.size();
+  double* __restrict c = c_.data();
+  const double* __restrict a = a_.data();
+  const double* __restrict b = b_.data();
+  const double s = scalar_;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i)
+    c[static_cast<std::size_t>(i)] =
+        a[static_cast<std::size_t>(i)] + s * b[static_cast<std::size_t>(i)];
+  return n * 24;
+}
+
+bool StreamArrays::verify_copy() const {
+  for (std::size_t i = 0; i < a_.size(); ++i)
+    if (b_[i] != a_[i]) return false;
+  return true;
+}
+
+bool StreamArrays::verify_triad() const {
+  for (std::size_t i = 0; i < a_.size(); ++i)
+    if (c_[i] != a_[i] + scalar_ * b_[i]) return false;
+  return true;
+}
+
+hw::KernelTraits copy_traits() {
+  return hw::KernelTraits{"stream-copy", 0.0, 16.0, hw::VectorClass::kSse};
+}
+
+hw::KernelTraits triad_traits() {
+  return hw::KernelTraits{"stream-triad", 2.0, 24.0, hw::VectorClass::kSse};
+}
+
+}  // namespace cci::kernels

@@ -1,0 +1,49 @@
+// STREAM kernels (McCalpin [16]): COPY and TRIAD, as used in §4.
+//
+// These are real, runnable kernels (OpenMP-parallel when enabled).  The
+// same code paths provide the per-iteration traits fed to the simulator,
+// so the simulated memory pressure is derived from code that actually
+// computes and is tested for correctness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/workload.hpp"
+
+namespace cci::kernels {
+
+/// Working set for the STREAM kernels; sized in elements (doubles).
+class StreamArrays {
+ public:
+  explicit StreamArrays(std::size_t n, double scalar = 3.0);
+
+  std::size_t size() const { return a_.size(); }
+  double scalar() const { return scalar_; }
+
+  /// b[i] <- a[i].  Returns bytes moved (STREAM counting: 16 per element).
+  std::size_t copy();
+  /// c[i] <- a[i] + scalar * b[i].  Returns bytes moved (24 per element).
+  std::size_t triad();
+
+  /// Verify the last triad result against the definition; true if exact.
+  [[nodiscard]] bool verify_triad() const;
+  [[nodiscard]] bool verify_copy() const;
+
+  const std::vector<double>& a() const { return a_; }
+  const std::vector<double>& b() const { return b_; }
+  const std::vector<double>& c() const { return c_; }
+
+ private:
+  std::vector<double> a_, b_, c_;
+  double scalar_;
+};
+
+/// Simulator traits.  STREAM counts COPY as 16 B/element (one read + one
+/// write) and TRIAD as 24 B/element with 2 flops (multiply + add); with
+/// write-allocate traffic real machines move a bit more, which the
+/// calibrated controller capacities absorb.
+hw::KernelTraits copy_traits();
+hw::KernelTraits triad_traits();
+
+}  // namespace cci::kernels

@@ -1,0 +1,52 @@
+#include "kernels/tunable_triad.hpp"
+
+#include <cmath>
+
+namespace cci::kernels {
+
+TunableTriad::TunableTriad(std::size_t n, int cursor, double scalar)
+    : a_(n), b_(n), c_(n), cursor_(cursor < 1 ? 1 : cursor), scalar_(scalar) {
+  for (std::size_t i = 0; i < n; ++i) {
+    a_[i] = 0.5 + static_cast<double>(i % 64) * 0.125;
+    b_[i] = 1.0 / 1024.0;  // small so repeated accumulation stays exact
+    c_[i] = 0.0;
+  }
+}
+
+std::size_t TunableTriad::run() {
+  const std::size_t n = a_.size();
+  double* __restrict c = c_.data();
+  const double* __restrict a = a_.data();
+  const double* __restrict b = b_.data();
+  const double s = scalar_;
+  const int reps = cursor_;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    double acc = a[idx];
+    // The cursor loop: the item stays in register while we burn flops on
+    // it, exactly the paper's modification of STREAM TRIAD.
+    for (int r = 0; r < reps; ++r) acc = acc + s * b[idx];
+    c[idx] = acc;
+  }
+  return n * static_cast<std::size_t>(2 * cursor_);
+}
+
+bool TunableTriad::verify() const {
+  for (std::size_t i = 0; i < a_.size(); ++i) {
+    double want = a_[i] + static_cast<double>(cursor_) * scalar_ * b_[i];
+    if (std::abs(c_[i] - want) > 1e-12 * (1.0 + std::abs(want))) return false;
+  }
+  return true;
+}
+
+hw::KernelTraits TunableTriad::traits() const {
+  return hw::KernelTraits{"triad-cursor" + std::to_string(cursor_), flops_per_elem(),
+                          bytes_per_elem(), hw::VectorClass::kSse};
+}
+
+int TunableTriad::cursor_for_intensity(double flops_per_byte) {
+  return static_cast<int>(std::ceil(flops_per_byte * 24.0 / 2.0));
+}
+
+}  // namespace cci::kernels

@@ -1,0 +1,50 @@
+// The paper's tunable-arithmetic-intensity TRIAD (§4.5).
+//
+// A `cursor` repeats the multiply-add on each element before moving to the
+// next one: few repetitions = memory-bound, many = CPU-bound.  Arithmetic
+// intensity follows the roofline definition, flops per byte of data moved:
+//
+//   AI(cursor) = 2 * cursor / 24   [flop/B]
+//
+// so cursor 72 sits at the paper's henri boundary of 6 flop/B.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/workload.hpp"
+
+namespace cci::kernels {
+
+class TunableTriad {
+ public:
+  TunableTriad(std::size_t n, int cursor, double scalar = 3.0);
+
+  [[nodiscard]] int cursor() const { return cursor_; }
+  [[nodiscard]] std::size_t size() const { return a_.size(); }
+
+  /// Run one pass over the arrays; returns flops executed.
+  std::size_t run();
+  /// Verify against the closed form of `cursor` repeated updates.
+  [[nodiscard]] bool verify() const;
+
+  /// Flops per element-iteration (2 per repetition).
+  [[nodiscard]] double flops_per_elem() const { return 2.0 * cursor_; }
+  /// DRAM bytes per element-iteration (a, b read; c written).
+  [[nodiscard]] double bytes_per_elem() const { return 24.0; }
+  [[nodiscard]] double arithmetic_intensity() const {
+    return flops_per_elem() / bytes_per_elem();
+  }
+
+  /// Simulator traits for this cursor value.
+  [[nodiscard]] hw::KernelTraits traits() const;
+  /// Cursor needed to reach a target arithmetic intensity (rounded up).
+  static int cursor_for_intensity(double flops_per_byte);
+
+ private:
+  std::vector<double> a_, b_, c_;
+  int cursor_;
+  double scalar_;
+};
+
+}  // namespace cci::kernels

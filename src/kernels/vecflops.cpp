@@ -1,0 +1,34 @@
+#include "kernels/vecflops.hpp"
+
+namespace cci::kernels {
+
+VecFlops::VecFlops() {
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    x_[i] = 1.0 + static_cast<double>(i) * 1e-3;
+    y_[i] = 0.5;
+  }
+}
+
+double VecFlops::run(std::size_t fma_ops) {
+  // Multiplier chosen so the value orbit stays bounded: x <- x*a + b with
+  // |a| < 1 converges, keeping the loop numerically stable at any length.
+  const double a = 0.999999;
+  const double b = 1e-6;
+  std::array<double, kLanes> x = x_;
+  for (std::size_t op = 0; op < fma_ops; ++op) {
+    const std::size_t lane_base = 0;
+    // The compiler vectorises this fixed-width inner loop to one FMA per
+    // lane group; semantically it is 8 independent chains.
+    for (std::size_t l = lane_base; l < kLanes; ++l) x[l] = x[l] * a + b;
+  }
+  double sum = 0.0;
+  for (std::size_t l = 0; l < kLanes; ++l) sum += x[l];
+  x_ = x;
+  return sum;
+}
+
+hw::KernelTraits VecFlops::traits() {
+  return hw::KernelTraits{"vecflops", 16.0, 0.0, hw::VectorClass::kAvx512};
+}
+
+}  // namespace cci::kernels

@@ -1,0 +1,98 @@
+#include "model/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/maxmin.hpp"
+
+namespace cci::model {
+
+namespace {
+
+/// Per-core uncontended memory demand (B/s) of the kernel: roofline-capped.
+double core_demand(const ContentionInputs& in) {
+  const auto& cfg = in.machine;
+  if (in.kernel.bytes_per_iter <= 0.0) return 0.0;
+  double cyc = hw::cycles_per_iter(cfg, in.kernel);
+  double cpu_rate = cfg.core_freq_nominal_hz / cyc;  // iter/s, pipeline only
+  double mem_rate = cfg.per_core_mem_bw / in.kernel.bytes_per_iter;
+  return std::min(cpu_rate, mem_rate) * in.kernel.bytes_per_iter;
+}
+
+/// Peak network DMA rate absent contention.
+double nic_demand(const ContentionInputs& in) {
+  return std::min(in.network.wire_bw, in.network.dma_bw_max_uncore);
+}
+
+}  // namespace
+
+ContentionPrediction predict_max_min(const ContentionInputs& in) {
+  const auto& cfg = in.machine;
+  // Resource table mirrors Machine::mem_path for the paper's single-node
+  // allocation: data controller [0], per-socket mesh [1..s], cross link.
+  sim::MaxMinProblem p;
+  const std::size_t ctrl = 0;
+  p.capacity.push_back(cfg.mem_bw_per_numa);
+  const std::size_t mesh = 1;
+  p.capacity.push_back(cfg.intra_socket_bw);
+  const std::size_t xlink = 2;
+  p.capacity.push_back(cfg.cross_socket_bw);
+  const std::size_t nic_path = 3;
+  p.capacity.push_back(nic_demand(in));  // wire/PCIe as one pipe
+
+  const double demand = core_demand(in);
+  for (int c = 0; demand > 0.0 && c < in.computing_cores; ++c) {
+    sim::MaxMinFlow flow;
+    flow.weight = 1.0;
+    flow.rate_cap = demand;  // roofline/pipeline cap
+    flow.entries.push_back({ctrl, 1.0});
+    int numa = cfg.numa_of_core(c);
+    if (numa != in.data_numa) {
+      if (cfg.socket_of_numa(numa) == cfg.socket_of_numa(in.data_numa)) {
+        flow.entries.push_back({mesh, 1.0});
+      } else {
+        flow.entries.push_back({xlink, 1.0});
+      }
+    }
+    p.flows.push_back(std::move(flow));
+  }
+  sim::MaxMinFlow dma;
+  dma.weight = cfg.nic_dma_weight;
+  dma.entries.push_back({ctrl, 1.0});
+  dma.entries.push_back({nic_path, 1.0});
+  // The NIC reaches the data controller through the same on-chip fabric
+  // the cores use.
+  if (cfg.socket_of_numa(in.data_numa) != cfg.socket_of_numa(cfg.nic_numa)) {
+    dma.entries.push_back({xlink, 1.0});
+  } else if (in.data_numa != cfg.nic_numa) {
+    dma.entries.push_back({mesh, 1.0});
+  }
+  p.flows.push_back(std::move(dma));
+
+  auto sol = sim::solve_max_min(p);
+  ContentionPrediction out;
+  out.network_bw = sol.rate.back();
+  if (in.computing_cores > 0) out.per_core_bw = sol.rate.front();
+  return out;
+}
+
+ContentionPrediction predict_proportional(const ContentionInputs& in) {
+  const auto& cfg = in.machine;
+  const double d_core = core_demand(in);
+  const double d_nic = nic_demand(in);
+  const double total = d_core * in.computing_cores + d_nic;
+  const double cap = cfg.mem_bw_per_numa;
+
+  ContentionPrediction out;
+  if (total <= cap) {
+    out.network_bw = d_nic;
+    out.per_core_bw = d_core;
+    return out;
+  }
+  // Oversubscribed: every contender gets its demand-proportional share.
+  out.network_bw = cap * d_nic / total;
+  out.per_core_bw = cap * d_core / total;
+  return out;
+}
+
+}  // namespace cci::model

@@ -1,0 +1,50 @@
+// Collective operations over the mini-MPI.
+//
+// The paper scopes its measurements to point-to-point ping-pongs (§2.1)
+// and leaves collectives out; we provide them as the natural library
+// extension (every algorithm is built from the same isend/irecv paths, so
+// all interference mechanisms apply).  Algorithms are the textbook ones:
+//   * broadcast      — binomial tree
+//   * reduce         — binomial tree (flat data combine cost charged)
+//   * allgather      — ring
+//   * allreduce      — recursive doubling (power-of-two ranks) or
+//                      reduce + broadcast otherwise
+//   * barrier        — zero-byte allreduce
+//
+// Each call is a coroutine to be awaited from a rank's process; `Coll`
+// instances are cheap per-operation handles carrying the tag space.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "mpi/world.hpp"
+
+namespace cci::mpi {
+
+class Coll {
+ public:
+  /// `tag_base` namespaces this collective's messages; concurrent
+  /// collectives on the same world must use distinct bases.
+  explicit Coll(World& world, int tag_base = 70000) : world_(world), tag_base_(tag_base) {}
+
+  /// Broadcast `bytes` from `root` — call from every rank's process.
+  sim::Coro bcast(int rank, int root, MsgView msg, sim::OneShotEvent* done = nullptr);
+  /// Ring allgather: every rank contributes `msg.bytes` and receives all.
+  sim::Coro allgather(int rank, MsgView msg, sim::OneShotEvent* done = nullptr);
+  /// Recursive-doubling allreduce on `msg.bytes` of payload.
+  sim::Coro allreduce(int rank, MsgView msg, sim::OneShotEvent* done = nullptr);
+  /// Barrier: 4-byte allreduce.
+  sim::Coro barrier(int rank, sim::OneShotEvent* done = nullptr);
+
+ private:
+  /// Tag for a (phase, src) pair inside this collective.
+  [[nodiscard]] int tag(int phase, int src) const {
+    return tag_base_ + phase * 1024 + src;
+  }
+
+  World& world_;
+  int tag_base_;
+};
+
+}  // namespace cci::mpi

@@ -1,0 +1,92 @@
+#include "mpi/loggp.hpp"
+
+#include <cmath>
+
+#include "hw/frequency_governor.hpp"
+#include "mpi/pingpong.hpp"
+#include "trace/stats.hpp"
+
+namespace cci::mpi {
+
+std::vector<double> measure_one_way_times(World& world, const std::vector<std::size_t>& sizes,
+                                          int iterations, int tag_base) {
+  std::vector<double> times;
+  int tag = tag_base;
+  for (std::size_t bytes : sizes) {
+    PingPongOptions opt;
+    opt.bytes = bytes;
+    opt.iterations = bytes >= (1u << 20) ? std::max(3, iterations / 3) : iterations;
+    opt.warmup = 2;
+    opt.tag = tag;
+    tag += 10;
+    PingPong pp(world, 0, 1, opt);
+    pp.start();
+    world.engine().run();
+    times.push_back(trace::Stats::of(pp.latencies()).median);
+  }
+  return times;
+}
+
+LogGPParams fit_loggp(const std::vector<std::size_t>& sizes, const std::vector<double>& times,
+                      double overhead_fraction) {
+  LogGPParams p;
+  if (sizes.empty()) return p;
+
+  // G: least-squares slope over the large-message points (>= 1 MB), where
+  // per-byte cost dominates and the protocol is stable.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (sizes[i] < (1u << 20)) continue;
+    double x = static_cast<double>(sizes[i]);
+    sx += x;
+    sy += times[i];
+    sxx += x * x;
+    sxy += x * times[i];
+    ++n;
+  }
+  if (n >= 2) {
+    double denom = n * sxx - sx * sx;
+    p.gap_per_byte = denom != 0.0 ? (n * sxy - sx * sy) / denom : 0.0;
+    double intercept = (sy - p.gap_per_byte * sx) / n;
+    double rss = 0.0;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      if (sizes[i] < (1u << 20)) continue;
+      double pred = intercept + p.gap_per_byte * static_cast<double>(sizes[i]);
+      rss += (times[i] - pred) * (times[i] - pred);
+    }
+    p.fit_residual = std::sqrt(rss / n);
+  }
+
+  // Intercept from the smallest message: L + 2o.
+  double t0 = times.front();
+  p.overhead = overhead_fraction * t0 / 2.0;
+  p.latency = t0 - 2.0 * p.overhead;
+  return p;
+}
+
+LogGPParams fit_loggp_two_frequencies(net::Cluster& cluster, double f_lo, double f_hi,
+                                      int comm_core) {
+  const std::vector<std::size_t> sizes{4,       64,      1024,     16384,
+                                       1u << 20, 8u << 20, 32u << 20};
+  auto measure_at = [&](double hz) {
+    for (int node = 0; node < cluster.node_count(); ++node)
+      cluster.machine(node).governor().pin_core_freq(hz);
+    World world(cluster, {{0, comm_core}, {1, comm_core}});
+    return measure_one_way_times(world, sizes, 15,
+                                 40000 + static_cast<int>(hz / 1e6));
+  };
+  auto t_lo = measure_at(f_lo);
+  auto t_hi = measure_at(f_hi);
+
+  // t0 = L + 2 o(f) with o = c / f: two equations, two unknowns.
+  double t0_lo = t_lo.front();
+  double t0_hi = t_hi.front();
+  double c2 = (t0_lo - t0_hi) / (1.0 / f_lo - 1.0 / f_hi);  // 2 * cycles
+  LogGPParams p = fit_loggp(sizes, t_hi, /*overhead_fraction=*/0.0);
+  p.overhead = 0.5 * c2 / f_hi;
+  p.latency = t0_hi - c2 / f_hi;
+  return p;
+}
+
+}  // namespace cci::mpi

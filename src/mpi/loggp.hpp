@@ -1,0 +1,45 @@
+// LogGP parameter extraction from ping-pong measurements.
+//
+// The paper explains its frequency findings through the o (overhead) term
+// of the LogP model [6].  This utility fits the LogGP parameters from a
+// message-size sweep of ping-pong latencies:
+//
+//   t(s) = L + 2o + (s - 1) * G      (one-way, s bytes)
+//
+// where L+2o comes from the zero-size intercept and G (per-byte gap) from
+// the asymptotic slope.  o alone is separated by running the sweep at two
+// comm-core frequencies: o scales as 1/f while L and G do not.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mpi/world.hpp"
+
+namespace cci::mpi {
+
+struct LogGPParams {
+  double latency = 0.0;       ///< L: wire + fixed hardware path (s)
+  double overhead = 0.0;      ///< o: per-message CPU cost at the probed frequency (s)
+  double gap_per_byte = 0.0;  ///< G: s/byte for large messages
+  double fit_residual = 0.0;  ///< RMS of the linear fit on the large sizes
+};
+
+/// Measure one-way times for `sizes` between ranks 0 and 1 (median of
+/// `iterations` ping-pongs each).
+std::vector<double> measure_one_way_times(World& world, const std::vector<std::size_t>& sizes,
+                                          int iterations = 15, int tag_base = 40000);
+
+/// Fit LogGP from (size, time) pairs: G from a least-squares line over the
+/// rendezvous sizes, L+2o from the smallest size.  `overhead_fraction`
+/// apportions the intercept between L and 2o (calibrate via a frequency
+/// sweep; see fit_loggp_two_frequencies).
+LogGPParams fit_loggp(const std::vector<std::size_t>& sizes, const std::vector<double>& times,
+                      double overhead_fraction = 0.5);
+
+/// Separate o from L by measuring at two pinned core frequencies: the
+/// frequency-dependent part of the intercept is 2o.
+LogGPParams fit_loggp_two_frequencies(net::Cluster& cluster, double f_lo, double f_hi,
+                                      int comm_core = -1);
+
+}  // namespace cci::mpi

@@ -1,0 +1,40 @@
+// Message descriptors and requests for the mini-MPI.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "sim/sync.hpp"
+
+namespace cci::mpi {
+
+/// Wildcards, MPI-style.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Describes a message buffer: we simulate placement and identity, not
+/// contents.  `data_numa` drives NUMA paths; `buffer_id` feeds the
+/// registration cache (0 = anonymous, treated as already registered —
+/// ping-pong benchmarks recycle buffers, §2.1).
+struct MsgView {
+  std::size_t bytes = 0;
+  int data_numa = 0;
+  std::uint64_t buffer_id = 0;
+};
+
+/// Completion handle for a nonblocking operation; `co_await *req` waits.
+class Request {
+ public:
+  explicit Request(sim::Engine& engine) : done_(engine) {}
+  sim::OneShotEvent& done() { return done_; }
+  [[nodiscard]] bool test() const { return done_.is_set(); }
+  auto operator co_await() { return done_.wait(); }
+
+ private:
+  sim::OneShotEvent done_;
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+}  // namespace cci::mpi

@@ -1,0 +1,80 @@
+#include "mpi/netpipe.hpp"
+
+#include <algorithm>
+
+#include "mpi/pingpong.hpp"
+
+namespace cci::mpi {
+
+std::size_t NetpipeCurve::best_size() const {
+  std::size_t best = 0;
+  double bw = 0.0;
+  for (const auto& p : points)
+    if (p.bandwidth > bw) {
+      bw = p.bandwidth;
+      best = p.bytes;
+    }
+  return best;
+}
+
+double NetpipeCurve::peak_bandwidth() const {
+  double bw = 0.0;
+  for (const auto& p : points) bw = std::max(bw, p.bandwidth);
+  return bw;
+}
+
+std::size_t NetpipeCurve::half_peak_size() const {
+  const double target = peak_bandwidth() / 2.0;
+  for (const auto& p : points)
+    if (p.bandwidth >= target) return p.bytes;
+  return points.empty() ? 0 : points.back().bytes;
+}
+
+std::vector<std::size_t> NetpipeCurve::latency_cliffs(double factor) const {
+  std::vector<std::size_t> cliffs;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    // A cliff is a latency jump far beyond the size growth itself.
+    double size_ratio = static_cast<double>(points[i].bytes) /
+                        static_cast<double>(points[i - 1].bytes);
+    if (points[i].latency.median >
+        points[i - 1].latency.median * std::max(factor, size_ratio * 1.2))
+      cliffs.push_back(points[i].bytes);
+  }
+  return cliffs;
+}
+
+NetpipeCurve run_netpipe(World& world, const NetpipeOptions& opt) {
+  // Size schedule: powers of two with +- perturbation, NetPIPE style.
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = opt.min_bytes; s <= opt.max_bytes; s *= 2) {
+    if (s > opt.min_bytes + opt.perturbation && opt.perturbation > 0)
+      sizes.push_back(s - opt.perturbation);
+    sizes.push_back(s);
+    if (opt.perturbation > 0) sizes.push_back(s + opt.perturbation);
+  }
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+
+  NetpipeCurve curve;
+  int tag = opt.tag_base;
+  for (std::size_t bytes : sizes) {
+    PingPongOptions ppo;
+    ppo.bytes = bytes;
+    ppo.iterations = bytes >= (1u << 20) ? std::max(3, opt.iterations / 3) : opt.iterations;
+    ppo.warmup = opt.warmup;
+    ppo.tag = tag;
+    tag += 4;
+    PingPong pp(world, 0, 1, ppo);
+    pp.start();
+    world.engine().run();
+    NetpipePoint point;
+    point.bytes = bytes;
+    point.latency = trace::Stats::of(pp.latencies());
+    point.bandwidth = point.latency.median > 0
+                          ? static_cast<double>(bytes) / point.latency.median
+                          : 0.0;
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace cci::mpi

@@ -1,0 +1,48 @@
+// NetPIPE-style curve driver (§2.1: "We use the same metrics as NetPIPE").
+//
+// Sweeps message sizes with perturbations around each power of two (the
+// NetPIPE signature, catching protocol-threshold cliffs), measures half
+// round-trip latency and derived bandwidth, and reports the curve.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mpi/world.hpp"
+#include "trace/stats.hpp"
+
+namespace cci::mpi {
+
+struct NetpipeOptions {
+  std::size_t min_bytes = 4;
+  std::size_t max_bytes = 64u << 20;
+  /// Perturbation around each power of two (NetPIPE uses +-3 bytes by
+  /// default; larger values probe alignment/protocol sensitivity).
+  std::size_t perturbation = 3;
+  int iterations = 12;
+  int warmup = 2;
+  int tag_base = 30000;
+};
+
+struct NetpipePoint {
+  std::size_t bytes;
+  trace::Stats latency;     ///< half RTT
+  double bandwidth = 0.0;   ///< bytes / median latency
+};
+
+struct NetpipeCurve {
+  std::vector<NetpipePoint> points;
+  /// Size with the highest measured bandwidth.
+  [[nodiscard]] std::size_t best_size() const;
+  [[nodiscard]] double peak_bandwidth() const;
+  /// Smallest size achieving half the peak bandwidth (NetPIPE's n1/2).
+  [[nodiscard]] std::size_t half_peak_size() const;
+  /// Detect protocol cliffs: sizes where latency jumps by more than
+  /// `factor` against the previous point (e.g. the rendezvous switch).
+  [[nodiscard]] std::vector<std::size_t> latency_cliffs(double factor = 1.6) const;
+};
+
+/// Run the sweep between ranks 0 and 1 (drives the world's engine).
+NetpipeCurve run_netpipe(World& world, const NetpipeOptions& options = {});
+
+}  // namespace cci::mpi

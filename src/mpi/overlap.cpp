@@ -1,0 +1,82 @@
+#include "mpi/overlap.hpp"
+
+#include <algorithm>
+
+#include "hw/frequency_governor.hpp"
+#include "trace/stats.hpp"
+
+namespace cci::mpi {
+
+namespace {
+
+/// One timed round: optionally a transfer, optionally a compute chunk.
+struct Round {
+  bool with_comm;
+  bool with_comp;
+  double elapsed = 0.0;
+};
+
+sim::Coro sender_side(World& world, const OverlapOptions& opt, Round& round, int tag,
+                      sim::OneShotEvent& done) {
+  sim::Engine& engine = world.engine();
+  hw::Machine& m = world.machine_of(0);
+  sim::Time t0 = engine.now();
+
+  RequestPtr comm;
+  if (round.with_comm)
+    comm = world.isend(0, 1, tag, MsgView{opt.bytes, opt.data_numa, 0xE0});
+
+  std::vector<sim::ActivityPtr> chunks;
+  if (round.with_comp) {
+    // Size the chunk to roughly the uncontended transfer time so the two
+    // phases are comparable (the interesting regime for overlap).
+    double t_ref = static_cast<double>(opt.bytes) / 10e9 + 20e-6;
+    double cyc = hw::cycles_per_iter(m.config(), opt.kernel);
+    double solo = std::min(m.config().core_freq_nominal_hz / cyc,
+                           opt.kernel.bytes_per_iter > 0
+                               ? m.config().per_core_mem_bw / opt.kernel.bytes_per_iter
+                               : 1e30);
+    for (int core : opt.compute_cores) {
+      m.governor().core_busy(core, opt.kernel.vec);
+      chunks.push_back(m.model().start(
+          hw::make_compute_spec(m, core, opt.data_numa, opt.kernel, solo * t_ref)));
+    }
+  }
+  for (auto& c : chunks) co_await *c;
+  if (comm) co_await *comm;
+  for (int core : opt.compute_cores)
+    if (round.with_comp) m.governor().core_idle(core);
+
+  round.elapsed = engine.now() - t0;
+  done.set();
+}
+
+sim::Coro receiver_side(World& world, const OverlapOptions& opt, int tag) {
+  co_await *world.irecv(1, 0, tag, MsgView{opt.bytes, opt.data_numa, 0xE1});
+}
+
+double run_phase(World& world, const OverlapOptions& opt, bool comm, bool comp, int tag0) {
+  std::vector<double> samples;
+  for (int it = 0; it < opt.iterations; ++it) {
+    Round round{comm, comp};
+    auto done = std::make_unique<sim::OneShotEvent>(world.engine());
+    int tag = tag0 + it;
+    if (comm) world.engine().spawn(receiver_side(world, opt, tag));
+    world.engine().spawn(sender_side(world, opt, round, tag, *done));
+    world.engine().run();
+    if (it > 0) samples.push_back(round.elapsed);  // first round warms caches
+  }
+  return trace::Stats::of(std::move(samples)).median;
+}
+
+}  // namespace
+
+OverlapResult measure_overlap(World& world, const OverlapOptions& opt) {
+  OverlapResult result;
+  result.t_comm = run_phase(world, opt, true, false, opt.tag_base);
+  result.t_comp = run_phase(world, opt, false, true, opt.tag_base + 100);
+  result.t_overlap = run_phase(world, opt, true, true, opt.tag_base + 200);
+  return result;
+}
+
+}  // namespace cci::mpi

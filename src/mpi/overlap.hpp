@@ -1,0 +1,50 @@
+// Communication/computation overlap benchmark, after Denis & Trahay,
+// "MPI Overlap: Benchmark and Analysis" (ICPP 2016) — reference [7] of the
+// reproduced paper.
+//
+// Measures how well a nonblocking send hides behind computation:
+//
+//   t_comm    = isend + wait                       (no computation)
+//   t_comp    = computation alone
+//   t_overlap = isend + computation + wait
+//
+//   overlap ratio = (t_comm + t_comp - t_overlap) / min(t_comm, t_comp)
+//
+// 1.0 = perfect overlap, 0.0 = full serialization.  Negative values mean
+// active interference (the paper's subject!): the transfer and the
+// computation slow each other beyond mere serialization.
+#pragma once
+
+#include <memory>
+
+#include "hw/workload.hpp"
+#include "mpi/world.hpp"
+
+namespace cci::mpi {
+
+struct OverlapOptions {
+  std::size_t bytes = 4 << 20;
+  /// Kernel the overlapping computation runs on the *communication* node's
+  /// computing cores (empty cores -> pure-wait overlap test).
+  hw::KernelTraits kernel{"stream-triad", 2.0, 24.0, hw::VectorClass::kSse};
+  std::vector<int> compute_cores;
+  int data_numa = 0;
+  int iterations = 8;
+  int tag_base = 60000;
+};
+
+struct OverlapResult {
+  double t_comm = 0.0;     ///< median isend+wait alone (s)
+  double t_comp = 0.0;     ///< median computation alone (s)
+  double t_overlap = 0.0;  ///< median combined (s)
+  [[nodiscard]] double ratio() const {
+    double denom = std::min(t_comm, t_comp);
+    return denom > 0.0 ? (t_comm + t_comp - t_overlap) / denom : 0.0;
+  }
+};
+
+/// Run the three-phase overlap measurement between ranks 0 and 1.
+/// Blocking from the caller's perspective: drives the world's engine.
+OverlapResult measure_overlap(World& world, const OverlapOptions& options);
+
+}  // namespace cci::mpi

@@ -1,0 +1,57 @@
+#include "mpi/pingpong.hpp"
+
+namespace cci::mpi {
+
+PingPong::PingPong(World& world, int rank_a, int rank_b, PingPongOptions options)
+    : world_(world), rank_a_(rank_a), rank_b_(rank_b), opt_(options) {
+  complete_ = std::make_unique<sim::OneShotEvent>(world_.engine());
+}
+
+void PingPong::start() {
+  world_.engine().spawn(side_a());
+  world_.engine().spawn(side_b());
+}
+
+std::vector<double> PingPong::bandwidths() const {
+  std::vector<double> bw;
+  bw.reserve(latencies_.size());
+  for (double lat : latencies_)
+    bw.push_back(lat > 0 ? static_cast<double>(opt_.bytes) / lat : 0.0);
+  return bw;
+}
+
+sim::Coro PingPong::side_a() {
+  sim::Engine& engine = world_.engine();
+  // Recycled buffers: constant ids keyed on the tag so that concurrent
+  // PingPong instances (different phases) have distinct registrations.
+  MsgView msg{opt_.bytes, opt_.data_numa_a,
+              0xA000 + static_cast<std::uint64_t>(opt_.tag)};
+  int iter = 0;
+  while (true) {
+    bool warmup = iter < opt_.warmup;
+    if (!opt_.continuous && iter >= opt_.warmup + opt_.iterations) break;
+    if (opt_.continuous && stop_ && !warmup) break;
+    sim::Time t0 = engine.now();
+    co_await *world_.isend(rank_a_, rank_b_, opt_.tag, msg);
+    co_await *world_.irecv(rank_a_, rank_b_, opt_.tag + 1, msg);
+    // In continuous (side-by-side) mode, an iteration that finished after
+    // the stop request ran partly without the computation; drop it so the
+    // samples reflect the contended window only.
+    if (!warmup && !(opt_.continuous && stop_)) latencies_.push_back((engine.now() - t0) / 2.0);
+    ++iter;
+  }
+  complete_->set();
+  // Side B stays blocked on its next receive; the engine reclaims it when
+  // the simulation ends.  Tags must therefore be unique per phase.
+}
+
+sim::Coro PingPong::side_b() {
+  MsgView msg{opt_.bytes, opt_.data_numa_b,
+              0xB000 + static_cast<std::uint64_t>(opt_.tag)};
+  while (true) {
+    co_await *world_.irecv(rank_b_, rank_a_, opt_.tag, msg);
+    co_await *world_.isend(rank_b_, rank_a_, opt_.tag + 1, msg);
+  }
+}
+
+}  // namespace cci::mpi

@@ -1,0 +1,231 @@
+#include "mpi/world.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "hw/frequency_governor.hpp"
+
+namespace cci::mpi {
+
+namespace {
+bool matches(int want_src, int want_tag, int src, int tag) {
+  return (want_src == kAnySource || want_src == src) && (want_tag == kAnyTag || want_tag == tag);
+}
+}  // namespace
+
+World::World(net::Cluster& cluster, std::vector<RankConfig> ranks) : cluster_(cluster) {
+  ranks_.reserve(ranks.size());
+  for (const RankConfig& rc : ranks) {
+    RankState state;
+    state.config = rc;
+    if (state.config.comm_core < 0)
+      state.config.comm_core = cluster_.machine(rc.node).config().total_cores() - 1;
+    ranks_.push_back(std::move(state));
+  }
+  // The communication thread busy-polls for progression: its core is
+  // permanently active at the stable comm frequency.
+  for (int r = 0; r < size(); ++r)
+    machine_of(r).governor().core_comm(comm_core(r));
+}
+
+int World::comm_core(int rank) const { return cfg(rank).comm_core; }
+
+int World::comm_numa(int rank) const {
+  const RankConfig& c = cfg(rank);
+  return cluster_.machine(c.node).config().numa_of_core(c.comm_core);
+}
+
+double World::sw_delay(int rank, double cycles) {
+  double f = machine_of(rank).governor().core_freq(comm_core(rank));
+  const auto& np = nic_of(rank).params();
+  return cycles / f * cluster_.rng().jitter(np.noise_rel) +
+         ranks_[static_cast<std::size_t>(rank)].progress_overhead;
+}
+
+double World::control_delay() {
+  const auto& np = cluster_.net();
+  return np.control_latency * cluster_.rng().jitter(np.noise_rel);
+}
+
+double World::pio_latency(int rank, std::size_t bytes) {
+  hw::Machine& m = machine_of(rank);
+  net::Nic& nic = nic_of(rank);
+  const auto& np = nic.params();
+  const auto& cfg_m = m.config();
+
+  sim::Resource* nic_ctrl = m.mem_ctrl(nic.numa());
+  // Doorbell/PIO processing contends with the NIC-socket memory system only
+  // when issued from that socket (same CHA-ingress argument as in
+  // Machine::mem_access_latency); a far comm thread pays on the socket link.
+  const bool comm_on_nic_socket = cfg_m.socket_of_core(comm_core(rank)) == nic.socket();
+  double t = np.pio_base_latency * (comm_on_nic_socket ? m.inflation(nic_ctrl) : 1.0) *
+             m.uncore_latency_scale(nic.socket());
+  double f = m.governor().core_freq(comm_core(rank));
+  double chunks = std::ceil(static_cast<double>(bytes) / static_cast<double>(np.pio_chunk));
+  t += chunks * static_cast<double>(np.pio_chunk) * np.pio_cycles_per_byte / f;
+  if (cfg_m.socket_of_core(comm_core(rank)) != nic.socket())
+    t += np.pio_socket_crossings * m.cross_socket_hop_latency();
+  return t;
+}
+
+RequestPtr World::isend(int src_rank, int dst_rank, int tag, MsgView msg) {
+  auto req = std::make_shared<Request>(engine());
+  engine().spawn(send_process(src_rank, dst_rank, tag, msg, req));
+  return req;
+}
+
+RequestPtr World::irecv(int rank_id, int src_rank, int tag, MsgView msg) {
+  auto req = std::make_shared<Request>(engine());
+  RankState& R = rank(rank_id);
+  // Try the unexpected queue first, in arrival order.
+  for (auto it = R.unexpected.begin(); it != R.unexpected.end(); ++it) {
+    if (!matches(src_rank, tag, (*it)->src, (*it)->tag)) continue;
+    ArrivalPtr arr = *it;
+    R.unexpected.erase(it);
+    arr->recv_msg = msg;
+    arr->recv_req = req;
+    arr->matched->set();
+    if (arr->eager) engine().spawn(finish_eager_recv(rank_id, arr, /*from_unexpected=*/true));
+    return req;
+  }
+  R.posted.push_back(PostedRecv{src_rank, tag, msg, req});
+  return req;
+}
+
+void World::arrive(int dst_rank, const ArrivalPtr& arrival) {
+  RankState& R = rank(dst_rank);
+  for (auto it = R.posted.begin(); it != R.posted.end(); ++it) {
+    if (!matches(it->src, it->tag, arrival->src, arrival->tag)) continue;
+    arrival->recv_msg = it->msg;
+    arrival->recv_req = it->req;
+    R.posted.erase(it);
+    arrival->matched->set();
+    if (arrival->eager)
+      engine().spawn(finish_eager_recv(dst_rank, arrival, /*from_unexpected=*/false));
+    return;
+  }
+  R.unexpected.push_back(arrival);
+}
+
+sim::Coro World::finish_eager_recv(int dst_rank, ArrivalPtr arrival, bool from_unexpected) {
+  const auto& np = nic_of(dst_rank).params();
+  hw::Machine& m = machine_of(dst_rank);
+  double t = sw_delay(dst_rank, np.recv_overhead_cycles);
+  // Messages past the latency cutoff land in the user buffer through DRAM;
+  // tiny payloads arrive with the completion and stay in cache.
+  if (arrival->bytes > np.pio_latency_cutoff)
+    t += m.mem_access_latency(comm_numa(dst_rank), arrival->recv_msg.data_numa);
+  if (from_unexpected) {
+    // The payload was parked in a bounce buffer near the NIC; the comm
+    // core copies it out.
+    double f = m.governor().core_freq(comm_core(dst_rank));
+    t += static_cast<double>(arrival->bytes) * np.pio_cycles_per_byte / f;
+  }
+  co_await engine().sleep(t);
+  arrival->recv_req->done().set();
+}
+
+sim::Coro World::send_process(int src_rank, int dst_rank, int tag, MsgView msg,
+                              RequestPtr sreq) {
+  RankState& S = rank(src_rank);
+  hw::Machine& M = machine_of(src_rank);
+  net::Nic& snic = nic_of(src_rank);
+  const auto& np = snic.params();
+  const sim::Time t0 = engine().now();
+
+  co_await engine().sleep(sw_delay(src_rank, np.send_overhead_cycles));
+
+  auto arrival = std::make_shared<Arrival>();
+  arrival->src = src_rank;
+  arrival->tag = tag;
+  arrival->bytes = msg.bytes;
+  arrival->matched = std::make_unique<sim::OneShotEvent>(engine());
+
+  if (msg.bytes <= np.eager_threshold) {
+    arrival->eager = true;
+    // Gather the payload from its NUMA node into the store pipeline.
+    co_await engine().sleep(M.mem_access_latency(comm_numa(src_rank), msg.data_numa) *
+                            cluster_.rng().jitter(np.noise_rel));
+    if (msg.bytes <= np.pio_latency_cutoff) {
+      co_await engine().sleep(pio_latency(src_rank, msg.bytes));
+    } else {
+      // CPU-driven pipelined copy: consumes memory bandwidth on the data
+      // path and PCIe on the way out, capped by the core's copy speed.
+      sim::ActivitySpec copy;
+      copy.label = "pio-copy";
+      copy.work = static_cast<double>(msg.bytes);
+      for (sim::Resource* r : M.mem_path(comm_numa(src_rank), msg.data_numa))
+        copy.demands.push_back({r, 1.0});
+      copy.demands.push_back({snic.dma_engine(), 1.0});
+      double f = M.governor().core_freq(comm_core(src_rank));
+      copy.rate_cap = f / np.pio_cycles_per_byte;
+      co_await *M.model().start(copy);
+      co_await engine().sleep(pio_latency(src_rank, np.pio_chunk));  // doorbell
+    }
+    // Local completion: buffer reusable once handed to the NIC.
+    S.stats.bytes += static_cast<double>(msg.bytes);
+    S.stats.busy_time += engine().now() - t0;
+    if (message_trace_enabled_)
+      message_trace_.push_back(
+          {src_rank, dst_rank, tag, msg.bytes, true, t0, t0, engine().now()});
+    sreq->done().set();
+
+    double wire_time = np.wire_latency * cluster_.rng().jitter(np.noise_rel) +
+                       static_cast<double>(msg.bytes) / np.wire_bw;
+    engine().spawn([](World* w, int dst, ArrivalPtr arr, double t) -> sim::Coro {
+      co_await w->engine().sleep(t);
+      w->arrive(dst, arr);
+    }(this, dst_rank, arrival, wire_time));
+    co_return;
+  }
+
+  // ---- rendezvous ---------------------------------------------------------
+  arrival->eager = false;
+  co_await engine().sleep(control_delay());  // RTS travels to the receiver
+  arrive(dst_rank, arrival);
+  co_await arrival->matched->wait();         // receiver posted a matching recv
+  co_await engine().sleep(control_delay());  // CTS travels back
+
+  net::Nic& dnic = nic_of(dst_rank);
+  if (msg.buffer_id != 0 && !snic.registered(msg.buffer_id)) {
+    co_await engine().sleep(snic.registration_cost(msg.bytes));
+    snic.register_buffer(msg.buffer_id);
+  }
+  if (arrival->recv_msg.buffer_id != 0 && !dnic.registered(arrival->recv_msg.buffer_id)) {
+    co_await engine().sleep(dnic.registration_cost(arrival->recv_msg.bytes));
+    dnic.register_buffer(arrival->recv_msg.buffer_id);
+  }
+  snic.refresh_dma_capacity();
+  dnic.refresh_dma_capacity();
+
+  // §6 sending-bandwidth metric: "time spent to send data over the
+  // network" — the wire/DMA phase, not the wait for the receiver to show
+  // up (which is application-dependent and constant across worker counts).
+  const sim::Time transfer_start = engine().now();
+
+  hw::Machine& D = machine_of(dst_rank);
+  sim::ActivitySpec dma;
+  dma.label = "dma";
+  dma.work = static_cast<double>(msg.bytes);
+  dma.weight = M.config().nic_dma_weight;
+  for (sim::Resource* r : M.mem_path(snic.numa(), msg.data_numa)) dma.demands.push_back({r, 1.0});
+  dma.demands.push_back({snic.dma_engine(), 1.0});
+  for (sim::Resource* r : cluster_.fabric_path(cfg(src_rank).node, cfg(dst_rank).node))
+    dma.demands.push_back({r, 1.0});
+  dma.demands.push_back({dnic.dma_engine(), 1.0});
+  for (sim::Resource* r : D.mem_path(dnic.numa(), arrival->recv_msg.data_numa))
+    dma.demands.push_back({r, 1.0});
+  co_await *M.model().start(dma);
+
+  S.stats.bytes += static_cast<double>(msg.bytes);
+  S.stats.busy_time += engine().now() - transfer_start;
+  if (message_trace_enabled_)
+    message_trace_.push_back(
+        {src_rank, dst_rank, tag, msg.bytes, false, t0, transfer_start, engine().now()});
+  sreq->done().set();
+
+  co_await engine().sleep(sw_delay(dst_rank, np.recv_overhead_cycles));
+  arrival->recv_req->done().set();
+}
+
+}  // namespace cci::mpi

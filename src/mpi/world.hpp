@@ -1,0 +1,151 @@
+// Mini-MPI: point-to-point messaging over the simulated cluster.
+//
+// One World spans the cluster; each rank is a process pinned to one node
+// with a dedicated communication core (the paper's communication thread,
+// §2.1).  Two protocols, as in MadMPI/NewMadeleine:
+//
+//  * eager (size <= eager_threshold): the comm core copies the payload to
+//    the NIC (PIO).  Small messages (< pio_latency_cutoff) are a chain of
+//    dependent transactions whose cost inflates with memory-system demand
+//    pressure — this is where computation hurts *latency*.  Larger eager
+//    messages are a CPU-rate-capped copy flow that also consumes memory
+//    bandwidth.
+//  * rendezvous (above threshold): RTS/CTS handshake, then a zero-copy DMA
+//    flow crossing [src memory path, src DMA engine, wire, dst DMA engine,
+//    dst memory path] — this is where computation hurts *bandwidth* and
+//    vice versa.
+//
+// Software overheads are charged in comm-core cycles (LogP's o), so pinned
+// or DVFS-driven core frequencies move latency exactly as §3 observes.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mpi/message.hpp"
+#include "net/cluster.hpp"
+#include "sim/coro.hpp"
+
+namespace cci::mpi {
+
+struct RankConfig {
+  int node = 0;
+  /// Core running the communication thread; -1 = last core of the node.
+  int comm_core = -1;
+};
+
+class World {
+ public:
+  World(net::Cluster& cluster, std::vector<RankConfig> ranks);
+
+  [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
+  net::Cluster& cluster() { return cluster_; }
+  sim::Engine& engine() { return cluster_.engine(); }
+  hw::Machine& machine_of(int rank) { return cluster_.machine(cfg(rank).node); }
+  net::Nic& nic_of(int rank) { return cluster_.nic(cfg(rank).node); }
+  [[nodiscard]] int comm_core(int rank) const;
+  [[nodiscard]] int comm_numa(int rank) const;
+
+  /// Post a nonblocking send from `src_rank` to `dst_rank`.
+  RequestPtr isend(int src_rank, int dst_rank, int tag, MsgView msg);
+  /// Post a nonblocking receive on `rank` (src/tag may be wildcards).
+  RequestPtr irecv(int rank, int src_rank, int tag, MsgView msg);
+
+  /// Extra per-operation progress delay on a rank's comm thread; the
+  /// task-runtime layer uses this to model lock contention from polling
+  /// workers (§5.4) and its own software stack (§5.2).
+  void set_progress_overhead(int rank, double seconds) {
+    ranks_.at(static_cast<std::size_t>(rank)).progress_overhead = seconds;
+  }
+  [[nodiscard]] double progress_overhead(int rank) const {
+    return ranks_.at(static_cast<std::size_t>(rank)).progress_overhead;
+  }
+
+  /// Sending-side bandwidth accounting (Fig. 10: "network bandwidth as
+  /// perceived by the sending node").
+  struct SendStats {
+    double bytes = 0.0;
+    double busy_time = 0.0;  ///< sum over sends of (local completion - post)
+    [[nodiscard]] double sending_bw() const { return busy_time > 0 ? bytes / busy_time : 0.0; }
+  };
+  [[nodiscard]] const SendStats& send_stats(int rank) const {
+    return ranks_.at(static_cast<std::size_t>(rank)).stats;
+  }
+  void reset_send_stats() {
+    for (auto& r : ranks_) r.stats = {};
+  }
+
+  /// Per-message network trace (off by default): protocol decisions and
+  /// transfer windows, for debugging benches and for trace export.
+  struct MessageRecord {
+    int src = 0;
+    int dst = 0;
+    int tag = 0;
+    std::size_t bytes = 0;
+    bool eager = true;
+    double post_time = 0.0;       ///< isend call
+    double transfer_start = 0.0;  ///< payload starts moving (DMA for rndv)
+    double complete_time = 0.0;   ///< sender-side completion
+  };
+  void enable_message_trace(bool on) { message_trace_enabled_ = on; }
+  [[nodiscard]] const std::vector<MessageRecord>& message_trace() const {
+    return message_trace_;
+  }
+
+ private:
+  /// A message that reached the matching point at the receiver: an eager
+  /// payload after the wire, or a rendezvous RTS.
+  struct Arrival {
+    int src = 0;
+    int tag = 0;
+    std::size_t bytes = 0;
+    bool eager = true;
+    std::unique_ptr<sim::OneShotEvent> matched;  // set when a recv matches
+    MsgView recv_msg;                            // filled at match time
+    RequestPtr recv_req;
+  };
+  using ArrivalPtr = std::shared_ptr<Arrival>;
+
+  struct PostedRecv {
+    int src;
+    int tag;
+    MsgView msg;
+    RequestPtr req;
+  };
+
+  struct RankState {
+    RankConfig config;
+    double progress_overhead = 0.0;
+    SendStats stats;
+    std::deque<PostedRecv> posted;
+    std::deque<ArrivalPtr> unexpected;
+  };
+
+  RankState& rank(int r) { return ranks_.at(static_cast<std::size_t>(r)); }
+  [[nodiscard]] const RankConfig& cfg(int r) const {
+    return ranks_.at(static_cast<std::size_t>(r)).config;
+  }
+
+  /// Comm-core software delay for `cycles` of work on `rank`, with noise
+  /// and the rank's progress overhead applied.
+  double sw_delay(int rank, double cycles);
+  /// One-way small-control-message latency (RTS/CTS).
+  double control_delay();
+  /// PIO path latency for `bytes` on the sender (dependent transactions).
+  double pio_latency(int rank, std::size_t bytes);
+
+  /// Match an arrival against posted receives (or park it).
+  void arrive(int dst_rank, const ArrivalPtr& arrival);
+  /// Complete the receiver side of a matched eager message.
+  sim::Coro finish_eager_recv(int dst_rank, ArrivalPtr arrival, bool from_unexpected);
+
+  sim::Coro send_process(int src_rank, int dst_rank, int tag, MsgView msg, RequestPtr sreq);
+
+  net::Cluster& cluster_;
+  std::vector<RankState> ranks_;
+  bool message_trace_enabled_ = false;
+  std::vector<MessageRecord> message_trace_;
+};
+
+}  // namespace cci::mpi

@@ -1,0 +1,33 @@
+#include "net/cluster.hpp"
+
+#include "hw/frequency_governor.hpp"
+
+namespace cci::net {
+
+Cluster::Cluster(hw::MachineConfig config, NetworkParams net, int nodes, std::uint64_t seed,
+                 FabricOptions fabric)
+    : net_(std::move(net)), model_(engine_), rng_(seed) {
+  for (int i = 0; i < nodes; ++i) {
+    std::string prefix = "node" + std::to_string(i) + ".";
+    machines_.push_back(std::make_unique<hw::Machine>(model_, config, prefix));
+    nics_.push_back(std::make_unique<Nic>(*machines_.back(), net_, prefix));
+    tx_ports_.push_back(model_.add_resource(prefix + "tx", net_.wire_bw));
+    rx_ports_.push_back(model_.add_resource(prefix + "rx", net_.wire_bw));
+  }
+  crossbar_ = model_.add_resource(
+      "switch", net_.wire_bw * static_cast<double>(nodes) * fabric.oversubscription);
+}
+
+void Nic::refresh_dma_capacity() {
+  const auto& cfg = machine_.config();
+  double u = machine_.governor().uncore_freq(socket());
+  double span = cfg.uncore_freq_max_hz - cfg.uncore_freq_min_hz;
+  double x = span > 0.0 ? (u - cfg.uncore_freq_min_hz) / span : 1.0;
+  x = x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+  double bw = (params_.dma_bw_min_uncore +
+               (params_.dma_bw_max_uncore - params_.dma_bw_min_uncore) * x) *
+              degradation_;
+  if (dma_engine_->capacity() != bw) dma_engine_->set_capacity(bw);
+}
+
+}  // namespace cci::net

@@ -1,0 +1,64 @@
+// Cluster: N simulated nodes joined by one fabric.
+//
+// Owns the engine, the flow model, the machines, their NICs and the shared
+// wire resource.  This is the top-level object every experiment builds.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "net/nic.hpp"
+#include "net/network_params.hpp"
+#include "sim/rng.hpp"
+
+namespace cci::net {
+
+class Cluster {
+ public:
+  /// Switch model: each node has full-duplex uplink ports; the crossbar
+  /// core can be oversubscribed (capacity = factor * sum of port rates).
+  /// factor >= 1 keeps the fabric non-blocking (the default, matching the
+  /// paper's small clusters); < 1 models oversubscribed production trees.
+  struct FabricOptions {
+    double oversubscription = 1.0;
+  };
+
+  /// `nodes` identical machines of type `config`, linked by `net`.
+  Cluster(hw::MachineConfig config, NetworkParams net, int nodes = 2, std::uint64_t seed = 42)
+      : Cluster(std::move(config), std::move(net), nodes, seed, FabricOptions()) {}
+  Cluster(hw::MachineConfig config, NetworkParams net, int nodes, std::uint64_t seed,
+          FabricOptions fabric);
+
+  sim::Engine& engine() { return engine_; }
+  sim::FlowModel& model() { return model_; }
+  sim::Rng& rng() { return rng_; }
+  [[nodiscard]] int node_count() const { return static_cast<int>(machines_.size()); }
+  hw::Machine& machine(int node) { return *machines_.at(static_cast<std::size_t>(node)); }
+  Nic& nic(int node) { return *nics_.at(static_cast<std::size_t>(node)); }
+  const NetworkParams& net() const { return net_; }
+
+  /// Legacy accessor: the switch crossbar resource (historically "wire").
+  sim::Resource* wire() { return crossbar_; }
+  /// Node uplink ports, one per direction (ingress/egress contention).
+  sim::Resource* tx_port(int node) { return tx_ports_.at(static_cast<std::size_t>(node)); }
+  sim::Resource* rx_port(int node) { return rx_ports_.at(static_cast<std::size_t>(node)); }
+  /// Resources a bulk transfer src -> dst crosses on the fabric.
+  [[nodiscard]] std::vector<sim::Resource*> fabric_path(int src, int dst) {
+    return {tx_port(src), crossbar_, rx_port(dst)};
+  }
+
+ private:
+  NetworkParams net_;
+  sim::Engine engine_;
+  sim::FlowModel model_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<hw::Machine>> machines_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<sim::Resource*> tx_ports_;
+  std::vector<sim::Resource*> rx_ports_;
+  sim::Resource* crossbar_ = nullptr;
+};
+
+}  // namespace cci::net

@@ -1,0 +1,70 @@
+// Fault injection: planned degradations for robustness studies.
+//
+// Real clusters see link flaps, switch congestion from other jobs, and
+// thermally throttled sockets.  The injector schedules capacity
+// degradations (and recoveries) on cluster resources so experiments can
+// measure how interference conclusions shift under faults.
+#pragma once
+
+#include <vector>
+
+#include "hw/frequency_governor.hpp"
+#include "net/cluster.hpp"
+
+namespace cci::net {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Cluster& cluster) : cluster_(cluster) {}
+
+  /// Scale the wire capacity by `factor` at time `at`; restore at
+  /// `recover_at` (skip restore if negative).
+  void degrade_wire(sim::Time at, double factor, sim::Time recover_at = -1.0) {
+    schedule(cluster_.wire(), at, factor, recover_at);
+  }
+
+  /// Degrade one node's NUMA memory controller (e.g. faulty DIMM channel).
+  void degrade_mem_ctrl(int node, int numa, sim::Time at, double factor,
+                        sim::Time recover_at = -1.0) {
+    schedule(cluster_.machine(node).mem_ctrl(numa), at, factor, recover_at);
+  }
+
+  /// Degrade a node's NIC DMA engine (PCIe link retraining to a lower
+  /// width, a classic production fault).  Goes through the NIC's health
+  /// factor so the lazy uncore refresh cannot silently undo the fault.
+  void degrade_nic(int node, sim::Time at, double factor, sim::Time recover_at = -1.0) {
+    cluster_.engine().call_at(at,
+                              [this, node, factor] { cluster_.nic(node).set_degradation(factor); });
+    if (recover_at >= 0.0) {
+      cluster_.engine().call_at(recover_at,
+                                [this, node] { cluster_.nic(node).set_degradation(1.0); });
+    }
+  }
+
+  /// Thermal throttle: pin every core of `node` to the machine's minimum
+  /// frequency at `at` (no automatic recovery; call restore_clocks).
+  void throttle_node(int node, sim::Time at) {
+    cluster_.engine().call_at(at, [this, node] {
+      auto& m = cluster_.machine(node);
+      m.governor().pin_core_freq(m.config().core_freq_min_hz);
+    });
+  }
+  void restore_clocks(int node, sim::Time at) {
+    cluster_.engine().call_at(at, [this, node] {
+      cluster_.machine(node).governor().set_policy(hw::CpuPolicy::kOndemand);
+    });
+  }
+
+ private:
+  void schedule(sim::Resource* r, sim::Time at, double factor, sim::Time recover_at) {
+    cluster_.engine().call_at(at, [r, factor] { r->set_capacity(r->capacity() * factor); });
+    if (recover_at >= 0.0) {
+      cluster_.engine().call_at(recover_at,
+                                [r, factor] { r->set_capacity(r->capacity() / factor); });
+    }
+  }
+
+  Cluster& cluster_;
+};
+
+}  // namespace cci::net

@@ -1,0 +1,63 @@
+// Fabric parameters: LogGP-style constants for each network in §2.2.
+//
+// Calibration notes (henri, InfiniBand ConnectX-4 EDR):
+//  * Fig. 1a pins the core frequency with the userspace governor and sees
+//    1.8 us at 2300 MHz vs 3.1 us at 1000 MHz for 4 B messages.  The
+//    frequency-dependent part is software overhead: o_send + o_recv =
+//    2300 cycles reproduces both points with a 0.45 us fixed wire/NIC part
+//    plus the NUMA terms supplied by the machine model.
+//  * Fig. 1b: asymptotic bandwidth 10.5 GB/s at max uncore, 10.1 GB/s at
+//    min uncore -> the DMA/uncore engine is the binding resource, slightly
+//    below the 12.08 GB/s EDR wire rate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace cci::net {
+
+struct NetworkParams {
+  std::string fabric;
+
+  // ---- wire ---------------------------------------------------------------
+  double wire_bw = 0;       ///< payload rate on the wire (B/s)
+  double wire_latency = 0;  ///< one-way fixed HW latency: NIC + switch (s)
+
+  // ---- DMA engine (PCIe + uncore path) -------------------------------------
+  double dma_bw_max_uncore = 0;  ///< DMA rate with uncore at max (B/s)
+  double dma_bw_min_uncore = 0;  ///< DMA rate with uncore at min (B/s)
+
+  // ---- CPU (software) costs, in comm-core cycles ---------------------------
+  double send_overhead_cycles = 0;  ///< post-send path (o_s of LogP)
+  double recv_overhead_cycles = 0;  ///< completion/matching path (o_r)
+  double pio_cycles_per_byte = 0;   ///< eager copy cost (CPU-driven)
+
+  // ---- protocol -------------------------------------------------------------
+  std::size_t eager_threshold = 0;    ///< rendezvous above this size
+  std::size_t pio_latency_cutoff = 0; ///< below: pure latency path (no flow)
+  std::size_t pio_chunk = 64;         ///< bytes per dependent PIO transaction
+  int pio_socket_crossings = 4;       ///< doorbell+payload+completion hops
+  /// Fixed PIO/doorbell processing latency, inflated by pressure on the
+  /// NIC-side memory controller (the path into the PCIe root shares it).
+  double pio_base_latency = 0;
+  double control_latency = 0;         ///< RTS/CTS one-way (s)
+
+  // ---- registration cache (pin-down) ----------------------------------------
+  double registration_base = 0;      ///< per-buffer registration cost (s)
+  double registration_per_byte = 0;  ///< pinning cost per byte (s/B)
+
+  // ---- run-to-run noise ------------------------------------------------------
+  double noise_rel = 0.0;  ///< relative jitter on latency components
+
+  static NetworkParams ib_edr();   ///< henri / pyxis
+  static NetworkParams ib_hdr();   ///< billy
+  static NetworkParams opa100();   ///< bora (wide bandwidth deviation, §3.2)
+  /// OpenMPI-flavoured stack on the same EDR fabric (§2.2: "we observed
+  /// similar results with other MPI implementations, such as OpenMPI
+  /// 4.0"): lower eager threshold, heavier software path.
+  static NetworkParams ib_edr_openmpi();
+  /// Fabric used by a machine preset name ("henri", "bora", ...).
+  static NetworkParams for_machine(const std::string& machine_name);
+};
+
+}  // namespace cci::net

@@ -1,0 +1,61 @@
+// NIC model: DMA engine resource, registration cache, NUMA attachment.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "hw/machine.hpp"
+#include "net/network_params.hpp"
+
+namespace cci::net {
+
+class Nic {
+ public:
+  Nic(hw::Machine& machine, const NetworkParams& params, const std::string& prefix)
+      : machine_(machine),
+        params_(params),
+        dma_engine_(machine.model().add_resource(prefix + "nic-dma", params.dma_bw_max_uncore)) {}
+
+  hw::Machine& machine() { return machine_; }
+  const NetworkParams& params() const { return params_; }
+  /// NUMA node the NIC's PCIe root complex hangs off.
+  [[nodiscard]] int numa() const { return machine_.config().nic_numa; }
+  [[nodiscard]] int socket() const { return machine_.config().socket_of_numa(numa()); }
+
+  /// The PCIe/uncore-limited DMA path; shared by all transfers of this NIC.
+  sim::Resource* dma_engine() { return dma_engine_; }
+
+  /// Re-derive DMA capacity from the current uncore frequency of the NIC's
+  /// socket.  Called lazily at transfer start: uncore settings change only
+  /// between experiment phases.
+  void refresh_dma_capacity();
+
+  /// Health factor multiplied into the DMA capacity (fault injection:
+  /// PCIe retraining, firmware throttling).  1.0 = healthy.
+  void set_degradation(double factor) {
+    degradation_ = factor;
+    refresh_dma_capacity();
+  }
+  [[nodiscard]] double degradation() const { return degradation_; }
+
+  /// Registration cache (pin-down cache [20] in the paper): first use of a
+  /// buffer pays the pinning cost, recycled buffers do not.
+  [[nodiscard]] bool registered(std::uint64_t buffer_id) const {
+    return reg_cache_.contains(buffer_id);
+  }
+  void register_buffer(std::uint64_t buffer_id) { reg_cache_.insert(buffer_id); }
+  [[nodiscard]] double registration_cost(std::size_t bytes) const {
+    return params_.registration_base +
+           params_.registration_per_byte * static_cast<double>(bytes);
+  }
+  void clear_registration_cache() { reg_cache_.clear(); }
+
+ private:
+  hw::Machine& machine_;
+  NetworkParams params_;
+  sim::Resource* dma_engine_;
+  double degradation_ = 1.0;
+  std::unordered_set<std::uint64_t> reg_cache_;
+};
+
+}  // namespace cci::net

@@ -1,0 +1,56 @@
+// Worker-count advisor — the paper's concluding future-work item:
+// "task-based runtime systems could select (automatically) the optimal
+// number of workers which reduces memory contention and maximizes
+// performances for the whole program execution."
+//
+// Given a callable that runs the application with N workers and returns
+// its makespan, the advisor samples power-of-two counts, then refines
+// around the best one.  Deterministic and budget-bounded.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <vector>
+
+namespace cci::runtime {
+
+struct WorkerCountSample {
+  int workers;
+  double makespan;
+};
+
+struct AdvisorReport {
+  int best_workers = 1;
+  double best_makespan = 0.0;
+  std::vector<WorkerCountSample> samples;  ///< in evaluation order
+};
+
+/// `makespan_of(n)` must be deterministic for a given n.
+inline AdvisorReport select_worker_count(const std::function<double(int)>& makespan_of,
+                                         int max_workers) {
+  AdvisorReport report;
+  std::set<int> tried;
+  auto evaluate = [&](int n) {
+    n = std::clamp(n, 1, max_workers);
+    if (!tried.insert(n).second) return;
+    double t = makespan_of(n);
+    report.samples.push_back({n, t});
+    if (report.best_makespan == 0.0 || t < report.best_makespan) {
+      report.best_makespan = t;
+      report.best_workers = n;
+    }
+  };
+
+  // Coarse pass: powers of two plus the extremes.
+  for (int n = 1; n < max_workers; n *= 2) evaluate(n);
+  evaluate(max_workers);
+  // Refine around the current best: halfway to each power-of-two neighbour.
+  int b = report.best_workers;
+  evaluate(b + std::max(1, b / 2));
+  evaluate(b - std::max(1, b / 4));
+  evaluate(b + std::max(1, b / 4));
+  return report;
+}
+
+}  // namespace cci::runtime

@@ -1,0 +1,53 @@
+// Distributed task-graph applications for §6 / Fig. 10.
+//
+// Dense CG and tiled GEMM over two ranks, built as dependency graphs on the
+// mini runtime.  The experiment sweeps the number of workers and records:
+//  * the sending-side network bandwidth (profiling-utility metric of §6),
+//  * the memory-stall fraction of the computation (pmu-tools counter),
+//  * the makespan.
+//
+// The amount of communication is constant across worker counts, exactly as
+// the paper fixes matrix sizes and iteration counts (§6).
+#pragma once
+
+#include <cstddef>
+
+#include "hw/machine_config.hpp"
+#include "net/network_params.hpp"
+#include "runtime/runtime.hpp"
+
+namespace cci::runtime {
+
+struct AppResult {
+  double makespan = 0.0;        ///< s
+  double sending_bw = 0.0;      ///< B/s, averaged over the two ranks (§6)
+  double stall_fraction = 0.0;  ///< mean memory-stall share of compute time
+  int tasks = 0;                ///< total tasks executed (both ranks)
+};
+
+struct CgAppOptions {
+  std::size_t n = 32768;  ///< unknowns (dense matrix row-distributed)
+  int iterations = 4;
+  int workers = -1;
+  int chunks_per_rank = 16;  ///< GEMV row-chunk tasks per iteration
+  int ranks = 2;             ///< nodes; p exchanged by a ring allgather
+};
+
+struct GemmAppOptions {
+  std::size_t m = 4096;     ///< square matrix dimension
+  std::size_t tile = 512;   ///< C tile / k-panel width
+  int workers = -1;
+  int ranks = 2;            ///< nodes; B panels broadcast by their owner
+};
+
+/// Run the distributed dense CG task graph on a fresh cluster of
+/// `options.ranks` nodes.
+AppResult run_cg_app(const hw::MachineConfig& machine, const net::NetworkParams& net,
+                     RuntimeConfig rt_config, const CgAppOptions& options);
+
+/// Run the distributed tiled GEMM task graph on a fresh cluster of
+/// `options.ranks` nodes.
+AppResult run_gemm_app(const hw::MachineConfig& machine, const net::NetworkParams& net,
+                       RuntimeConfig rt_config, const GemmAppOptions& options);
+
+}  // namespace cci::runtime

@@ -1,0 +1,41 @@
+#include "runtime/rt_pingpong.hpp"
+
+namespace cci::runtime {
+
+RtPingPong::RtPingPong(Runtime& a, Runtime& b, RtPingPongOptions options)
+    : a_(a), b_(b), opt_(options) {
+  complete_ = std::make_unique<sim::OneShotEvent>(a_.engine());
+}
+
+void RtPingPong::start() {
+  a_.engine().spawn(side_a());
+  a_.engine().spawn(side_b());
+}
+
+sim::Coro RtPingPong::side_a() {
+  sim::Engine& engine = a_.engine();
+  mpi::World& world = a_.world();
+  mpi::MsgView msg{opt_.bytes, opt_.data_numa_a,
+                   0xA7000 + static_cast<std::uint64_t>(opt_.tag)};
+  for (int iter = 0; iter < opt_.warmup + opt_.iterations; ++iter) {
+    sim::Time t0 = engine.now();
+    co_await engine.sleep(a_.message_overhead());  // runtime stack, send path
+    co_await *world.isend(a_.rank(), b_.rank(), opt_.tag, msg);
+    co_await *world.irecv(a_.rank(), b_.rank(), opt_.tag + 1, msg);
+    if (iter >= opt_.warmup) latencies_.push_back((engine.now() - t0) / 2.0);
+  }
+  complete_->set();
+}
+
+sim::Coro RtPingPong::side_b() {
+  mpi::World& world = b_.world();
+  mpi::MsgView msg{opt_.bytes, opt_.data_numa_b,
+                   0xB7000 + static_cast<std::uint64_t>(opt_.tag)};
+  while (true) {
+    co_await *world.irecv(b_.rank(), a_.rank(), opt_.tag, msg);
+    co_await b_.engine().sleep(b_.message_overhead());  // runtime stack, reply
+    co_await *world.isend(b_.rank(), a_.rank(), opt_.tag + 1, msg);
+  }
+}
+
+}  // namespace cci::runtime

@@ -1,0 +1,45 @@
+// Ping-pong through the task runtime's message path (§5.2, §5.3, Fig. 8-9).
+//
+// Each message pays the runtime's software-stack overhead on the sending
+// side, and the comm threads suffer whatever lock contention the polling
+// workers are currently generating (via the world's progress overhead).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace cci::runtime {
+
+struct RtPingPongOptions {
+  std::size_t bytes = 4;
+  int iterations = 30;
+  int warmup = 3;
+  int tag = 5000;
+  /// NUMA home of the transferred data handle on each side (§5.3: with
+  /// first-touch allocation by workers, handles end up on many nodes).
+  int data_numa_a = 0;
+  int data_numa_b = 0;
+};
+
+class RtPingPong {
+ public:
+  RtPingPong(Runtime& a, Runtime& b, RtPingPongOptions options);
+
+  void start();
+  sim::OneShotEvent& complete() { return *complete_; }
+  [[nodiscard]] const std::vector<double>& latencies() const { return latencies_; }
+
+ private:
+  sim::Coro side_a();
+  sim::Coro side_b();
+
+  Runtime& a_;
+  Runtime& b_;
+  RtPingPongOptions opt_;
+  std::vector<double> latencies_;
+  std::unique_ptr<sim::OneShotEvent> complete_;
+};
+
+}  // namespace cci::runtime

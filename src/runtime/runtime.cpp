@@ -1,0 +1,278 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hw/frequency_governor.hpp"
+
+namespace cci::runtime {
+
+namespace {
+/// Time the scheduler lock is held per poll; drives contention scaling.
+constexpr double kLockHold = 20e-9;
+/// Standing work for the aggregated polling-pressure flow ("forever").
+constexpr double kForeverWork = 1e18;
+}  // namespace
+
+RuntimeConfig RuntimeConfig::for_machine(const std::string& machine_name) {
+  RuntimeConfig c;
+  if (machine_name == "billy") {
+    c.message_overhead = 23e-6;
+    c.lock_delay_per_worker = 0.0;  // §5.4: no polling effect observed
+  } else if (machine_name == "pyxis") {
+    c.message_overhead = 45e-6;
+    c.lock_delay_per_worker = 0.0;
+  } else if (machine_name == "bora") {
+    c.message_overhead = 30e-6;
+  }
+  return c;  // henri defaults otherwise
+}
+
+Runtime::Runtime(mpi::World& world, int rank, RuntimeConfig config)
+    : world_(world), rank_(rank), config_(config), machine_(world.machine_of(rank)) {
+  sim::Engine& engine = machine_.engine();
+  comm_box_ = std::make_unique<sim::Mailbox<Task*>>(engine);
+  all_done_ = std::make_unique<sim::OneShotEvent>(engine);
+
+  const int total = machine_.config().total_cores();
+  const int comm_core = world_.comm_core(rank_);
+  // StarPU's default split: one core for the comm thread, one for the main
+  // (submission) thread, workers on the rest.
+  main_core_ = comm_core == total - 1 ? total - 2 : total - 1;
+  int want = config_.workers < 0 ? total - 2 : config_.workers;
+  for (int c = 0; c < total && static_cast<int>(worker_cores_.size()) < want; ++c)
+    if (c != comm_core && c != main_core_) worker_cores_.push_back(c);
+
+  for (int core : worker_cores_) {
+    WorkerSlot slot;
+    slot.core = core;
+    slot.box = std::make_unique<sim::Mailbox<Task*>>(engine);
+    slots_.push_back(std::move(slot));
+  }
+  queues_.resize(config_.numa_aware_scheduling
+                     ? static_cast<std::size_t>(machine_.config().numa_count())
+                     : 1);
+}
+
+std::size_t Runtime::queue_of(const Task* task) const {
+  return config_.numa_aware_scheduling ? static_cast<std::size_t>(task->data_numa) : 0;
+}
+
+Task* Runtime::pop_for(std::size_t slot) {
+  if (!config_.numa_aware_scheduling) {
+    if (queues_[0].empty()) return nullptr;
+    Task* t = queues_[0].front();
+    queues_[0].pop_front();
+    return t;
+  }
+  // Locality first: the worker's own NUMA queue, then steal from the
+  // fullest other queue (work conservation beats locality when starving).
+  auto own = static_cast<std::size_t>(
+      machine_.config().numa_of_core(slots_[slot].core));
+  if (!queues_[own].empty()) {
+    Task* t = queues_[own].front();
+    queues_[own].pop_front();
+    return t;
+  }
+  std::size_t best = queues_.size();
+  for (std::size_t q = 0; q < queues_.size(); ++q)
+    if (!queues_[q].empty() && (best == queues_.size() || queues_[q].size() > queues_[best].size()))
+      best = q;
+  if (best == queues_.size()) return nullptr;
+  Task* t = queues_[best].front();
+  queues_[best].pop_front();
+  return t;
+}
+
+Runtime::~Runtime() = default;
+
+Task* Runtime::add_task(Codelet codelet, int data_numa) {
+  auto task = std::make_unique<Task>();
+  task->kind = Task::Kind::kCompute;
+  task->codelet = std::move(codelet);
+  task->data_numa = data_numa;
+  tasks_.push_back(std::move(task));
+  ++submitted_;
+  return tasks_.back().get();
+}
+
+Task* Runtime::add_send(int peer, int tag, mpi::MsgView msg) {
+  auto task = std::make_unique<Task>();
+  task->kind = Task::Kind::kSend;
+  task->peer = peer;
+  task->tag = tag;
+  task->msg = msg;
+  tasks_.push_back(std::move(task));
+  ++submitted_;
+  return tasks_.back().get();
+}
+
+Task* Runtime::add_recv(int peer, int tag, mpi::MsgView msg) {
+  Task* t = add_send(peer, tag, msg);
+  t->kind = Task::Kind::kRecv;
+  return t;
+}
+
+void Runtime::add_dependency(Task* before, Task* after) {
+  before->successors.push_back(after);
+  ++after->pending;
+}
+
+double Runtime::poll_period() const {
+  double f = machine_.config().core_freq_nominal_hz;
+  return (static_cast<double>(config_.backoff_max_nops) + config_.poll_cost_cycles) / f;
+}
+
+double Runtime::message_overhead() const { return config_.message_overhead; }
+
+void Runtime::update_polling_pressure() {
+  if (polling_flow_) {
+    machine_.model().cancel(polling_flow_);
+    polling_flow_.reset();
+  }
+  double lock_delay = 0.0;
+  if (polling_workers_ > 0 && !config_.workers_paused) {
+    double period = poll_period();
+    double rate = static_cast<double>(polling_workers_) * config_.poll_dram_bytes / period;
+    sim::ActivitySpec spec;
+    spec.label = "worker-polling";
+    spec.work = kForeverWork;
+    spec.rate_cap = rate;
+    spec.demands = {{machine_.mem_ctrl(config_.list_numa), 1.0}};
+    polling_flow_ = machine_.model().start(spec);
+    // Lock contention on the shared request/task lists delays every
+    // progression step of the communication thread.
+    lock_delay = static_cast<double>(polling_workers_) * config_.lock_delay_per_worker *
+                 (kLockHold / period);
+  }
+  world_.set_progress_overhead(rank_, lock_delay);
+}
+
+void Runtime::enqueue(Task* task) {
+  assert(!task->queued);
+  task->queued = true;
+  if (task->kind != Task::Kind::kCompute) {
+    comm_box_->put(task);
+    return;
+  }
+  // Hand directly to an idle worker if any (NUMA-matched first when the
+  // locality scheduler is on); otherwise queue.
+  if (!idle_order_.empty()) {
+    std::size_t chosen = idle_order_.size();
+    if (config_.numa_aware_scheduling) {
+      for (std::size_t i = 0; i < idle_order_.size(); ++i) {
+        int core = slots_[idle_order_[i]].core;
+        if (machine_.config().numa_of_core(core) == task->data_numa) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    if (chosen == idle_order_.size()) chosen = 0;  // FIFO fallback
+    std::size_t slot = idle_order_[chosen];
+    idle_order_.erase(idle_order_.begin() + static_cast<std::ptrdiff_t>(chosen));
+    slots_[slot].idle = false;
+    slots_[slot].box->put(task);
+    return;
+  }
+  queues_[queue_of(task)].push_back(task);
+}
+
+void Runtime::on_task_done(Task* task) {
+  ++completed_;
+  for (Task* next : task->successors)
+    if (--next->pending == 0) enqueue(next);
+  if (completed_ == submitted_ && submitted_ > 0) all_done_->set();
+}
+
+sim::Coro Runtime::worker_loop(std::size_t slot) {
+  sim::Engine& engine = machine_.engine();
+  auto& gov = machine_.governor();
+  const int core = slots_[slot].core;
+  // Busy-waiting keeps the core active even without tasks.
+  gov.core_busy(core, hw::VectorClass::kScalar);
+  while (!shutdown_) {
+    Task* task = pop_for(slot);
+    if (task == nullptr) {
+      // Go idle: register for direct hand-off and poll (the §5.4 traffic).
+      slots_[slot].idle = true;
+      idle_order_.push_back(slot);
+      ++polling_workers_;
+      update_polling_pressure();
+      task = co_await slots_[slot].box->get();
+      --polling_workers_;
+      update_polling_pressure();
+      // enqueue() already removed us from idle_order_ unless shutting down.
+      if (task == nullptr) break;  // shutdown sentinel
+    }
+    // Reaction latency: on average half a backoff period elapses between
+    // the push and the successful poll.
+    co_await engine.sleep(poll_period() / 2.0);
+
+    ++compute_executed_;
+    if (machine_.config().numa_of_core(core) != task->data_numa) ++remote_executed_;
+    gov.core_busy(core, task->codelet.traits.vec);
+    const double cyc = hw::cycles_per_iter(machine_.config(), task->codelet.traits);
+    const double cpu_rate = gov.core_freq(core) / cyc;
+    auto act = machine_.model().start(hw::make_compute_spec(
+        machine_, core, task->data_numa, task->codelet.traits, task->codelet.iters));
+    co_await *act;
+    gov.core_busy(core, hw::VectorClass::kScalar);
+
+    if (trace_enabled_)
+      exec_trace_.push_back({task->codelet.name, core, task->data_numa, act->started_at(),
+                             act->finished_at()});
+
+    double wall = act->duration();
+    if (wall > 0.0 && cpu_rate > 0.0) {
+      double cpu_only = task->codelet.iters / cpu_rate;
+      stall_sum_ += std::clamp(1.0 - cpu_only / wall, 0.0, 1.0);
+      ++stall_samples_;
+    }
+    on_task_done(task);
+  }
+  gov.core_idle(core);
+}
+
+sim::Coro Runtime::comm_loop() {
+  sim::Engine& engine = machine_.engine();
+  while (!shutdown_) {
+    Task* task = co_await comm_box_->get();
+    if (task == nullptr) break;
+    // §5.2: the runtime's software stack on the message path (lists,
+    // worker hand-off, callbacks).  Serialized on the comm thread.
+    co_await engine.sleep(message_overhead());
+    mpi::RequestPtr req = task->kind == Task::Kind::kSend
+                              ? world_.isend(rank_, task->peer, task->tag, task->msg)
+                              : world_.irecv(rank_, task->peer, task->tag, task->msg);
+    // Progression of the transfer itself overlaps with later operations.
+    engine.spawn([](Runtime* rt, mpi::RequestPtr r, Task* t) -> sim::Coro {
+      co_await *r;
+      rt->on_task_done(t);
+    }(this, req, task));
+  }
+}
+
+sim::OneShotEvent& Runtime::run() {
+  start_workers_idle();
+  for (auto& task : tasks_)
+    if (task->pending == 0 && !task->queued) enqueue(task.get());
+  return *all_done_;
+}
+
+void Runtime::start_workers_idle() {
+  if (started_) return;
+  started_ = true;
+  sim::Engine& engine = machine_.engine();
+  if (!config_.workers_paused)
+    for (std::size_t s = 0; s < slots_.size(); ++s) engine.spawn(worker_loop(s));
+  engine.spawn(comm_loop());
+}
+
+void Runtime::shutdown() {
+  shutdown_ = true;
+  for (auto& slot : slots_) slot.box->put(nullptr);
+  comm_box_->put(nullptr);
+}
+
+}  // namespace cci::runtime

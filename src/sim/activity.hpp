@@ -1,0 +1,66 @@
+// Activities: units of fluid work advancing through shared resources.
+//
+// An Activity models anything whose *rate* is set by resource sharing — a
+// DMA transfer crossing memory controllers and the wire, or a compute chunk
+// coupling a core's flop throughput with its memory traffic (the roofline).
+// Activities are created from a spec and driven by the FlowModel.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sync.hpp"
+#include "sim/time.hpp"
+
+namespace cci::sim {
+
+class FlowModel;
+class Resource;
+
+/// Declarative description of an activity, filled by the caller.
+struct ActivitySpec {
+  std::string label;  ///< for traces and debugging
+  /// Total work in abstract units (bytes for transfers, iterations for
+  /// compute chunks).  Must be >= 0; zero-work activities complete at once.
+  double work = 0.0;
+  double weight = 1.0;    ///< sharing weight (see solve_max_min)
+  double rate_cap = 0.0;  ///< intrinsic rate limit; <= 0 means none
+  struct Demand {
+    Resource* resource;
+    double amount;  ///< resource units consumed per unit of rate
+  };
+  std::vector<Demand> demands;
+};
+
+class Activity {
+ public:
+  Activity(Engine& engine, ActivitySpec spec)
+      : spec_(std::move(spec)), done_(engine), started_at_(engine.now()) {}
+
+  [[nodiscard]] const ActivitySpec& spec() const { return spec_; }
+  [[nodiscard]] double work_done() const { return work_done_; }
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] bool finished() const { return done_.is_set(); }
+  [[nodiscard]] Time started_at() const { return started_at_; }
+  [[nodiscard]] Time finished_at() const { return finished_at_; }
+  /// Wall (simulated) duration; valid after completion.
+  [[nodiscard]] Time duration() const { return finished_at_ - started_at_; }
+
+  /// Completion event; `co_await *activity` suspends until done.
+  OneShotEvent& done() { return done_; }
+  auto operator co_await() { return done_.wait(); }
+
+ private:
+  friend class FlowModel;
+  ActivitySpec spec_;
+  OneShotEvent done_;
+  double work_done_ = 0.0;
+  double rate_ = 0.0;
+  Time started_at_ = 0.0;
+  Time finished_at_ = kNever;
+};
+
+using ActivityPtr = std::shared_ptr<Activity>;
+
+}  // namespace cci::sim

@@ -1,0 +1,107 @@
+// Coroutine process type for the discrete-event engine.
+//
+// A simulated thread of control is a C++20 coroutine returning `Coro`.
+// Processes are spawned with `Engine::spawn(...)`, which takes ownership of
+// the coroutine frame and resumes it from the event loop.  A process
+// suspends by `co_await`-ing engine awaitables (sleep, activity completion,
+// mailbox receive, ...) and terminates by returning; the engine destroys the
+// frame at final suspension and wakes any joiner.
+//
+// Exceptions must not escape a process: the simulation models hardware, and
+// an escaped exception is a bug in the model, so we terminate loudly.
+#pragma once
+
+#include <coroutine>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace cci::sim {
+
+class Engine;
+
+/// Shared completion record that outlives the coroutine frame, so joiners
+/// holding a ProcessRef can still observe completion after frame destruction.
+struct ProcessState {
+  bool done = false;
+  std::vector<std::coroutine_handle<>> joiners;
+};
+
+class Coro {
+ public:
+  struct promise_type {
+    Engine* engine = nullptr;
+    std::shared_ptr<ProcessState> state = std::make_shared<ProcessState>();
+
+    Coro get_return_object() {
+      return Coro(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      // Defined in engine.hpp (needs Engine): notifies the engine, which
+      // wakes joiners and destroys the frame.
+      inline void await_suspend(std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      std::fputs("cci::sim: exception escaped a simulation process\n", stderr);
+      std::terminate();
+    }
+  };
+
+  Coro(const Coro&) = delete;
+  Coro& operator=(const Coro&) = delete;
+  Coro(Coro&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Coro& operator=(Coro&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Coro() { destroy(); }
+
+ private:
+  friend class Engine;
+  explicit Coro(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  /// Transfers frame ownership to the engine at spawn time.
+  std::coroutine_handle<promise_type> release() { return std::exchange(handle_, {}); }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Lightweight reference to a spawned process; `co_await ref` joins it.
+class ProcessRef {
+ public:
+  ProcessRef() = default;
+
+  [[nodiscard]] bool done() const { return !state_ || state_->done; }
+
+  struct JoinAwaiter {
+    std::shared_ptr<ProcessState> state;
+    bool await_ready() const noexcept { return !state || state->done; }
+    void await_suspend(std::coroutine_handle<> h) { state->joiners.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  JoinAwaiter operator co_await() const { return JoinAwaiter{state_}; }
+
+ private:
+  friend class Engine;
+  explicit ProcessRef(std::shared_ptr<ProcessState> s) : state_(std::move(s)) {}
+  std::shared_ptr<ProcessState> state_;
+};
+
+}  // namespace cci::sim

@@ -1,0 +1,130 @@
+// The discrete-event simulation engine.
+//
+// The engine owns the virtual clock and the event queue; everything else in
+// the simulator (flows, machines, networks, runtimes) schedules callbacks or
+// suspends coroutine processes on it.  Determinism: events at equal times
+// run in scheduling order, and nothing in the engine consults wall-clock
+// time or global RNG state.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+
+#include "sim/coro.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace cci::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine() {
+    // Destroy frames of processes that never ran to completion (e.g. servers
+    // still blocked on a mailbox when the simulation ended).
+    for (void* addr : live_handles_)
+      std::coroutine_handle<Coro::promise_type>::from_address(addr).destroy();
+  }
+
+  /// Current simulated time in seconds.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule a plain callback at absolute time `t` (>= now()).
+  EventQueue::Handle call_at(Time t, EventQueue::Callback fn) {
+    assert(t >= now_ - kTimeEpsilon);
+    return queue_.schedule(t, std::move(fn));
+  }
+  /// Schedule a plain callback `dt` seconds from now.
+  EventQueue::Handle call_in(Time dt, EventQueue::Callback fn) {
+    return call_at(now_ + dt, std::move(fn));
+  }
+
+  /// Spawn a process: the coroutine starts from the event loop at the
+  /// current time (or at `start_at` if given).  Returns a joinable ref.
+  ProcessRef spawn(Coro coro, Time start_at = -1.0) {
+    auto h = coro.release();
+    h.promise().engine = this;
+    auto state = h.promise().state;
+    call_at(start_at < 0 ? now_ : start_at, [h] { h.resume(); });
+    ++live_processes_;
+    live_handles_.insert(h.address());
+    return ProcessRef(state);
+  }
+
+  /// Run until the event queue drains or the optional horizon is reached.
+  /// Returns the final simulated time.
+  Time run(Time until = kNever) {
+    while (!queue_.empty()) {
+      Time t = queue_.next_time();
+      if (t > until) {
+        now_ = until;
+        return now_;
+      }
+      auto [time, fn] = queue_.pop();
+      assert(time >= now_ - kTimeEpsilon);
+      now_ = std::max(now_, time);
+      fn();
+    }
+    return now_;
+  }
+
+  /// Number of spawned processes that have not yet terminated.
+  [[nodiscard]] int live_processes() const { return live_processes_; }
+
+  // ---- awaitables -------------------------------------------------------
+
+  /// `co_await engine.sleep(dt)` — suspend the calling process for `dt`
+  /// simulated seconds.
+  auto sleep(Time dt) { return SleepAwaiter{this, now_ + dt}; }
+  /// `co_await engine.sleep_until(t)` — suspend until absolute time `t`.
+  auto sleep_until(Time t) { return SleepAwaiter{this, t}; }
+  /// `co_await engine.yield()` — reschedule at the current time, after all
+  /// events already queued for this instant.
+  auto yield() { return SleepAwaiter{this, now_}; }
+
+  struct SleepAwaiter {
+    Engine* engine;
+    Time wake_at;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      engine->call_at(wake_at, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Resume a suspended coroutine from the event loop at the current time.
+  /// Used by synchronisation primitives so wake-ups are serialized through
+  /// the queue instead of nesting resumes.
+  void resume_soon(std::coroutine_handle<> h) {
+    call_at(now_, [h] { h.resume(); });
+  }
+
+ private:
+  friend struct Coro::promise_type::FinalAwaiter;
+  void on_process_done(std::coroutine_handle<Coro::promise_type> h) {
+    auto state = h.promise().state;
+    state->done = true;
+    for (auto joiner : state->joiners) resume_soon(joiner);
+    state->joiners.clear();
+    --live_processes_;
+    live_handles_.erase(h.address());
+    h.destroy();
+  }
+
+  Time now_ = 0.0;
+  EventQueue queue_;
+  int live_processes_ = 0;
+  std::unordered_set<void*> live_handles_;
+};
+
+inline void Coro::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<Coro::promise_type> h) noexcept {
+  h.promise().engine->on_process_done(h);
+}
+
+}  // namespace cci::sim

@@ -1,0 +1,99 @@
+// A cancellable timer queue: the single ordering structure of the engine.
+//
+// Entries are (time, sequence, callback).  Cancellation is lazy: a cancelled
+// entry stays in the heap but is skipped when popped.  Sequence numbers give
+// deterministic FIFO ordering among entries scheduled for the same instant,
+// which is what makes whole simulations reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cci::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Handle used to cancel or retime a scheduled event.  Default-constructed
+  /// handles are inert; cancelling twice is harmless.
+  class Handle {
+   public:
+    Handle() = default;
+    /// True if the event is still pending (not fired, not cancelled).
+    [[nodiscard]] bool pending() const { return entry_ && !entry_->cancelled && !entry_->fired; }
+    void cancel() {
+      if (entry_) entry_->cancelled = true;
+    }
+
+   private:
+    friend class EventQueue;
+    struct Entry {
+      Time time = kNever;
+      std::uint64_t seq = 0;
+      Callback fn;
+      bool cancelled = false;
+      bool fired = false;
+    };
+    explicit Handle(std::shared_ptr<Entry> e) : entry_(std::move(e)) {}
+    std::shared_ptr<Entry> entry_;
+  };
+
+  /// Schedule `fn` to run at absolute time `t`.
+  Handle schedule(Time t, Callback fn) {
+    auto entry = std::make_shared<Handle::Entry>();
+    entry->time = t;
+    entry->seq = next_seq_++;
+    entry->fn = std::move(fn);
+    heap_.push(entry);
+    return Handle(entry);
+  }
+
+  [[nodiscard]] bool empty() const {
+    prune();
+    return heap_.empty();
+  }
+
+  /// Time of the earliest live event, or kNever if none.
+  [[nodiscard]] Time next_time() const {
+    prune();
+    return heap_.empty() ? kNever : heap_.top()->time;
+  }
+
+  /// Pop and return the earliest live event's callback, marking it fired.
+  /// Precondition: !empty().
+  std::pair<Time, Callback> pop() {
+    prune();
+    auto entry = heap_.top();
+    heap_.pop();
+    entry->fired = true;
+    return {entry->time, std::move(entry->fn)};
+  }
+
+  [[nodiscard]] std::size_t size_estimate() const { return heap_.size(); }
+
+ private:
+  using EntryPtr = std::shared_ptr<Handle::Entry>;
+  struct Later {
+    bool operator()(const EntryPtr& a, const EntryPtr& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+
+  /// Drop cancelled entries sitting at the top so next_time()/pop() see a
+  /// live event.
+  void prune() const {
+    while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+  }
+
+  mutable std::priority_queue<EntryPtr, std::vector<EntryPtr>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cci::sim

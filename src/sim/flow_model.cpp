@@ -1,0 +1,129 @@
+#include "sim/flow_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/maxmin.hpp"
+
+namespace cci::sim {
+
+namespace {
+/// Completion slack: absorbs linear-progress round-off.
+double completion_eps(double work) { return std::max(1.0, work) * 1e-9; }
+}  // namespace
+
+void Resource::set_capacity(double capacity) {
+  assert(capacity >= 0.0);
+  if (capacity == capacity_) return;
+  capacity_ = capacity;
+  model_->on_capacity_changed();
+}
+
+Resource* FlowModel::add_resource(std::string name, double capacity) {
+  resources_.push_back(std::unique_ptr<Resource>(
+      new Resource(this, resources_.size(), std::move(name), capacity)));
+  return resources_.back().get();
+}
+
+ActivityPtr FlowModel::start(ActivitySpec spec) {
+  auto act = std::make_shared<Activity>(engine_, std::move(spec));
+  running_.push_back(act);
+  reallocate();
+  return act;
+}
+
+void FlowModel::cancel(const ActivityPtr& activity) {
+  auto it = std::find(running_.begin(), running_.end(), activity);
+  if (it == running_.end()) return;
+  advance();
+  running_.erase(it);
+  reallocate();
+}
+
+void FlowModel::on_capacity_changed() { reallocate(); }
+
+void FlowModel::advance() {
+  const Time now = engine_.now();
+  const Time dt = now - last_advance_;
+  if (dt > 0.0) {
+    for (auto& act : running_) {
+      if (!std::isfinite(act->rate_)) {
+        act->work_done_ = act->spec_.work;
+      } else {
+        act->work_done_ = std::min(act->spec_.work, act->work_done_ + act->rate_ * dt);
+      }
+    }
+  }
+  last_advance_ = now;
+}
+
+void FlowModel::reallocate() {
+  advance();
+  const Time now = engine_.now();
+
+  // Harvest activities that have completed their work.
+  for (std::size_t i = 0; i < running_.size();) {
+    auto& act = running_[i];
+    if (act->work_done_ + completion_eps(act->spec_.work) >= act->spec_.work) {
+      act->work_done_ = act->spec_.work;
+      act->finished_at_ = now;
+      act->rate_ = 0.0;
+      ActivityPtr done = std::move(act);
+      running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+      done->done_.set();
+    } else {
+      ++i;
+    }
+  }
+
+  // Re-solve the allocation for the surviving set.
+  MaxMinProblem problem;
+  problem.capacity.reserve(resources_.size());
+  for (const auto& r : resources_) problem.capacity.push_back(r->capacity());
+  problem.flows.reserve(running_.size());
+  for (const auto& act : running_) {
+    MaxMinFlow flow;
+    flow.weight = act->spec_.weight;
+    flow.rate_cap = act->spec_.rate_cap;
+    flow.entries.reserve(act->spec_.demands.size());
+    for (const auto& d : act->spec_.demands)
+      flow.entries.push_back({d.resource->index_, d.amount});
+    problem.flows.push_back(std::move(flow));
+  }
+  MaxMinSolution sol = solve_max_min(problem);
+  for (std::size_t i = 0; i < resources_.size(); ++i) resources_[i]->load_ = sol.load[i];
+  for (std::size_t i = 0; i < running_.size(); ++i) running_[i]->rate_ = sol.rate[i];
+
+  // Demand pressure: what each flow would push if it ran alone.
+  for (auto& r : resources_) r->pressure_ = 0.0;
+  for (const auto& act : running_) {
+    double solo = act->spec_.rate_cap > 0.0 ? act->spec_.rate_cap
+                                            : std::numeric_limits<double>::infinity();
+    for (const auto& d : act->spec_.demands) {
+      if (d.amount <= 0.0) continue;
+      solo = std::min(solo, d.resource->capacity() / d.amount);
+    }
+    if (!std::isfinite(solo)) continue;
+    for (const auto& d : act->spec_.demands) {
+      Resource* r = d.resource;
+      if (r->capacity() > 0.0) r->pressure_ += solo * d.amount / r->capacity();
+    }
+  }
+
+  // Schedule the next completion.
+  Time next = kNever;
+  for (const auto& act : running_) {
+    double remaining = act->spec_.work - act->work_done_;
+    if (!std::isfinite(act->rate_)) {
+      next = now;  // unconstrained activity finishes immediately
+    } else if (act->rate_ > 0.0) {
+      next = std::min(next, now + remaining / act->rate_);
+    }
+    // rate == 0 with remaining work: stalled until some change point.
+  }
+  timer_.cancel();
+  if (next < kNever) timer_ = engine_.call_at(next, [this] { reallocate(); });
+}
+
+}  // namespace cci::sim

@@ -1,0 +1,65 @@
+// FlowModel: drives all fluid activities over shared resources.
+//
+// The model keeps the set of running activities; whenever the set or any
+// resource capacity changes it (1) advances every activity's progress to
+// the current time at the previously computed rates, (2) re-solves the
+// weighted bottleneck max-min allocation, and (3) schedules one engine
+// timer at the earliest completion.  Between change points all rates are
+// constant, so progress is exactly linear — the classic fluid-flow DES.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/activity.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace cci::sim {
+
+class FlowModel {
+ public:
+  explicit FlowModel(Engine& engine) : engine_(engine) {}
+  FlowModel(const FlowModel&) = delete;
+  FlowModel& operator=(const FlowModel&) = delete;
+
+  Engine& engine() { return engine_; }
+
+  /// Create a resource owned by this model.  Pointers remain valid for the
+  /// model's lifetime.
+  Resource* add_resource(std::string name, double capacity);
+
+  /// Start an activity; it completes after spec.work units of progress.
+  /// The returned pointer stays valid at least until completion.
+  ActivityPtr start(ActivitySpec spec);
+
+  /// Abort a running activity; its completion event is NOT set.
+  void cancel(const ActivityPtr& activity);
+
+  [[nodiscard]] std::size_t running_count() const { return running_.size(); }
+
+  /// Maximum utilization over a set of resources — the congestion signal
+  /// used by the latency-inflation model for small messages.
+  static double max_utilization(const std::vector<Resource*>& path) {
+    double u = 0.0;
+    for (const Resource* r : path) u = std::max(u, r->utilization());
+    return u;
+  }
+
+ private:
+  friend class Resource;
+  void on_capacity_changed();
+  /// Advance work_done of all running activities to engine_.now().
+  void advance();
+  /// Re-solve rates, harvest completions, reschedule the timer.
+  void reallocate();
+
+  Engine& engine_;
+  std::vector<std::unique_ptr<Resource>> resources_;
+  std::vector<ActivityPtr> running_;
+  EventQueue::Handle timer_;
+  Time last_advance_ = 0.0;
+};
+
+}  // namespace cci::sim

@@ -1,0 +1,120 @@
+#include "sim/maxmin.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cci::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Relative slack when deciding that a flow participates in the current
+// bottleneck; absorbs round-off in the ratio computations.
+constexpr double kSlack = 1e-12;
+}  // namespace
+
+MaxMinSolution solve_max_min(const MaxMinProblem& problem) {
+  const std::size_t n_res = problem.capacity.size();
+  const std::size_t n_flows = problem.flows.size();
+
+  MaxMinSolution out;
+  out.rate.assign(n_flows, 0.0);
+  out.load.assign(n_res, 0.0);
+
+  std::vector<double> cap_left = problem.capacity;
+  std::vector<char> fixed(n_flows, 0);
+  std::size_t n_fixed = 0;
+
+  // Effective cap in "lambda units" (rate / weight); kInf when uncapped.
+  std::vector<double> cap_lambda(n_flows);
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    const auto& flow = problem.flows[f];
+    assert(flow.weight > 0.0);
+    cap_lambda[f] = flow.rate_cap > 0.0 ? flow.rate_cap / flow.weight : kInf;
+    if (flow.entries.empty()) {
+      // No shared resource: the flow is only limited by its own cap.
+      out.rate[f] = flow.rate_cap > 0.0 ? flow.rate_cap : kInf;
+      fixed[f] = 1;
+      ++n_fixed;
+    }
+  }
+
+  std::vector<double> weighted_demand(n_res);
+  while (n_fixed < n_flows) {
+    // Total weighted demand of unfixed flows per resource.
+    weighted_demand.assign(n_res, 0.0);
+    for (std::size_t f = 0; f < n_flows; ++f) {
+      if (fixed[f]) continue;
+      for (const auto& e : problem.flows[f].entries)
+        weighted_demand[e.resource] += problem.flows[f].weight * e.demand;
+    }
+
+    // Candidate lambda: tightest resource or tightest flow cap.
+    double lambda = kInf;
+    for (std::size_t r = 0; r < n_res; ++r) {
+      if (weighted_demand[r] <= 0.0) continue;
+      lambda = std::min(lambda, std::max(0.0, cap_left[r]) / weighted_demand[r]);
+    }
+    for (std::size_t f = 0; f < n_flows; ++f)
+      if (!fixed[f]) lambda = std::min(lambda, cap_lambda[f]);
+
+    if (!std::isfinite(lambda)) {
+      // Unfixed flows touch only zero-demand resources and have no caps.
+      for (std::size_t f = 0; f < n_flows; ++f)
+        if (!fixed[f]) {
+          out.rate[f] = kInf;
+          fixed[f] = 1;
+          ++n_fixed;
+        }
+      break;
+    }
+
+    // Freeze every flow that is saturated at this lambda: either its own
+    // cap binds, or it crosses a resource that just became a bottleneck.
+    bool froze_any = false;
+    std::vector<char> bottleneck(n_res, 0);
+    for (std::size_t r = 0; r < n_res; ++r) {
+      if (weighted_demand[r] <= 0.0) continue;
+      double ratio = std::max(0.0, cap_left[r]) / weighted_demand[r];
+      if (ratio <= lambda * (1.0 + kSlack) + kSlack) bottleneck[r] = 1;
+    }
+    for (std::size_t f = 0; f < n_flows; ++f) {
+      if (fixed[f]) continue;
+      bool saturated = cap_lambda[f] <= lambda * (1.0 + kSlack);
+      if (!saturated)
+        for (const auto& e : problem.flows[f].entries)
+          if (bottleneck[e.resource] && e.demand > 0.0) {
+            saturated = true;
+            break;
+          }
+      if (!saturated) continue;
+      double rate = problem.flows[f].weight * std::min(lambda, cap_lambda[f]);
+      out.rate[f] = rate;
+      for (const auto& e : problem.flows[f].entries) {
+        cap_left[e.resource] -= rate * e.demand;
+        out.load[e.resource] += rate * e.demand;
+      }
+      fixed[f] = 1;
+      ++n_fixed;
+      froze_any = true;
+    }
+    // Progressive filling must freeze at least one flow per round; if slack
+    // comparisons ever fail to, freeze everything at lambda to terminate.
+    if (!froze_any) {
+      for (std::size_t f = 0; f < n_flows; ++f) {
+        if (fixed[f]) continue;
+        double rate = problem.flows[f].weight * std::min(lambda, cap_lambda[f]);
+        out.rate[f] = rate;
+        for (const auto& e : problem.flows[f].entries) {
+          cap_left[e.resource] -= rate * e.demand;
+          out.load[e.resource] += rate * e.demand;
+        }
+        fixed[f] = 1;
+        ++n_fixed;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cci::sim

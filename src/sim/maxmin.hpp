@@ -1,0 +1,48 @@
+// Bottleneck (weighted) max-min fair allocation.
+//
+// This is the fluid bandwidth-sharing model used throughout the simulator:
+// every concurrent transfer/computation is a *flow* with a demand vector
+// over shared *resources* (memory controllers, inter-socket links, NIC
+// ports, cores).  A flow advancing at rate r consumes r * demand[j] on each
+// resource j it touches.  Rates are the classic progressive-filling
+// solution: all flows grow at a common weighted scale until a resource (or
+// a flow's own rate cap) saturates; saturated flows freeze; repeat.
+//
+// Kept as a free function over plain structs so it is trivially
+// property-testable in isolation from the engine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cci::sim {
+
+struct MaxMinFlow {
+  /// Relative weight for sharing; a flow's rate in each filling round is
+  /// weight * lambda.  Must be > 0.
+  double weight = 1.0;
+  /// Intrinsic rate cap (e.g. a single core's copy speed); infinity if none.
+  double rate_cap = 0.0;  // <= 0 means "no cap"
+  struct Entry {
+    std::size_t resource;  ///< index into MaxMinProblem::capacity
+    double demand;         ///< resource units consumed per unit of rate
+  };
+  std::vector<Entry> entries;
+};
+
+struct MaxMinProblem {
+  std::vector<double> capacity;   ///< per-resource capacity (units/s)
+  std::vector<MaxMinFlow> flows;  ///< concurrent flows to allocate
+};
+
+struct MaxMinSolution {
+  std::vector<double> rate;  ///< per-flow allocated rate
+  std::vector<double> load;  ///< per-resource total usage (<= capacity)
+};
+
+/// Solve the weighted bottleneck max-min problem by progressive filling.
+/// Complexity O(F * R * rounds); rounds <= F.  Flows with empty demand
+/// vectors get their rate cap (or +inf with no cap).
+MaxMinSolution solve_max_min(const MaxMinProblem& problem);
+
+}  // namespace cci::sim

@@ -1,0 +1,47 @@
+// A shared, capacity-limited resource (memory controller, link, core, NIC).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+
+namespace cci::sim {
+
+class FlowModel;
+
+class Resource {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double capacity() const { return capacity_; }
+  /// Total usage allocated by the last max-min solve.
+  [[nodiscard]] double load() const { return load_; }
+  /// Fraction of capacity in use, in [0, 1] (clamped).
+  [[nodiscard]] double utilization() const {
+    if (capacity_ <= 0.0) return load_ > 0.0 ? 1.0 : 0.0;
+    double u = load_ / capacity_;
+    return u < 0.0 ? 0.0 : (u > 1.0 ? 1.0 : u);
+  }
+  /// Demand pressure: sum over flows of the usage they would generate if
+  /// running alone (solo rate x demand), divided by capacity.  Unlike
+  /// utilization this can exceed 1 and keeps growing with the number of
+  /// contenders, which is what queueing delay responds to.
+  [[nodiscard]] double pressure() const { return pressure_; }
+  /// Change capacity (e.g. a frequency transition); triggers reallocation.
+  void set_capacity(double capacity);
+
+ private:
+  friend class FlowModel;
+  Resource(FlowModel* model, std::size_t index, std::string name, double capacity)
+      : model_(model), index_(index), name_(std::move(name)), capacity_(capacity) {
+    assert(capacity >= 0.0);
+  }
+
+  FlowModel* model_;
+  std::size_t index_;  ///< position in the owning model's resource table
+  std::string name_;
+  double capacity_;
+  double load_ = 0.0;
+  double pressure_ = 0.0;
+};
+
+}  // namespace cci::sim

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random numbers for the simulator.
+//
+// Benchmarks in the paper report medians and first/last deciles over many
+// runs; the simulator reproduces that spread by adding small stochastic
+// jitter (OS noise, cache state) drawn from this RNG.  xoshiro256** seeded
+// via splitmix64 — fast, high quality, and fully reproducible from a seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace cci::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  /// Integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n ? next_u64() % n : 0; }
+
+  /// Standard normal via Box–Muller (one value per call; simple > fast here).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Multiplicative log-normal-ish jitter: mean ~1, relative spread `rel`.
+  /// Clamped positive; used to model run-to-run system noise.
+  double jitter(double rel) {
+    double j = 1.0 + rel * normal();
+    return j < 0.05 ? 0.05 : j;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace cci::sim

@@ -1,0 +1,228 @@
+// Synchronisation primitives for simulation processes.
+//
+// All wake-ups are funneled through Engine::resume_soon so resumption order
+// is serialized by the event queue (deterministic, no nested resumes).
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace cci::sim {
+
+/// One-shot level-triggered event: once set, all current and future waiters
+/// proceed immediately.
+class OneShotEvent {
+ public:
+  explicit OneShotEvent(Engine& engine) : engine_(&engine) {}
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) engine_->resume_soon(h);
+    waiters_.clear();
+    auto callbacks = std::move(callbacks_);
+    callbacks_.clear();
+    for (auto& fn : callbacks) fn();
+  }
+  [[nodiscard]] bool is_set() const { return set_; }
+
+  /// Invoke `fn` when the event fires (immediately if already set).  Used
+  /// by the when_any/when_all combinators.
+  void on_set(std::function<void()> fn) {
+    if (set_) {
+      fn();
+    } else {
+      callbacks_.push_back(std::move(fn));
+    }
+  }
+
+  struct Awaiter {
+    OneShotEvent* event;
+    bool await_ready() const noexcept { return event->set_; }
+    void await_suspend(std::coroutine_handle<> h) { event->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() { return Awaiter{this}; }
+  Awaiter operator co_await() { return Awaiter{this}; }
+
+ private:
+  Engine* engine_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::function<void()>> callbacks_;
+};
+
+/// Awaitable that resumes when ANY of the given events is set.  The caller
+/// must keep the events alive until resumption.
+struct WhenAny {
+  Engine* engine;
+  std::vector<OneShotEvent*> events;
+
+  bool await_ready() const noexcept {
+    for (auto* e : events)
+      if (e->is_set()) return true;
+    return false;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    auto fired = std::make_shared<bool>(false);
+    Engine* eng = engine;
+    for (auto* e : events) {
+      e->on_set([fired, h, eng] {
+        if (*fired) return;
+        *fired = true;
+        eng->resume_soon(h);
+      });
+    }
+  }
+  void await_resume() const noexcept {}
+};
+
+inline WhenAny when_any(Engine& engine, std::vector<OneShotEvent*> events) {
+  return WhenAny{&engine, std::move(events)};
+}
+
+/// Awaitable that resumes when ALL of the given events are set.
+struct WhenAll {
+  Engine* engine;
+  std::vector<OneShotEvent*> events;
+
+  bool await_ready() const noexcept {
+    for (auto* e : events)
+      if (!e->is_set()) return false;
+    return true;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    auto remaining = std::make_shared<std::size_t>(0);
+    for (auto* e : events)
+      if (!e->is_set()) ++*remaining;
+    if (*remaining == 0) {  // raced: everything fired since await_ready
+      engine->resume_soon(h);
+      return;
+    }
+    Engine* eng = engine;
+    for (auto* e : events) {
+      if (e->is_set()) continue;
+      e->on_set([remaining, h, eng] {
+        if (--*remaining == 0) eng->resume_soon(h);
+      });
+    }
+  }
+  void await_resume() const noexcept {}
+};
+
+inline WhenAll when_all(Engine& engine, std::vector<OneShotEvent*> events) {
+  return WhenAll{&engine, std::move(events)};
+}
+
+/// Unbounded FIFO channel between processes.  Multiple producers and
+/// consumers are supported; each put wakes exactly one waiter and reserves
+/// the item for it, so no waiter can observe an empty queue after wake-up.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& engine) : engine_(&engine) {}
+
+  void put(T value) {
+    items_.push_back(std::move(value));
+    if (!waiters_.empty()) {
+      ++reserved_;
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      engine_->resume_soon(h);
+    }
+  }
+
+  /// Items visible to a non-blocking probe (excludes reserved ones).
+  [[nodiscard]] std::size_t available() const { return items_.size() - reserved_; }
+  [[nodiscard]] bool empty() const { return available() == 0; }
+
+  /// Non-blocking receive; returns true and fills `out` if an unreserved
+  /// item was present.  The first `reserved_` items belong (in FIFO order)
+  /// to already-woken waiters and are skipped.
+  bool try_get(T& out) {
+    if (available() == 0) return false;
+    auto it = items_.begin() + static_cast<std::ptrdiff_t>(reserved_);
+    out = std::move(*it);
+    items_.erase(it);
+    return true;
+  }
+
+  struct GetAwaiter {
+    Mailbox* box;
+    bool suspended = false;
+    bool await_ready() const noexcept { return box->available() > 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      suspended = true;
+      box->waiters_.push_back(h);
+    }
+    T await_resume() {
+      if (suspended) {
+        // Woken by a put() that reserved the oldest item for us.
+        --box->reserved_;
+        T v = std::move(box->items_.front());
+        box->items_.pop_front();
+        return v;
+      }
+      // Ready path: take the first item not reserved for a woken waiter.
+      auto it = box->items_.begin() + static_cast<std::ptrdiff_t>(box->reserved_);
+      T v = std::move(*it);
+      box->items_.erase(it);
+      return v;
+    }
+  };
+  /// `co_await box.get()` — receive, suspending until an item arrives.
+  GetAwaiter get() { return GetAwaiter{this}; }
+
+ private:
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  std::size_t reserved_ = 0;
+};
+
+/// Counting semaphore with direct hand-off on release.
+class SimSemaphore {
+ public:
+  SimSemaphore(Engine& engine, std::size_t initial) : engine_(&engine), count_(initial) {}
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      engine_->resume_soon(h);  // permit handed directly to the waiter
+    } else {
+      ++count_;
+    }
+  }
+
+  struct AcquireAwaiter {
+    SimSemaphore* sem;
+    bool suspended = false;
+    bool await_ready() const noexcept { return sem->count_ > 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      suspended = true;
+      sem->waiters_.push_back(h);
+    }
+    void await_resume() {
+      if (!suspended) --sem->count_;
+      // else: the permit was transferred by release() without touching count_.
+    }
+  };
+  AcquireAwaiter acquire() { return AcquireAwaiter{this}; }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  Engine* engine_;
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace cci::sim

@@ -1,0 +1,31 @@
+// Simulated-time definitions shared by the whole simulator.
+//
+// All simulated durations are expressed in seconds as double-precision
+// floats.  Helper literals/constructors are provided so call sites can say
+// `usec(1.7)` instead of sprinkling 1.7e-6 around.
+#pragma once
+
+#include <limits>
+
+namespace cci::sim {
+
+/// Simulated time in seconds since the start of the simulation.
+using Time = double;
+
+/// Sentinel for "no scheduled time" / unreachable completion.
+inline constexpr Time kNever = std::numeric_limits<Time>::infinity();
+
+/// Smallest time step the engine distinguishes; used to absorb floating
+/// point round-off when comparing completion times.
+inline constexpr Time kTimeEpsilon = 1e-15;
+
+constexpr Time sec(double s) { return s; }
+constexpr Time msec(double ms) { return ms * 1e-3; }
+constexpr Time usec(double us) { return us * 1e-6; }
+constexpr Time nsec(double ns) { return ns * 1e-9; }
+
+constexpr double to_usec(Time t) { return t * 1e6; }
+constexpr double to_msec(Time t) { return t * 1e3; }
+constexpr double to_nsec(Time t) { return t * 1e9; }
+
+}  // namespace cci::sim

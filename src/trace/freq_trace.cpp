@@ -1,0 +1,46 @@
+#include "trace/freq_trace.hpp"
+
+namespace cci::trace {
+
+FreqTrace::FreqTrace(hw::Machine& machine) : machine_(machine) {
+  const auto& cfg = machine.config();
+  double now = machine.engine().now();
+  for (int c = 0; c < cfg.total_cores(); ++c)
+    events_.push_back({now, c, machine.governor().core_freq(c)});
+  for (int s = 0; s < cfg.sockets; ++s)
+    events_.push_back({now, -1 - s, machine.governor().uncore_freq(s)});
+  machine.governor().set_trace([this](int core, double hz) {
+    events_.push_back({machine_.engine().now(), core, hz});
+  });
+}
+
+double FreqTrace::freq_at(int core, double t) const {
+  double freq = 0.0;
+  for (const Event& e : events_) {
+    if (e.time > t) break;
+    if (e.core == core) freq = e.freq_hz;
+  }
+  return freq;
+}
+
+FreqTrace::Sampled FreqTrace::sample(double t0, double t1, double dt, int cores) const {
+  Sampled out;
+  for (double t = t0; t <= t1 + 1e-12; t += dt) out.times.push_back(t);
+  out.core_freqs.assign(static_cast<std::size_t>(cores),
+                        std::vector<double>(out.times.size(), 0.0));
+  // Single sweep: events are time-ordered by construction.
+  std::vector<double> current(static_cast<std::size_t>(cores), 0.0);
+  std::size_t ev = 0;
+  for (std::size_t ti = 0; ti < out.times.size(); ++ti) {
+    while (ev < events_.size() && events_[ev].time <= out.times[ti]) {
+      if (events_[ev].core >= 0 && events_[ev].core < cores)
+        current[static_cast<std::size_t>(events_[ev].core)] = events_[ev].freq_hz;
+      ++ev;
+    }
+    for (int c = 0; c < cores; ++c)
+      out.core_freqs[static_cast<std::size_t>(c)][ti] = current[static_cast<std::size_t>(c)];
+  }
+  return out;
+}
+
+}  // namespace cci::trace

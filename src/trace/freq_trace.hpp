@@ -1,0 +1,44 @@
+// Frequency timeline recorder for Fig. 2 / Fig. 3b-c style plots.
+//
+// Hooks a machine's governor trace callback and timestamps every core and
+// uncore transition with the simulated clock; can resample the timeline on
+// a fixed grid for plotting.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "hw/frequency_governor.hpp"
+#include "hw/machine.hpp"
+
+namespace cci::trace {
+
+class FreqTrace {
+ public:
+  /// Attaches to the machine's governor (replaces any existing trace fn)
+  /// and snapshots the initial state.
+  explicit FreqTrace(hw::Machine& machine);
+
+  struct Event {
+    double time;
+    int core;  ///< core id, or -1-socket for uncore transitions
+    double freq_hz;
+  };
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  /// Frequency of `core` at time `t` (step function between events).
+  [[nodiscard]] double freq_at(int core, double t) const;
+
+  /// Sampled timeline: one row per grid point, one column per core.
+  struct Sampled {
+    std::vector<double> times;
+    std::vector<std::vector<double>> core_freqs;  ///< [core][time index]
+  };
+  [[nodiscard]] Sampled sample(double t0, double t1, double dt, int cores) const;
+
+ private:
+  hw::Machine& machine_;
+  std::vector<Event> events_;
+};
+
+}  // namespace cci::trace

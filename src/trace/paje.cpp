@@ -1,0 +1,57 @@
+#include "trace/paje.hpp"
+
+#include <ostream>
+
+namespace cci::trace {
+
+PajeWriter::PajeWriter(std::ostream& os) : os_(os) {}
+
+void PajeWriter::write_header() {
+  if (header_done_) return;
+  header_done_ = true;
+  os_ << "%EventDef PajeDefineContainerType 0\n"
+         "% Alias string\n% Type string\n% Name string\n"
+         "%EndEventDef\n"
+         "%EventDef PajeDefineStateType 1\n"
+         "% Alias string\n% Type string\n% Name string\n"
+         "%EndEventDef\n"
+         "%EventDef PajeDefineVariableType 2\n"
+         "% Alias string\n% Type string\n% Name string\n% Color color\n"
+         "%EndEventDef\n"
+         "%EventDef PajeCreateContainer 3\n"
+         "% Time date\n% Alias string\n% Type string\n% Container string\n% Name string\n"
+         "%EndEventDef\n"
+         "%EventDef PajeSetState 4\n"
+         "% Time date\n% Type string\n% Container string\n% Value string\n"
+         "%EndEventDef\n"
+         "%EventDef PajeSetVariable 5\n"
+         "% Time date\n% Type string\n% Container string\n% Value double\n"
+         "%EndEventDef\n";
+}
+
+void PajeWriter::define_machine(const std::string& machine_name, int cores) {
+  write_header();
+  os_ << "0 M 0 Machine\n";
+  os_ << "0 C M Core\n";
+  os_ << "1 S C WorkerState\n";
+  os_ << "2 F C Frequency \"0.0 0.5 1.0\"\n";
+  os_ << "3 0.000000 m M 0 " << machine_name << "\n";
+  for (int c = 0; c < cores; ++c)
+    os_ << "3 0.000000 c" << c << " C m core" << c << "\n";
+}
+
+void PajeWriter::task_state(int core, const std::string& task_name, double start, double end) {
+  os_ << "4 " << start << " S c" << core << " " << task_name << "\n";
+  os_ << "4 " << end << " S c" << core << " idle\n";
+}
+
+void PajeWriter::core_frequency(int core, double time, double freq_hz) {
+  os_ << "5 " << time << " F c" << core << " " << freq_hz / 1e9 << "\n";
+}
+
+void PajeWriter::write_freq_trace(const FreqTrace& trace) {
+  for (const auto& ev : trace.events())
+    if (ev.core >= 0) core_frequency(ev.core, ev.time, ev.freq_hz);
+}
+
+}  // namespace cci::trace

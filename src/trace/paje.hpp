@@ -1,0 +1,43 @@
+// Paje trace export: the format StarPU's own offline tools (and ViTE)
+// consume.  Exports runtime task-execution traces and governor frequency
+// timelines so simulated runs can be inspected with the same visual
+// workflow the paper's authors use.
+//
+// The dialect is the minimal, self-describing Paje header + events subset:
+// containers per core, state changes per task, variables for frequencies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/freq_trace.hpp"
+
+namespace cci::trace {
+
+class PajeWriter {
+ public:
+  explicit PajeWriter(std::ostream& os);
+
+  /// Emit the event-definition header (must be first).
+  void write_header();
+  /// Declare the container/state/variable type hierarchy and `cores`
+  /// worker containers.
+  void define_machine(const std::string& machine_name, int cores);
+
+  /// One task execution as a Paje state interval on its core's container.
+  void task_state(int core, const std::string& task_name, double start, double end);
+  /// Frequency timeline as a Paje variable on the core's container.
+  void core_frequency(int core, double time, double freq_hz);
+
+  /// Convenience: dump a whole frequency trace.  (Runtime execution
+  /// traces are dumped by looping Runtime::execution_trace() over
+  /// task_state() — see examples/observability_tour.)
+  void write_freq_trace(const FreqTrace& trace);
+
+ private:
+  std::ostream& os_;
+  bool header_done_ = false;
+};
+
+}  // namespace cci::trace

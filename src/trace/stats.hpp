@@ -1,0 +1,49 @@
+// Summary statistics in the paper's reporting style (§2.1): curves are
+// medians, shaded areas span the first and last deciles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace cci::trace {
+
+struct Stats {
+  std::size_t n = 0;
+  double median = 0.0;
+  double decile1 = 0.0;  ///< 10th percentile
+  double decile9 = 0.0;  ///< 90th percentile
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static Stats of(std::vector<double> samples) {
+    Stats s;
+    s.n = samples.size();
+    if (samples.empty()) return s;
+    std::sort(samples.begin(), samples.end());
+    s.min = samples.front();
+    s.max = samples.back();
+    s.median = quantile_sorted(samples, 0.5);
+    s.decile1 = quantile_sorted(samples, 0.1);
+    s.decile9 = quantile_sorted(samples, 0.9);
+    double sum = 0.0;
+    for (double v : samples) sum += v;
+    s.mean = sum / static_cast<double>(samples.size());
+    return s;
+  }
+
+  /// Linear-interpolated quantile of an ascending-sorted vector.
+  static double quantile_sorted(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    if (sorted.size() == 1) return sorted[0];
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+};
+
+}  // namespace cci::trace

@@ -1,0 +1,41 @@
+// Plain-text table/series output for the benchmark harness.
+//
+// Each bench binary prints the series behind one of the paper's figures;
+// Table renders them column-aligned for the terminal and can also emit
+// CSV for replotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cci::trace {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; values are formatted with %.4g unless added as text.
+  void add_row(const std::vector<double>& values);
+  void add_text_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Column-aligned rendering with a header rule.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds as the most readable unit (ns/us/ms/s).
+std::string format_time(double seconds);
+/// Format bytes/s as MB/s or GB/s.
+std::string format_bw(double bytes_per_sec);
+/// Format a byte count (B/KB/MB).
+std::string format_bytes(double bytes);
+
+}  // namespace cci::trace

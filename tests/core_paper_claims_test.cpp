@@ -1,0 +1,136 @@
+// Integration tests for the paper's remaining textual claims, one per
+// quoted assertion (complementing core_interference_test.cpp).
+#include <gtest/gtest.h>
+
+#include "core/interference_lab.hpp"
+#include "kernels/primes.hpp"
+#include "kernels/stream.hpp"
+#include "kernels/tunable_triad.hpp"
+
+namespace cci::core {
+namespace {
+
+TEST(PaperClaims, Sec32_BandwidthSlightlyImprovedByCpuBoundComputation) {
+  // §3.2: "the network bandwidth is very slightly improved when
+  // computation is done at the same time (9097 MB/s vs 9063 MB/s)" — the
+  // computing cores raise the NIC socket's uncore.
+  Scenario s;
+  s.kernel = kernels::prime_traits();
+  s.computing_cores = 20;
+  s.message_bytes = 64 << 20;
+  s.pingpong_iterations = 4;
+  s.pingpong_warmup = 1;
+  s.target_pass_seconds = 0.2;
+  auto r = InterferenceLab(s).run();
+  EXPECT_GE(r.comm_together.bandwidth.median, r.comm_alone.bandwidth.median);
+  EXPECT_LT(r.comm_together.bandwidth.median, 1.1 * r.comm_alone.bandwidth.median);
+}
+
+TEST(PaperClaims, Sec32_LatencySlightlyBetterWithComputation) {
+  // §3.2/3.3: latency is "always slightly better when computations are
+  // done at the same time" (CPU-bound kernels).
+  Scenario s;
+  s.kernel = kernels::prime_traits();
+  s.computing_cores = 20;
+  s.message_bytes = 4;
+  auto r = InterferenceLab(s).run();
+  EXPECT_LE(r.comm_together.latency.median, r.comm_alone.latency.median * 1.01);
+}
+
+TEST(PaperClaims, Sec42_BoraImpactedLaterThanHenri) {
+  // §4.2: "On bora nodes, the network bandwidth is impacted, but later:
+  // from 20 computing cores" (vs ~3 on henri).
+  auto ratio_at = [](const hw::MachineConfig& m, int cores) {
+    Scenario s;
+    s.machine = m;
+    s.network = net::NetworkParams::for_machine(m.name);
+    s.kernel = kernels::triad_traits();
+    s.computing_cores = cores;
+    s.message_bytes = 64 << 20;
+    s.pingpong_iterations = 5;
+    s.pingpong_warmup = 1;
+    auto r = InterferenceLab(s).run();
+    return r.comm_together.bandwidth.median / r.comm_alone.bandwidth.median;
+  };
+  // At 8 cores henri already degraded, bora not yet.
+  EXPECT_LT(ratio_at(hw::MachineConfig::henri(), 8), 0.8);
+  EXPECT_GT(ratio_at(hw::MachineConfig::bora(), 8), 0.9);
+  // At full machine both degraded.
+  EXPECT_LT(ratio_at(hw::MachineConfig::bora(), 35), 0.9);
+}
+
+TEST(PaperClaims, Sec44_FiveCoresDegradeOnlyLargeMessages) {
+  // §4.4/Fig. 6a: with 5 computing cores, communications are degraded
+  // from 64 KB upwards, not below.
+  auto ratio_for = [](std::size_t bytes) {
+    Scenario s;
+    s.kernel = kernels::triad_traits();
+    s.computing_cores = 5;
+    s.message_bytes = bytes;
+    s.pingpong_iterations = bytes >= (1u << 20) ? 4 : 15;
+    s.pingpong_warmup = 2;
+    auto r = InterferenceLab(s).run();
+    return r.comm_together.latency.median / r.comm_alone.latency.median;
+  };
+  EXPECT_LT(ratio_for(4), 1.10);
+  EXPECT_LT(ratio_for(1024), 1.10);
+  EXPECT_GT(ratio_for(64 << 20), 1.10);
+}
+
+TEST(PaperClaims, Sec45_LatencyDoublesOnlyInMemoryBoundRegime) {
+  // §4.5/Fig. 7a: below the AI boundary latency roughly doubles; above,
+  // it returns to nominal.
+  auto ratio_for = [](double ai) {
+    Scenario s;
+    int cursor = kernels::TunableTriad::cursor_for_intensity(ai);
+    s.kernel = kernels::TunableTriad(16, cursor).traits();
+    s.computing_cores = 35;
+    s.message_bytes = 4;
+    s.pingpong_iterations = 15;
+    auto r = InterferenceLab(s).run();
+    return r.comm_together.latency.median / r.comm_alone.latency.median;
+  };
+  EXPECT_GT(ratio_for(0.25), 1.35);
+  EXPECT_LT(ratio_for(100.0), 1.10);
+}
+
+TEST(PaperClaims, Sec45_ComputationSlowedByLargeMessagesOnly) {
+  // §4.5: in the memory-bound regime the computation is slowed by the
+  // 64 MB transfers (~10%) but not by the 4 B latency ping-pong.
+  auto slowdown_for = [](std::size_t bytes) {
+    Scenario s;
+    s.kernel = kernels::triad_traits();
+    s.computing_cores = 35;
+    s.message_bytes = bytes;
+    s.pingpong_iterations = bytes >= (1u << 20) ? 4 : 20;
+    s.pingpong_warmup = 1;
+    auto r = InterferenceLab(s).run();
+    return r.compute_together.pass_duration.median / r.compute_alone.pass_duration.median;
+  };
+  EXPECT_LT(slowdown_for(4), 1.02);
+  EXPECT_GT(slowdown_for(64 << 20), 1.005);
+}
+
+TEST(PaperClaims, Sec6_StallFractionTracksArithmeticIntensity) {
+  // §6: "the more there are computing cores, the more cores are spending
+  // time to access the memory" — and stalls correlate with low AI.
+  auto stall_for = [](double ai, int cores) {
+    Scenario s;
+    int cursor = kernels::TunableTriad::cursor_for_intensity(ai);
+    s.kernel = kernels::TunableTriad(16, cursor).traits();
+    s.computing_cores = cores;
+    s.message_bytes = 4;
+    s.pingpong_iterations = 5;
+    auto r = InterferenceLab(s).run();
+    return r.compute_alone.mem_stall_fraction;
+  };
+  double low_ai = stall_for(0.25, 20);
+  double high_ai = stall_for(100.0, 20);
+  EXPECT_GT(low_ai, 0.5);
+  EXPECT_LT(high_ai, 0.1);
+  // More cores -> more stalls at low AI.
+  EXPECT_GE(stall_for(0.25, 30), stall_for(0.25, 4) - 0.02);
+}
+
+}  // namespace
+}  // namespace cci::core

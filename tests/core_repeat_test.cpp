@@ -1,0 +1,44 @@
+// Multi-seed repetition: run-to-run spread and determinism.
+#include <gtest/gtest.h>
+
+#include "core/repeat.hpp"
+#include "kernels/stream.hpp"
+
+namespace cci::core {
+namespace {
+
+Scenario quick() {
+  Scenario s;
+  s.kernel = kernels::triad_traits();
+  s.computing_cores = 8;
+  s.message_bytes = 4;
+  s.pingpong_iterations = 10;
+  s.compute_repetitions = 2;
+  s.target_pass_seconds = 0.01;
+  return s;
+}
+
+TEST(Repeat, AggregatesAcrossSeeds) {
+  auto r = run_repeated(quick(), 5);
+  EXPECT_EQ(r.runs, 5);
+  EXPECT_EQ(r.latency_alone.n, 5u);
+  EXPECT_GT(r.latency_alone.median, 1e-6);
+  // Different seeds give non-degenerate spread (noise model active).
+  EXPECT_GT(r.latency_alone.max, r.latency_alone.min);
+}
+
+TEST(Repeat, RepeatedRunsAreReproducible) {
+  auto a = run_repeated(quick(), 3);
+  auto b = run_repeated(quick(), 3);
+  EXPECT_DOUBLE_EQ(a.latency_together.median, b.latency_together.median);
+  EXPECT_DOUBLE_EQ(a.bandwidth_alone.median, b.bandwidth_alone.median);
+}
+
+TEST(Repeat, SpreadIsSmallRelativeToTheMedian) {
+  // The noise model is a few percent, not order-of-magnitude.
+  auto r = run_repeated(quick(), 5);
+  EXPECT_LT((r.latency_alone.max - r.latency_alone.min) / r.latency_alone.median, 0.2);
+}
+
+}  // namespace
+}  // namespace cci::core

@@ -1,0 +1,71 @@
+// JSON result serialization: structure and round-trippable values.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/result_io.hpp"
+#include "kernels/stream.hpp"
+
+namespace cci::core {
+namespace {
+
+TEST(ResultIo, JsonWriterNestsAndSeparates) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("a", 1.5);
+    w.field("b", std::string("x"));
+    w.object_field("inner");
+    w.field("c", 2);
+    w.end_object();
+    w.begin_array("arr");
+    w.begin_object();
+    w.field("d", 3);
+    w.end_object();
+    w.end_array();
+    w.end_object();
+  }
+  std::string out = os.str();
+  EXPECT_NE(out.find("\"a\": 1.5"), std::string::npos);
+  EXPECT_NE(out.find("\"inner\": {"), std::string::npos);
+  EXPECT_NE(out.find("\"arr\": ["), std::string::npos);
+  // Balanced braces/brackets.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'), std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['), std::count(out.begin(), out.end(), ']'));
+  // No trailing comma before a closing brace.
+  EXPECT_EQ(out.find(",\n}"), std::string::npos);
+}
+
+TEST(ResultIo, FullResultSerializes) {
+  Scenario s;
+  s.kernel = kernels::triad_traits();
+  s.computing_cores = 5;
+  s.message_bytes = 4;
+  s.pingpong_iterations = 10;
+  s.compute_repetitions = 2;
+  s.target_pass_seconds = 0.005;
+  auto r = InterferenceLab(s).run();
+  std::ostringstream os;
+  write_result_json(os, s, r);
+  std::string out = os.str();
+  EXPECT_NE(out.find("\"machine\": \"henri\""), std::string::npos);
+  EXPECT_NE(out.find("\"kernel\": \"stream-triad\""), std::string::npos);
+  EXPECT_NE(out.find("\"comm_together\""), std::string::npos);
+  EXPECT_NE(out.find("\"mem_stall_fraction\""), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'), std::count(out.begin(), out.end(), '}'));
+}
+
+TEST(ResultIo, NonFiniteValuesBecomeNull) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("bad", std::numeric_limits<double>::infinity());
+    w.end_object();
+  }
+  EXPECT_NE(os.str().find("\"bad\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cci::core

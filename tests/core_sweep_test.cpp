@@ -1,0 +1,63 @@
+// Sweep framework: axes, metrics, table assembly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/sweep.hpp"
+#include "kernels/stream.hpp"
+
+namespace cci::core {
+namespace {
+
+Scenario quick_base() {
+  Scenario s;
+  s.kernel = kernels::triad_traits();
+  s.message_bytes = 64 << 20;
+  s.pingpong_iterations = 3;
+  s.pingpong_warmup = 1;
+  s.compute_repetitions = 2;
+  s.target_pass_seconds = 0.01;
+  return s;
+}
+
+TEST(Sweep, ProducesOneRowPerAxisValue) {
+  auto table = Sweep(quick_base())
+                   .axis("cores", {0, 5, 20}, Sweep::cores_axis())
+                   .metric("bw_ratio", Sweep::bandwidth_ratio())
+                   .metric("stream", Sweep::stream_per_core_gbps())
+                   .run();
+  EXPECT_EQ(table.rows(), 3u);
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_NE(os.str().find("cores,bw_ratio,stream"), std::string::npos);
+}
+
+TEST(Sweep, BandwidthRatioDeclinesAlongTheCoresAxis) {
+  auto table = Sweep(quick_base())
+                   .axis("cores", {0, 20}, Sweep::cores_axis())
+                   .metric("bw_ratio", Sweep::bandwidth_ratio())
+                   .run();
+  std::ostringstream os;
+  table.print_csv(os);
+  // Parse the two data rows.
+  std::string csv = os.str();
+  auto second_line = csv.find('\n') + 1;
+  auto third_line = csv.find('\n', second_line) + 1;
+  double r0 = std::stod(csv.substr(csv.find(',', second_line) + 1));
+  double r20 = std::stod(csv.substr(csv.find(',', third_line) + 1));
+  EXPECT_GT(r0, 0.95);
+  EXPECT_LT(r20, 0.8 * r0);
+}
+
+TEST(Sweep, CustomAxisMutatesScenario) {
+  // Sweep the message size with a latency metric; small sizes must have
+  // lower latency than the 16 MB point.
+  auto table = Sweep(quick_base())
+                   .axis("bytes", {4.0, 16.0 * (1 << 20)}, Sweep::message_bytes_axis())
+                   .metric("lat_us", Sweep::latency_together_us())
+                   .run();
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace cci::core

@@ -1,0 +1,62 @@
+// LLC working-set model: cache-resident kernels stop generating DRAM
+// traffic, and therefore stop interfering with the network.
+#include <gtest/gtest.h>
+
+#include "core/interference_lab.hpp"
+#include "hw/workload.hpp"
+#include "kernels/cg.hpp"
+
+namespace cci::hw {
+namespace {
+
+TEST(CacheResidency, DramFractionInterpolates) {
+  KernelTraits t{"k", 2.0, 8.0, VectorClass::kSse};
+  t.working_set_bytes = 0.0;
+  EXPECT_DOUBLE_EQ(t.dram_fraction(25e6), 1.0);  // streaming default
+  t.working_set_bytes = 10e6;
+  EXPECT_DOUBLE_EQ(t.dram_fraction(25e6), 0.0);  // fully resident
+  t.working_set_bytes = 50e6;
+  EXPECT_DOUBLE_EQ(t.dram_fraction(25e6), 0.5);
+  t.working_set_bytes = 250e6;
+  EXPECT_DOUBLE_EQ(t.dram_fraction(25e6), 0.9);
+}
+
+TEST(CacheResidency, ResidentKernelHasNoMemoryDemands) {
+  sim::Engine engine;
+  sim::FlowModel model(engine);
+  Machine machine(model, MachineConfig::henri());
+  KernelTraits t{"small", 2.0, 8.0, VectorClass::kSse};
+  t.working_set_bytes = 1e6;  // << 25 MB LLC
+  auto spec = make_compute_spec(machine, 0, 0, t, 1e6);
+  // Only the core demand remains.
+  ASSERT_EQ(spec.demands.size(), 1u);
+  EXPECT_EQ(spec.demands[0].resource, machine.core(0));
+}
+
+TEST(CacheResidency, CgTraitsScaleWithProblemSize) {
+  auto small = kernels::cg_gemv_traits_for(1024);   // 8 MB matrix: resident
+  auto large = kernels::cg_gemv_traits_for(32768);  // 8.6 GB: streaming
+  EXPECT_LT(small.dram_fraction(25e6), 0.01);
+  EXPECT_GT(large.dram_fraction(25e6), 0.99);
+}
+
+TEST(CacheResidency, ResidentWorkingSetStopsHurtingTheNetwork) {
+  auto bw_ratio_for = [](double working_set) {
+    core::Scenario s;
+    s.kernel = KernelTraits{"tuned", 2.0, 24.0, VectorClass::kSse};
+    s.kernel.working_set_bytes = working_set;
+    s.computing_cores = 20;
+    s.message_bytes = 64 << 20;
+    s.pingpong_iterations = 4;
+    s.pingpong_warmup = 1;
+    auto r = core::InterferenceLab(s).run();
+    return r.comm_together.bandwidth.median / r.comm_alone.bandwidth.median;
+  };
+  double streaming = bw_ratio_for(0.0);      // default: full DRAM pressure
+  double resident = bw_ratio_for(4e6);       // fits the LLC
+  EXPECT_LT(streaming, 0.6);
+  EXPECT_GT(resident, 0.95);
+}
+
+}  // namespace
+}  // namespace cci::hw

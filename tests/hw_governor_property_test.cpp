@@ -1,0 +1,86 @@
+// Governor property tests: invariants under random busy/idle sequences.
+#include <gtest/gtest.h>
+
+#include "hw/frequency_governor.hpp"
+#include "hw/machine.hpp"
+#include "sim/rng.hpp"
+
+namespace cci::hw {
+namespace {
+
+class GovernorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GovernorProperty, FrequenciesStayInsideTheEnvelope) {
+  sim::Rng rng(GetParam());
+  for (const auto& cfg : MachineConfig::all_presets()) {
+    sim::Engine engine;
+    sim::FlowModel model(engine);
+    Machine machine(model, cfg);
+    auto& gov = machine.governor();
+    const double fmax = cfg.turbo_freq(VectorClass::kScalar, 1);
+
+    std::vector<bool> busy(static_cast<std::size_t>(cfg.total_cores()), false);
+    for (int step = 0; step < 300; ++step) {
+      int core = static_cast<int>(rng.below(static_cast<std::uint64_t>(cfg.total_cores())));
+      auto idx = static_cast<std::size_t>(core);
+      if (busy[idx]) {
+        gov.core_idle(core);
+        busy[idx] = false;
+      } else {
+        VectorClass vc = rng.uniform() < 0.3 ? VectorClass::kAvx512 : VectorClass::kScalar;
+        gov.core_busy(core, vc);
+        busy[idx] = true;
+      }
+      for (int c = 0; c < cfg.total_cores(); ++c) {
+        double f = gov.core_freq(c);
+        EXPECT_GE(f, cfg.core_freq_min_hz) << cfg.name;
+        EXPECT_LE(f, fmax) << cfg.name;
+        EXPECT_DOUBLE_EQ(machine.core(c)->capacity(), f) << cfg.name;
+      }
+      for (int s = 0; s < cfg.sockets; ++s) {
+        EXPECT_GE(gov.uncore_freq(s), cfg.uncore_freq_min_hz) << cfg.name;
+        EXPECT_LE(gov.uncore_freq(s), cfg.uncore_freq_max_hz) << cfg.name;
+      }
+    }
+  }
+}
+
+TEST_P(GovernorProperty, MoreActiveCoresNeverRaiseTurbo) {
+  // Monotonicity: adding busy cores to a socket can only lower (or keep)
+  // the busy cores' frequency.
+  sim::Rng rng(GetParam());
+  auto cfg = MachineConfig::henri();
+  sim::Engine engine;
+  sim::FlowModel model(engine);
+  Machine machine(model, cfg);
+  auto& gov = machine.governor();
+  gov.core_busy(0, VectorClass::kAvx512);
+  double prev = gov.core_freq(0);
+  for (int c = 1; c < 18; ++c) {
+    gov.core_busy(c, rng.uniform() < 0.5 ? VectorClass::kAvx512 : VectorClass::kScalar);
+    double now = gov.core_freq(0);
+    EXPECT_LE(now, prev + 1.0);
+    prev = now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GovernorProperty, ::testing::Values(5ull, 19ull, 101ull));
+
+TEST(GovernorProperty, ActiveCountMatchesBookkeeping) {
+  auto cfg = MachineConfig::henri();
+  sim::Engine engine;
+  sim::FlowModel model(engine);
+  Machine machine(model, cfg);
+  auto& gov = machine.governor();
+  EXPECT_EQ(gov.active_cores(0), 0);
+  gov.core_busy(0, VectorClass::kScalar);
+  gov.core_busy(5, VectorClass::kScalar);
+  gov.core_comm(17);
+  EXPECT_EQ(gov.active_cores(0), 3);
+  EXPECT_EQ(gov.active_cores(1), 0);
+  gov.core_idle(5);
+  EXPECT_EQ(gov.active_cores(0), 2);
+}
+
+}  // namespace
+}  // namespace cci::hw

@@ -1,0 +1,41 @@
+// Topology rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hw/topology.hpp"
+
+namespace cci::hw {
+namespace {
+
+TEST(Topology, HenriTreeListsAllNumaNodes) {
+  std::ostringstream os;
+  print_topology(os, MachineConfig::henri());
+  std::string out = os.str();
+  EXPECT_NE(out.find("Machine henri (36 cores, 4 NUMA nodes, 2 sockets)"), std::string::npos);
+  EXPECT_NE(out.find("NUMA 0 [NIC]"), std::string::npos);
+  EXPECT_NE(out.find("cores 27-35"), std::string::npos);
+  EXPECT_EQ(out.find("NUMA 4"), std::string::npos);
+}
+
+TEST(Topology, EveryPresetRenders) {
+  for (const auto& cfg : MachineConfig::all_presets()) {
+    std::ostringstream os;
+    print_topology(os, cfg);
+    EXPECT_NE(os.str().find(cfg.name), std::string::npos) << cfg.name;
+    EXPECT_NE(os.str().find("[NIC]"), std::string::npos) << cfg.name;
+  }
+}
+
+TEST(Topology, PlacementDescriptionNamesSides) {
+  auto cfg = MachineConfig::henri();
+  std::string near = describe_placement(cfg, 8, 0);
+  EXPECT_NE(near.find("near the NIC"), std::string::npos);
+  EXPECT_NE(near.find("NUMA 0 (near)"), std::string::npos);
+  std::string far = describe_placement(cfg, 35, 3);
+  EXPECT_NE(far.find("far from the NIC"), std::string::npos);
+  EXPECT_NE(far.find("NUMA 3 (far)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cci::hw

@@ -1,0 +1,48 @@
+// Transpose and RandomAccess kernels: correctness and traits.
+#include <gtest/gtest.h>
+
+#include "kernels/access_patterns.hpp"
+
+namespace cci::kernels {
+namespace {
+
+class TransposeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TransposeSizes, RoundTripsCorrectly) {
+  Transpose t(GetParam(), 8);
+  std::size_t bytes = t.run();
+  EXPECT_EQ(bytes, GetParam() * GetParam() * 16);
+  EXPECT_TRUE(t.verify());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransposeSizes, ::testing::Values(3u, 8u, 31u, 64u, 100u));
+
+TEST(Transpose, BlockSizeDoesNotChangeResult) {
+  Transpose a(48, 4), b(48, 48);
+  a.run();
+  b.run();
+  EXPECT_TRUE(a.verify());
+  EXPECT_TRUE(b.verify());
+}
+
+TEST(RandomAccess, ChecksumIsDeterministic) {
+  RandomAccess a(1 << 12), b(1 << 12);
+  EXPECT_EQ(a.run(10000), b.run(10000));
+}
+
+TEST(RandomAccess, XorUpdatesAreInvolutive) {
+  RandomAccess r(1 << 10);
+  EXPECT_TRUE(r.verify_involution(5000));
+}
+
+TEST(AccessTraits, CaptureThePatternCost) {
+  // GUPS wastes a full line per 8 useful bytes; transpose streams lines.
+  EXPECT_DOUBLE_EQ(RandomAccess::traits().bytes_per_iter, 64.0);
+  EXPECT_DOUBLE_EQ(Transpose::traits().bytes_per_iter, 16.0);
+  EXPECT_DOUBLE_EQ(RandomAccess::traits().flops_per_iter, 0.0);
+  // Both are deep in the memory-bound regime of Fig. 7.
+  EXPECT_LT(Transpose::traits().arithmetic_intensity(), 1.0);
+}
+
+}  // namespace
+}  // namespace cci::kernels

@@ -1,0 +1,78 @@
+// FFT kernel: correctness against the reference DFT, round trips, traits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/fft.hpp"
+#include "sim/rng.hpp"
+
+namespace cci::kernels {
+namespace {
+
+std::vector<Fft::Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<Fft::Complex> v(n);
+  for (auto& x : v) x = Fft::Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return v;
+}
+
+double max_err(const std::vector<Fft::Complex>& a, const std::vector<Fft::Complex>& b) {
+  double e = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) e = std::max(e, std::abs(a[i] - b[i]));
+  return e;
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  auto signal = random_signal(n, 42);
+  auto want = Fft::dft_reference(signal);
+  auto got = signal;
+  Fft(n).forward(got);
+  EXPECT_LT(max_err(got, want), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(FftSizes, ForwardInverseRoundTrips) {
+  const std::size_t n = GetParam();
+  auto signal = random_signal(n, 7);
+  auto data = signal;
+  Fft fft(n);
+  fft.forward(data);
+  fft.inverse(data);
+  EXPECT_LT(max_err(data, signal), 1e-10 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, FftSizes, ::testing::Values(2u, 4u, 8u, 64u, 256u, 1024u));
+
+TEST(Fft, ImpulseTransformsToConstant) {
+  std::vector<Fft::Complex> impulse(16, {0, 0});
+  impulse[0] = {1, 0};
+  Fft(16).forward(impulse);
+  for (const auto& x : impulse) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  auto signal = random_signal(512, 3);
+  double time_energy = 0;
+  for (auto& x : signal) time_energy += std::norm(x);
+  auto freq = signal;
+  Fft(512).forward(freq);
+  double freq_energy = 0;
+  for (auto& x : freq) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / 512.0, time_energy, 1e-9 * time_energy);
+}
+
+TEST(Fft, TraitsScaleWithSize) {
+  auto small = Fft::traits(1024);       // 16 KB: cache resident
+  auto large = Fft::traits(1u << 24);   // 256 MB: streaming
+  EXPECT_LT(small.dram_fraction(25e6), 0.01);
+  EXPECT_GT(large.dram_fraction(25e6), 0.9);
+  EXPECT_DOUBLE_EQ(Fft::butterflies(8), 12.0);  // 4 * 3 levels
+}
+
+}  // namespace
+}  // namespace cci::kernels

@@ -1,0 +1,69 @@
+// Stencil kernel: correctness, boundary handling, traits.
+#include <gtest/gtest.h>
+
+#include "kernels/stencil.hpp"
+
+namespace cci::kernels {
+namespace {
+
+TEST(Stencil, SweepMatchesReference) {
+  Stencil3D s(12, 14, 16);
+  std::size_t updated = s.sweep();
+  EXPECT_EQ(updated, 10u * 12u * 14u);
+  EXPECT_TRUE(s.verify());
+}
+
+TEST(Stencil, BoundariesStayUntouched) {
+  Stencil3D s(8, 8, 8);
+  s.sweep();
+  for (std::size_t j = 0; j < 8; ++j)
+    for (std::size_t k = 0; k < 8; ++k) {
+      EXPECT_DOUBLE_EQ(s.at_out(0, j, k), 0.0);
+      EXPECT_DOUBLE_EQ(s.at_out(7, j, k), 0.0);
+    }
+}
+
+TEST(Stencil, RepeatedSweepsConvergeTowardSmoothField) {
+  // The operator is a contraction (|c0| + 6|c1| = 1.0): the range of the
+  // interior must not expand over sweeps.
+  Stencil3D s(16, 16, 16);
+  auto range_of = [&](bool use_out) {
+    double lo = 1e300, hi = -1e300;
+    for (std::size_t i = 1; i < 15; ++i)
+      for (std::size_t j = 1; j < 15; ++j)
+        for (std::size_t k = 1; k < 15; ++k) {
+          double v = use_out ? s.at_out(i, j, k) : s.at_in(i, j, k);
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+    return hi - lo;
+  };
+  double before = range_of(false);
+  s.sweep();
+  double after = range_of(true);
+  EXPECT_LE(after, before * 1.0001);
+}
+
+TEST(Stencil, TraitsAreMemoryBound) {
+  auto t = Stencil3D::traits();
+  EXPECT_NEAR(t.arithmetic_intensity(), 0.5, 1e-12);
+  // Well below henri's ~6 flop/B boundary: the interference regime.
+  EXPECT_LT(t.arithmetic_intensity(), 6.0);
+}
+
+class StencilSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StencilSizes, VerifiesAtAnySize) {
+  std::size_t n = GetParam();
+  Stencil3D s(n, n, n);
+  s.sweep();
+  EXPECT_TRUE(s.verify());
+  s.swap_buffers();
+  s.sweep();
+  EXPECT_TRUE(s.verify());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cubes, StencilSizes, ::testing::Values(4u, 5u, 9u, 17u, 32u));
+
+}  // namespace
+}  // namespace cci::kernels

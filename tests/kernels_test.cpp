@@ -1,0 +1,161 @@
+// Real kernels: numerical correctness and trait accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/cg.hpp"
+#include "kernels/dense.hpp"
+#include "kernels/primes.hpp"
+#include "kernels/stream.hpp"
+#include "kernels/tunable_triad.hpp"
+#include "kernels/vecflops.hpp"
+
+namespace cci::kernels {
+namespace {
+
+TEST(Stream, CopyMovesData) {
+  StreamArrays s(4096);
+  std::size_t bytes = s.copy();
+  EXPECT_EQ(bytes, 4096u * 16u);
+  EXPECT_TRUE(s.verify_copy());
+}
+
+TEST(Stream, TriadComputesFma) {
+  StreamArrays s(4096, 2.5);
+  std::size_t bytes = s.triad();
+  EXPECT_EQ(bytes, 4096u * 24u);
+  EXPECT_TRUE(s.verify_triad());
+}
+
+TEST(Stream, TraitsMatchStreamAccounting) {
+  EXPECT_DOUBLE_EQ(copy_traits().bytes_per_iter, 16.0);
+  EXPECT_DOUBLE_EQ(copy_traits().flops_per_iter, 0.0);
+  EXPECT_DOUBLE_EQ(triad_traits().bytes_per_iter, 24.0);
+  EXPECT_DOUBLE_EQ(triad_traits().flops_per_iter, 2.0);
+}
+
+class TunableTriadCursor : public ::testing::TestWithParam<int> {};
+
+TEST_P(TunableTriadCursor, VerifiesAndAccountsIntensity) {
+  const int cursor = GetParam();
+  TunableTriad t(2048, cursor);
+  std::size_t flops = t.run();
+  EXPECT_EQ(flops, 2048u * 2u * static_cast<unsigned>(cursor));
+  EXPECT_TRUE(t.verify());
+  EXPECT_NEAR(t.arithmetic_intensity(), 2.0 * cursor / 24.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cursors, TunableTriadCursor,
+                         ::testing::Values(1, 2, 4, 8, 18, 72, 100, 500, 1200));
+
+TEST(TunableTriad, CursorForIntensityRoundTrips) {
+  // The paper's henri boundary: 6 flop/B needs cursor 72.
+  EXPECT_EQ(TunableTriad::cursor_for_intensity(6.0), 72);
+  for (double ai : {0.1, 0.5, 1.0, 6.0, 20.0, 70.0}) {
+    int c = TunableTriad::cursor_for_intensity(ai);
+    TunableTriad t(16, c);
+    EXPECT_GE(t.arithmetic_intensity(), ai - 1e-9);
+    EXPECT_LT(t.arithmetic_intensity(), ai + 1.0 / 12.0 + 1e-9);
+  }
+}
+
+TEST(Primes, KnownCounts) {
+  EXPECT_FALSE(is_prime_naive(0));
+  EXPECT_FALSE(is_prime_naive(1));
+  EXPECT_TRUE(is_prime_naive(2));
+  EXPECT_TRUE(is_prime_naive(97));
+  EXPECT_FALSE(is_prime_naive(91));  // 7 * 13
+  EXPECT_EQ(count_primes(0, 100), 25u);     // pi(100)
+  EXPECT_EQ(count_primes(0, 1000), 168u);   // pi(1000)
+  EXPECT_EQ(count_primes(100, 200), 21u);
+}
+
+TEST(Primes, TrialDivisionCostIsPositiveAndGrows) {
+  double small = prime_trial_divisions(2, 100);
+  double large = prime_trial_divisions(10000, 10100);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+  EXPECT_DOUBLE_EQ(prime_traits().bytes_per_iter, 0.0);
+}
+
+TEST(VecFlops, RunsStablyAndProducesFiniteChecksum) {
+  VecFlops v;
+  double sum = v.run(100000);
+  EXPECT_TRUE(std::isfinite(sum));
+  EXPECT_GT(sum, 0.0);
+  EXPECT_DOUBLE_EQ(VecFlops::traits().flops_per_iter, 16.0);
+  EXPECT_EQ(VecFlops::traits().vec, hw::VectorClass::kAvx512);
+}
+
+TEST(Dense, BlockedGemmMatchesNaive) {
+  for (std::size_t n : {17u, 32u, 65u}) {
+    Matrix a(n, n), b(n, n), c1(n, n), c2(n, n);
+    a.randomize(1);
+    b.randomize(2);
+    gemm_naive(a, b, c1);
+    gemm_blocked(a, b, c2, 16);
+    EXPECT_LT(c1.frobenius_distance(c2), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Dense, GemvMatchesManual) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 1;
+  a.at(1, 1) = 2;
+  a.at(2, 2) = 3;
+  std::vector<double> x{1.0, 1.0, 1.0}, y(3);
+  gemv(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+}
+
+TEST(Cg, SolvesDenseSpdSystem) {
+  const std::size_t n = 64;
+  Matrix a(n, n);
+  a.randomize(7);
+  a.make_spd();
+  std::vector<double> x_true(n), b(n), x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = std::sin(static_cast<double>(i));
+  gemv(a, x_true, b);
+  CgResult res = cg_solve(a, b, x, 1e-10, 500);
+  EXPECT_TRUE(res.converged);
+  double err = 0;
+  for (std::size_t i = 0; i < n; ++i) err = std::max(err, std::abs(x[i] - x_true[i]));
+  EXPECT_LT(err, 1e-6);
+}
+
+TEST(Cg, SolvesSparseLaplacian) {
+  auto a = CsrMatrix::laplacian2d(24);
+  std::vector<double> b(a.n, 1.0), x(a.n, 0.0);
+  CgResult res = cg_solve_csr(a, b, x, 1e-9, 2000);
+  EXPECT_TRUE(res.converged);
+  // Spot-check: residual really is small in the 2-norm.
+  std::vector<double> ax(a.n);
+  a.spmv(x, ax);
+  double r2 = 0;
+  for (std::size_t i = 0; i < a.n; ++i) r2 += (ax[i] - b[i]) * (ax[i] - b[i]);
+  EXPECT_LT(std::sqrt(r2), 1e-6);
+}
+
+TEST(Cg, TraitsReflectArithmeticIntensity) {
+  EXPECT_NEAR(cg_gemv_traits().arithmetic_intensity(), 0.25, 1e-12);
+  EXPECT_NEAR(gemm_tile_traits(480).arithmetic_intensity(), 40.0, 1e-9);
+  // GEMM is far more compute-dense than CG - the root cause of Fig. 10.
+  EXPECT_GT(gemm_tile_traits(480).arithmetic_intensity() /
+                cg_gemv_traits().arithmetic_intensity(),
+            100.0);
+}
+
+TEST(Cg, LaplacianStructureIsSymmetric) {
+  auto a = CsrMatrix::laplacian2d(8);
+  // Dense mirror to verify symmetry.
+  Matrix d(a.n, a.n);
+  for (std::size_t i = 0; i < a.n; ++i)
+    for (std::size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) d.at(i, a.col[k]) = a.val[k];
+  for (std::size_t i = 0; i < a.n; ++i)
+    for (std::size_t j = 0; j < a.n; ++j) EXPECT_DOUBLE_EQ(d.at(i, j), d.at(j, i));
+}
+
+}  // namespace
+}  // namespace cci::kernels

@@ -1,0 +1,81 @@
+// Analytical sharing models: sanity, asymptotics, and agreement with the
+// discrete-event simulator on the Fig. 4b sweep.
+#include <gtest/gtest.h>
+
+#include "core/interference_lab.hpp"
+#include "kernels/stream.hpp"
+#include "model/analytic.hpp"
+
+namespace cci::model {
+namespace {
+
+ContentionInputs fig4_inputs(int cores) {
+  ContentionInputs in;  // henri + EDR + TRIAD defaults
+  in.computing_cores = cores;
+  return in;
+}
+
+TEST(Analytic, NoComputationMeansFullBandwidth) {
+  auto mm = predict_max_min(fig4_inputs(0));
+  auto pr = predict_proportional(fig4_inputs(0));
+  EXPECT_NEAR(mm.network_bw, 10.5e9, 0.2e9);
+  EXPECT_NEAR(pr.network_bw, 10.5e9, 0.2e9);
+}
+
+TEST(Analytic, NetworkShareMonotonicallyDecreases) {
+  double prev_mm = 1e30, prev_pr = 1e30;
+  for (int cores : {0, 2, 4, 8, 16, 24, 35}) {
+    auto mm = predict_max_min(fig4_inputs(cores));
+    auto pr = predict_proportional(fig4_inputs(cores));
+    EXPECT_LE(mm.network_bw, prev_mm * (1 + 1e-9)) << cores;
+    EXPECT_LE(pr.network_bw, prev_pr * (1 + 1e-9)) << cores;
+    prev_mm = mm.network_bw;
+    prev_pr = pr.network_bw;
+  }
+}
+
+TEST(Analytic, ProportionalIsHarsherOnTheNicThanMaxMin) {
+  // Max-min protects the (weighted) small flow; proportional does not.
+  auto mm = predict_max_min(fig4_inputs(35));
+  auto pr = predict_proportional(fig4_inputs(35));
+  EXPECT_LT(pr.network_bw, mm.network_bw * 1.05);
+}
+
+TEST(Analytic, PerCoreBandwidthMatchesRooflineWhenUncontended) {
+  auto mm = predict_max_min(fig4_inputs(1));
+  EXPECT_NEAR(mm.per_core_bw, 12e9, 0.5e9);  // henri per-core cap
+}
+
+TEST(Analytic, CpuBoundKernelLeavesNetworkAlone) {
+  ContentionInputs in = fig4_inputs(35);
+  in.kernel = hw::KernelTraits{"flops", 8.0, 0.0, hw::VectorClass::kScalar};
+  auto mm = predict_max_min(in);
+  EXPECT_NEAR(mm.network_bw, 10.5e9, 0.2e9);
+}
+
+TEST(Analytic, MaxMinTracksSimulatorOnFig4bSweep) {
+  // The static model should land within ~35% of the DES on every point of
+  // the Fig. 4b sweep (it misses protocol dynamics, uncore, handshakes).
+  for (int cores : {0, 4, 8, 16, 24, 35}) {
+    auto mm = predict_max_min(fig4_inputs(cores));
+
+    core::Scenario s;
+    s.kernel = kernels::triad_traits();
+    s.computing_cores = cores;
+    s.message_bytes = 64 << 20;
+    s.pingpong_iterations = 4;
+    s.pingpong_warmup = 1;
+    core::InterferenceLab lab(s);
+    core::ComputePhase compute;
+    core::CommPhase comm;
+    lab.run_compute_alone();
+    lab.run_together(compute, comm);
+    double sim_bw = comm.bandwidth.median;
+
+    EXPECT_GT(mm.network_bw, 0.6 * sim_bw) << cores << " cores";
+    EXPECT_LT(mm.network_bw, 1.5 * sim_bw) << cores << " cores";
+  }
+}
+
+}  // namespace
+}  // namespace cci::model

@@ -1,0 +1,121 @@
+// Fault injection + DVFS transition latency.
+#include <gtest/gtest.h>
+
+#include "hw/frequency_governor.hpp"
+#include "mpi/pingpong.hpp"
+#include "net/faults.hpp"
+#include "trace/stats.hpp"
+
+namespace cci::net {
+namespace {
+
+using hw::MachineConfig;
+
+double bw_with(const std::function<void(Cluster&, FaultInjector&)>& inject) {
+  Cluster cluster(MachineConfig::henri(), NetworkParams::ib_edr());
+  FaultInjector faults(cluster);
+  inject(cluster, faults);
+  mpi::World world(cluster, {{0, -1}, {1, -1}});
+  mpi::PingPongOptions opt;
+  opt.bytes = 64 << 20;
+  opt.iterations = 8;
+  opt.warmup = 1;
+  mpi::PingPong pp(world, 0, 1, opt);
+  pp.start();
+  cluster.engine().run();
+  return trace::Stats::of(pp.bandwidths()).median;
+}
+
+TEST(Faults, CrossbarDegradationBecomesTheBottleneck) {
+  double healthy = bw_with([](Cluster&, FaultInjector&) {});
+  double degraded = bw_with([](Cluster&, FaultInjector& f) { f.degrade_wire(0.0, 0.25); });
+  // The 2-node switch core carries 2x the port rate; at 25% it caps flows
+  // at 0.25 * 2 * 12.08 GB/s, below the NIC's 10.1 GB/s.
+  EXPECT_NEAR(degraded, 0.25 * 2 * 12.08e9, 0.4e9);
+  EXPECT_GT(healthy, 1.5 * degraded);
+}
+
+TEST(Faults, NicDegradationRecovers) {
+  // Degrade early, recover mid-run: the sample spread must straddle both
+  // regimes (deciles far apart), and the median sit between them.
+  Cluster cluster(MachineConfig::henri(), NetworkParams::ib_edr());
+  FaultInjector faults(cluster);
+  faults.degrade_nic(0, 0.0, 0.3, /*recover_at=*/0.08);
+  faults.degrade_nic(1, 0.0, 0.3, /*recover_at=*/0.08);
+  mpi::World world(cluster, {{0, -1}, {1, -1}});
+  mpi::PingPongOptions opt;
+  opt.bytes = 64 << 20;
+  opt.iterations = 16;
+  opt.warmup = 0;
+  mpi::PingPong pp(world, 0, 1, opt);
+  pp.start();
+  cluster.engine().run();
+  auto stats = trace::Stats::of(pp.bandwidths());
+  // Early samples ran on the degraded NIC (~3 GB/s), late ones at full
+  // speed: the spread must straddle both regimes.
+  EXPECT_GT(stats.max, 2.0 * stats.min);
+  EXPECT_LT(stats.min, 5e9);
+  EXPECT_GT(stats.max, 9e9);
+}
+
+TEST(Faults, MemCtrlFaultHitsOnlyItsNode) {
+  Cluster cluster(MachineConfig::henri(), NetworkParams::ib_edr());
+  FaultInjector faults(cluster);
+  faults.degrade_mem_ctrl(0, 0, 0.0, 0.1);
+  cluster.engine().run(0.001);  // deliver the scheduled injection
+  EXPECT_NEAR(cluster.machine(0).mem_ctrl(0)->capacity(), 0.1 * 0.75 * 45e9, 1e9);
+  EXPECT_GT(cluster.machine(1).mem_ctrl(0)->capacity(), 30e9);
+}
+
+TEST(Faults, ThrottledNodeSlowsSmallMessages) {
+  double healthy = bw_with([](Cluster&, FaultInjector&) {});
+  (void)healthy;
+  // Latency version: throttling the sender's clocks stretches o.
+  auto latency_with = [](bool throttle) {
+    Cluster cluster(MachineConfig::henri(), NetworkParams::ib_edr());
+    FaultInjector faults(cluster);
+    if (throttle) {
+      faults.throttle_node(0, 0.0);
+      faults.throttle_node(1, 0.0);
+    }
+    mpi::World world(cluster, {{0, -1}, {1, -1}});
+    mpi::PingPongOptions opt;
+    opt.bytes = 4;
+    mpi::PingPong pp(world, 0, 1, opt);
+    pp.start();
+    cluster.engine().run();
+    return trace::Stats::of(pp.latencies()).median;
+  };
+  EXPECT_GT(latency_with(true), 1.5 * latency_with(false));
+}
+
+TEST(DvfsRamp, TransitionLatencyDelaysTurbo) {
+  sim::Engine engine;
+  sim::FlowModel model(engine);
+  MachineConfig cfg = MachineConfig::henri();
+  cfg.dvfs_transition_latency = 50e-6;
+  hw::Machine machine(model, cfg);
+  auto& gov = machine.governor();
+  engine.run(0.0);
+  engine.call_at(1e-3, [&] { gov.core_busy(0, hw::VectorClass::kScalar); });
+  engine.run(1e-3 + 10e-6);  // 10 us after the decision: still ramping
+  EXPECT_DOUBLE_EQ(gov.core_freq(0), cfg.core_freq_min_hz);
+  engine.run(1e-3 + 60e-6);  // past the 50 us ramp
+  EXPECT_DOUBLE_EQ(gov.core_freq(0), 3.7e9);
+}
+
+TEST(DvfsRamp, SupersededTransitionNeverLands) {
+  sim::Engine engine;
+  sim::FlowModel model(engine);
+  MachineConfig cfg = MachineConfig::henri();
+  cfg.dvfs_transition_latency = 50e-6;
+  hw::Machine machine(model, cfg);
+  auto& gov = machine.governor();
+  engine.call_at(1e-3, [&] { gov.core_busy(0, hw::VectorClass::kScalar); });
+  engine.call_at(1e-3 + 20e-6, [&] { gov.core_idle(0); });  // cancel before ramp ends
+  engine.run();
+  EXPECT_DOUBLE_EQ(gov.core_freq(0), cfg.core_freq_min_hz);
+}
+
+}  // namespace
+}  // namespace cci::net

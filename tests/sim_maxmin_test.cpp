@@ -1,0 +1,196 @@
+// Properties and examples for the weighted bottleneck max-min solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "sim/maxmin.hpp"
+#include "sim/rng.hpp"
+
+namespace cci::sim {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(MaxMin, SingleFlowGetsFullCapacity) {
+  MaxMinProblem p;
+  p.capacity = {10.0};
+  p.flows.push_back({1.0, 0.0, {{0, 1.0}}});
+  auto sol = solve_max_min(p);
+  EXPECT_NEAR(sol.rate[0], 10.0, kTol);
+  EXPECT_NEAR(sol.load[0], 10.0, kTol);
+}
+
+TEST(MaxMin, EqualFlowsShareEqually) {
+  MaxMinProblem p;
+  p.capacity = {12.0};
+  for (int i = 0; i < 4; ++i) p.flows.push_back({1.0, 0.0, {{0, 1.0}}});
+  auto sol = solve_max_min(p);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(sol.rate[static_cast<std::size_t>(i)], 3.0, kTol);
+}
+
+TEST(MaxMin, WeightsScaleShares) {
+  MaxMinProblem p;
+  p.capacity = {9.0};
+  p.flows.push_back({2.0, 0.0, {{0, 1.0}}});
+  p.flows.push_back({1.0, 0.0, {{0, 1.0}}});
+  auto sol = solve_max_min(p);
+  EXPECT_NEAR(sol.rate[0], 6.0, kTol);
+  EXPECT_NEAR(sol.rate[1], 3.0, kTol);
+}
+
+TEST(MaxMin, RateCapFreesCapacityForOthers) {
+  MaxMinProblem p;
+  p.capacity = {10.0};
+  p.flows.push_back({1.0, 2.0, {{0, 1.0}}});  // capped at 2
+  p.flows.push_back({1.0, 0.0, {{0, 1.0}}});
+  auto sol = solve_max_min(p);
+  EXPECT_NEAR(sol.rate[0], 2.0, kTol);
+  EXPECT_NEAR(sol.rate[1], 8.0, kTol);
+}
+
+TEST(MaxMin, DemandScalesUsage) {
+  // Flow consuming 2 units per rate unit gets half the rate on the same pipe.
+  MaxMinProblem p;
+  p.capacity = {8.0};
+  p.flows.push_back({1.0, 0.0, {{0, 2.0}}});
+  auto sol = solve_max_min(p);
+  EXPECT_NEAR(sol.rate[0], 4.0, kTol);
+  EXPECT_NEAR(sol.load[0], 8.0, kTol);
+}
+
+TEST(MaxMin, TwoHopFlowBottlenecksOnTightestResource) {
+  MaxMinProblem p;
+  p.capacity = {10.0, 4.0};
+  p.flows.push_back({1.0, 0.0, {{0, 1.0}, {1, 1.0}}});
+  auto sol = solve_max_min(p);
+  EXPECT_NEAR(sol.rate[0], 4.0, kTol);
+  EXPECT_NEAR(sol.load[0], 4.0, kTol);
+  EXPECT_NEAR(sol.load[1], 4.0, kTol);
+}
+
+TEST(MaxMin, ClassicThreeFlowLine) {
+  // Textbook line network: flow A crosses both links, B and C one each.
+  // Capacities 10 each: A=5, B=5, C=5.
+  MaxMinProblem p;
+  p.capacity = {10.0, 10.0};
+  p.flows.push_back({1.0, 0.0, {{0, 1.0}, {1, 1.0}}});  // A
+  p.flows.push_back({1.0, 0.0, {{0, 1.0}}});            // B
+  p.flows.push_back({1.0, 0.0, {{1, 1.0}}});            // C
+  auto sol = solve_max_min(p);
+  EXPECT_NEAR(sol.rate[0], 5.0, kTol);
+  EXPECT_NEAR(sol.rate[1], 5.0, kTol);
+  EXPECT_NEAR(sol.rate[2], 5.0, kTol);
+}
+
+TEST(MaxMin, UnevenLineGivesLeftoverToSingleHopFlow) {
+  // Link0 cap 10 shared by A and B; link1 cap 2 crossed only by A.
+  // A bottlenecks on link1 at 2; B then gets 8.
+  MaxMinProblem p;
+  p.capacity = {10.0, 2.0};
+  p.flows.push_back({1.0, 0.0, {{0, 1.0}, {1, 1.0}}});
+  p.flows.push_back({1.0, 0.0, {{0, 1.0}}});
+  auto sol = solve_max_min(p);
+  EXPECT_NEAR(sol.rate[0], 2.0, kTol);
+  EXPECT_NEAR(sol.rate[1], 8.0, kTol);
+}
+
+TEST(MaxMin, FlowWithoutDemandsIsUnconstrained) {
+  MaxMinProblem p;
+  p.capacity = {1.0};
+  p.flows.push_back({1.0, 0.0, {}});
+  auto sol = solve_max_min(p);
+  EXPECT_TRUE(std::isinf(sol.rate[0]));
+}
+
+TEST(MaxMin, FlowWithoutDemandsButCappedGetsCap) {
+  MaxMinProblem p;
+  p.flows.push_back({1.0, 3.5, {}});
+  auto sol = solve_max_min(p);
+  EXPECT_NEAR(sol.rate[0], 3.5, kTol);
+}
+
+TEST(MaxMin, ZeroCapacityResourceStallsItsFlows) {
+  MaxMinProblem p;
+  p.capacity = {0.0, 10.0};
+  p.flows.push_back({1.0, 0.0, {{0, 1.0}}});
+  p.flows.push_back({1.0, 0.0, {{1, 1.0}}});
+  auto sol = solve_max_min(p);
+  EXPECT_NEAR(sol.rate[0], 0.0, kTol);
+  EXPECT_NEAR(sol.rate[1], 10.0, kTol);
+}
+
+// ---- randomized property sweep -------------------------------------------
+
+struct RandomCase {
+  std::uint64_t seed;
+};
+
+class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+MaxMinProblem random_problem(Rng& rng) {
+  MaxMinProblem p;
+  std::size_t n_res = 1 + rng.below(6);
+  std::size_t n_flows = 1 + rng.below(12);
+  for (std::size_t r = 0; r < n_res; ++r) p.capacity.push_back(rng.uniform(0.5, 100.0));
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    MaxMinFlow flow;
+    flow.weight = rng.uniform(0.1, 4.0);
+    flow.rate_cap = rng.uniform() < 0.3 ? rng.uniform(0.1, 50.0) : 0.0;
+    std::size_t hops = 1 + rng.below(n_res);
+    for (std::size_t h = 0; h < hops; ++h) {
+      std::size_t r = rng.below(n_res);
+      flow.entries.push_back({r, rng.uniform(0.1, 3.0)});
+    }
+    p.flows.push_back(std::move(flow));
+  }
+  return p;
+}
+
+TEST_P(MaxMinProperty, FeasibleParetoAndBottlenecked) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    MaxMinProblem p = random_problem(rng);
+    auto sol = solve_max_min(p);
+
+    // Feasibility: per-resource usage within capacity (+slack).
+    std::vector<double> usage(p.capacity.size(), 0.0);
+    for (std::size_t f = 0; f < p.flows.size(); ++f) {
+      EXPECT_GE(sol.rate[f], -kTol);
+      if (p.flows[f].rate_cap > 0.0) {
+        EXPECT_LE(sol.rate[f], p.flows[f].rate_cap * (1.0 + 1e-9));
+      }
+      for (const auto& e : p.flows[f].entries) usage[e.resource] += sol.rate[f] * e.demand;
+    }
+    for (std::size_t r = 0; r < p.capacity.size(); ++r) {
+      EXPECT_LE(usage[r], p.capacity[r] * (1.0 + 1e-6) + 1e-9)
+          << "resource " << r << " overcommitted";
+      EXPECT_NEAR(usage[r], sol.load[r], 1e-6 * std::max(1.0, usage[r]));
+    }
+
+    // Pareto efficiency / bottleneck property: every flow is blocked either
+    // by its own cap or by at least one saturated resource it crosses.
+    for (std::size_t f = 0; f < p.flows.size(); ++f) {
+      if (p.flows[f].entries.empty()) continue;
+      bool capped = p.flows[f].rate_cap > 0.0 &&
+                    sol.rate[f] >= p.flows[f].rate_cap * (1.0 - 1e-6);
+      if (capped) continue;
+      bool bottlenecked = false;
+      for (const auto& e : p.flows[f].entries) {
+        if (e.demand <= 0.0) continue;
+        if (usage[e.resource] >= p.capacity[e.resource] * (1.0 - 1e-6)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(bottlenecked) << "flow " << f << " could still grow";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinProperty,
+                         ::testing::Values(1ull, 2ull, 3ull, 42ull, 1337ull, 0xDEADBEEFull));
+
+}  // namespace
+}  // namespace cci::sim

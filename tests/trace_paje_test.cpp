@@ -1,0 +1,58 @@
+// Paje export: structurally valid trace output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/paje.hpp"
+
+namespace cci::trace {
+namespace {
+
+TEST(Paje, HeaderComesFirstAndOnce) {
+  std::ostringstream os;
+  PajeWriter w(os);
+  w.write_header();
+  w.write_header();
+  std::string out = os.str();
+  EXPECT_EQ(out.find("%EventDef PajeDefineContainerType 0"), 0u);
+  // Only one header despite two calls.
+  EXPECT_EQ(out.find("%EventDef PajeDefineContainerType 0", 1), std::string::npos);
+}
+
+TEST(Paje, MachineDefinitionCreatesContainers) {
+  std::ostringstream os;
+  PajeWriter w(os);
+  w.define_machine("henri", 4);
+  std::string out = os.str();
+  EXPECT_NE(out.find("3 0.000000 m M 0 henri"), std::string::npos);
+  EXPECT_NE(out.find("core3"), std::string::npos);
+  EXPECT_EQ(out.find("core4"), std::string::npos);
+}
+
+TEST(Paje, TaskStatesOpenAndClose) {
+  std::ostringstream os;
+  PajeWriter w(os);
+  w.define_machine("henri", 2);
+  w.task_state(1, "gemv", 0.5, 0.75);
+  std::string out = os.str();
+  EXPECT_NE(out.find("4 0.5 S c1 gemv"), std::string::npos);
+  EXPECT_NE(out.find("4 0.75 S c1 idle"), std::string::npos);
+}
+
+TEST(Paje, FrequencyTraceExports) {
+  sim::Engine engine;
+  sim::FlowModel model(engine);
+  hw::Machine machine(model, hw::MachineConfig::henri());
+  FreqTrace trace(machine);
+  engine.call_at(1.0, [&] { machine.governor().core_busy(0, hw::VectorClass::kScalar); });
+  engine.run();
+  std::ostringstream os;
+  PajeWriter w(os);
+  w.define_machine("henri", 36);
+  w.write_freq_trace(trace);
+  // The busy transition of core 0 (3.7 GHz) must appear as a variable set.
+  EXPECT_NE(os.str().find("5 1 F c0 3.7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cci::trace

@@ -1,0 +1,72 @@
+// Stats, tables, frequency traces.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/freq_trace.hpp"
+#include "trace/stats.hpp"
+#include "trace/table.hpp"
+
+namespace cci::trace {
+namespace {
+
+TEST(Stats, MedianAndDeciles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  Stats s = Stats::of(v);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.decile1, 10.9, 1e-9);
+  EXPECT_NEAR(s.decile9, 90.1, 1e-9);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  Stats empty = Stats::of({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_EQ(empty.median, 0.0);
+  Stats one = Stats::of({7.0});
+  EXPECT_EQ(one.median, 7.0);
+  EXPECT_EQ(one.decile1, 7.0);
+  EXPECT_EQ(one.decile9, 7.0);
+}
+
+TEST(Table, AlignedOutputContainsData) {
+  Table t({"cores", "latency"});
+  t.add_row({1.0, 1.5e-6});
+  t.add_row({36.0, 3.0e-6});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("cores"), std::string::npos);
+  EXPECT_NE(os.str().find("36"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("cores,latency"), std::string::npos);
+}
+
+TEST(Formatters, HumanReadableUnits) {
+  EXPECT_EQ(format_time(1.5e-6), "1.50 us");
+  EXPECT_EQ(format_time(2.5e-3), "2.50 ms");
+  EXPECT_EQ(format_bw(10.5e9), "10.50 GB/s");
+  EXPECT_EQ(format_bytes(64.0 * (1 << 20)), "64 MB");
+}
+
+TEST(FreqTrace, RecordsGovernorTransitions) {
+  sim::Engine engine;
+  sim::FlowModel model(engine);
+  hw::Machine machine(model, hw::MachineConfig::henri());
+  FreqTrace trace(machine);
+  engine.call_at(1.0, [&] { machine.governor().core_busy(0, hw::VectorClass::kScalar); });
+  engine.call_at(2.0, [&] { machine.governor().core_idle(0); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(trace.freq_at(0, 0.5), 1.0e9);   // idle min
+  EXPECT_DOUBLE_EQ(trace.freq_at(0, 1.5), 3.7e9);   // single-core turbo
+  EXPECT_DOUBLE_EQ(trace.freq_at(0, 2.5), 1.0e9);   // idle again
+  auto sampled = trace.sample(0.0, 3.0, 0.5, 1);
+  ASSERT_EQ(sampled.times.size(), 7u);
+  EXPECT_DOUBLE_EQ(sampled.core_freqs[0][2], 3.7e9);  // t=1.0
+}
+
+}  // namespace
+}  // namespace cci::trace
