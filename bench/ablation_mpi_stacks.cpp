@@ -42,11 +42,11 @@ int main() {
                          ? bw.comm_together.bandwidth.median / bw.comm_alone.bandwidth.median
                          : 1.0;
       t.add_text_row({stack.label, std::to_string(cores),
-                      std::to_string(sim::to_usec(lat.comm_alone.latency.median)).substr(0, 5),
-                      std::to_string(sim::to_usec(lat.comm_together.latency.median)).substr(0, 5),
-                      std::to_string(bw.comm_alone.bandwidth.median / 1e9).substr(0, 5),
-                      std::to_string(bw.comm_together.bandwidth.median / 1e9).substr(0, 5),
-                      std::to_string(ratio).substr(0, 5)});
+                      trace::fmt(sim::to_usec(lat.comm_alone.latency.median), 2),
+                      trace::fmt(sim::to_usec(lat.comm_together.latency.median), 2),
+                      trace::fmt(bw.comm_alone.bandwidth.median / 1e9, 2),
+                      trace::fmt(bw.comm_together.bandwidth.median / 1e9, 2),
+                      trace::fmt(ratio, 2)});
     }
   }
   t.print(std::cout);

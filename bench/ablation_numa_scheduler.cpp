@@ -22,9 +22,9 @@ int main() {
       opt.workers = workers;
       auto r = runtime::run_cg_app(machine, np, cfg, opt);
       t.add_text_row({numa ? "numa-aware" : "fifo", std::to_string(workers),
-                      std::to_string(r.makespan * 1e3).substr(0, 6),
-                      std::to_string(r.sending_bw / 1e9).substr(0, 5),
-                      std::to_string(100.0 * r.stall_fraction).substr(0, 4)});
+                      trace::fmt(r.makespan * 1e3, 3),
+                      trace::fmt(r.sending_bw / 1e9, 2),
+                      trace::fmt(100.0 * r.stall_fraction, 1)});
     }
   }
   t.print(std::cout);

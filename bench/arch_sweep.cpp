@@ -70,11 +70,11 @@ int main() {
                   "bw_left_at_full", "lat_factor_at_full"});
   for (const auto& machine : hw::MachineConfig::all_presets()) {
     ArchRow row = measure(machine);
-    t.add_text_row({row.name, std::to_string(row.quiet_lat_us).substr(0, 5),
-                    std::to_string(row.quiet_bw_gbps).substr(0, 5),
+    t.add_text_row({row.name, trace::fmt(row.quiet_lat_us, 2),
+                    trace::fmt(row.quiet_bw_gbps, 2),
                     std::to_string(row.bw_onset_cores),
-                    std::to_string(row.bw_left_full).substr(0, 5),
-                    std::to_string(row.lat_factor_full).substr(0, 5)});
+                    trace::fmt(row.bw_left_full, 2),
+                    trace::fmt(row.lat_factor_full, 2)});
   }
   t.print(std::cout);
   std::cout << "\nPaper: billy and pyxis behave like henri; bora (one NUMA node per\n"

@@ -73,9 +73,9 @@ int main() {
     for (std::size_t bytes : {std::size_t{64} * 1024, std::size_t{8} << 20}) {
       double quiet = collective_time(op, 0, bytes);
       double loud = collective_time(op, 16, bytes);
-      t.add_text_row({op, std::to_string(bytes), std::to_string(quiet * 1e3).substr(0, 6),
-                      std::to_string(loud * 1e3).substr(0, 6),
-                      std::to_string(loud / quiet).substr(0, 5)});
+      t.add_text_row({op, std::to_string(bytes), trace::fmt(quiet * 1e3, 3),
+                      trace::fmt(loud * 1e3, 3),
+                      trace::fmt(loud / quiet, 2)});
     }
   }
   t.print(std::cout);

@@ -8,6 +8,7 @@ using namespace cci;
 
 int main() {
   bench::banner("Fig. 4", "STREAM vs network performance (data near NIC, comm thread far)");
+  bench::BenchObs obs("fig04_memory_contention");
 
   core::Scenario base;
   base.kernel = kernels::triad_traits();
@@ -31,6 +32,9 @@ int main() {
                  sim::to_usec(r.comm_together.latency.decile9),
                  r.compute_alone.per_core_bandwidth.median / 1e9,
                  r.compute_together.per_core_bandwidth.median / 1e9});
+    obs.write_record({{"cores", static_cast<double>(cores)},
+                      {"msg_bytes", 4.0},
+                      {"lat_together_us", sim::to_usec(r.comm_together.latency.median)}});
   }
   lat.print(std::cout);
   std::cout << "\nPaper: latency impacted from ~22 cores, up to 2x at 35; STREAM unaffected.\n\n";

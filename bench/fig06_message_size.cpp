@@ -30,10 +30,10 @@ void run_panel(int cores) {
     double together = small ? sim::to_usec(r.comm_together.latency.median)
                             : r.comm_together.bandwidth.median / 1e9;
     t.add_text_row({std::to_string(bytes),
-                    std::to_string(alone).substr(0, 6),
-                    std::to_string(together).substr(0, 6),
-                    std::to_string(r.compute_alone.per_core_bandwidth.median / 1e9).substr(0, 5),
-                    std::to_string(r.compute_together.per_core_bandwidth.median / 1e9).substr(0, 5),
+                    trace::fmt(alone, 3),
+                    trace::fmt(together, 3),
+                    trace::fmt(r.compute_alone.per_core_bandwidth.median / 1e9, 2),
+                    trace::fmt(r.compute_together.per_core_bandwidth.median / 1e9, 2),
                     small ? "us" : "GB/s"});
   }
   t.print(std::cout);

@@ -56,10 +56,10 @@ int main() {
     auto np = net::NetworkParams::for_machine(m.name);
     double raw = raw_latency(m.cfg, np);
     double rt = rt_latency(m.cfg, np);
-    t.add_text_row({m.name, std::to_string(sim::to_usec(raw)).substr(0, 5),
-                    std::to_string(sim::to_usec(rt)).substr(0, 5),
-                    std::to_string(sim::to_usec(rt - raw)).substr(0, 5),
-                    std::to_string(m.paper).substr(0, 4)});
+    t.add_text_row({m.name, trace::fmt(sim::to_usec(raw), 2),
+                    trace::fmt(sim::to_usec(rt), 2),
+                    trace::fmt(sim::to_usec(rt - raw), 2),
+                    trace::fmt(m.paper, 1)});
   }
   t.print(std::cout);
 
@@ -74,7 +74,7 @@ int main() {
                     {"far", "far", 3, 35}};
   for (auto& c : combos) {
     double lat = rt_latency(henri, np, c.core, c.numa);
-    f8.add_text_row({c.d, c.c, std::to_string(sim::to_usec(lat)).substr(0, 5)});
+    f8.add_text_row({c.d, c.c, trace::fmt(sim::to_usec(lat), 2)});
   }
   f8.print(std::cout);
   std::cout << "\nPaper: what matters most is that the data and the communication thread\n"

@@ -26,6 +26,8 @@ double run_config(int backoff, bool paused, std::size_t bytes) {
   runtime::RtPingPong pp(rt0, rt1, opt);
   pp.start();
   cluster.engine().run(10.0);  // workers poll forever: bounded horizon
+  rt0.shutdown();  // flushes the poll-count integral into the registry
+  rt1.shutdown();
   return trace::Stats::of(pp.latencies()).median;
 }
 
@@ -33,15 +35,20 @@ double run_config(int backoff, bool paused, std::size_t bytes) {
 
 int main() {
   bench::banner("Fig. 9", "impact of worker polling (backoff) on network latency");
+  bench::BenchObs obs("fig09_worker_polling");
 
   trace::Table t({"msg_bytes", "paused_us", "backoff_10000_us", "backoff_32_default_us",
                   "backoff_2_us"});
   for (std::size_t bytes : {4u, 64u, 1024u, 16384u, 262144u}) {
-    t.add_row({static_cast<double>(bytes),
-               sim::to_usec(run_config(32, true, bytes)),
-               sim::to_usec(run_config(10000, false, bytes)),
-               sim::to_usec(run_config(32, false, bytes)),
-               sim::to_usec(run_config(2, false, bytes))});
+    double paused = run_config(32, true, bytes);
+    double slow = run_config(10000, false, bytes);
+    double dflt = run_config(32, false, bytes);
+    double fast = run_config(2, false, bytes);
+    t.add_row({static_cast<double>(bytes), sim::to_usec(paused), sim::to_usec(slow),
+               sim::to_usec(dflt), sim::to_usec(fast)});
+    obs.write_record({{"msg_bytes", static_cast<double>(bytes)},
+                      {"paused_us", sim::to_usec(paused)},
+                      {"backoff_32_default_us", sim::to_usec(dflt)}});
   }
   t.print(std::cout);
   std::cout << "\nPaper: latency is higher the more often workers poll; a very long\n"

@@ -9,6 +9,7 @@ using namespace cci;
 
 int main() {
   bench::banner("Fig. 10", "CG and GEMM: sending bandwidth vs memory stalls, 2 nodes");
+  bench::BenchObs obs("fig10_cg_gemm");
 
   auto machine = hw::MachineConfig::henri();
   auto np = net::NetworkParams::ib_edr();
@@ -33,6 +34,12 @@ int main() {
     auto rg = runtime::run_gemm_app(machine, np, rt_cfg, gm);
     gemm_bw.push_back(rg.sending_bw);
     gemm_stall.push_back(rg.stall_fraction);
+
+    obs.write_record({{"workers", static_cast<double>(w)},
+                      {"cg_send_Bps", rc.sending_bw},
+                      {"cg_stall_fraction", rc.stall_fraction},
+                      {"gemm_send_Bps", rg.sending_bw},
+                      {"gemm_stall_fraction", rg.stall_fraction}});
   }
 
   double cg_max = *std::max_element(cg_bw.begin(), cg_bw.end());

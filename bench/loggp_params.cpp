@@ -14,10 +14,10 @@ int main() {
     auto p = mpi::fit_loggp_two_frequencies(cluster, machine.core_freq_min_hz,
                                             machine.core_freq_nominal_hz);
     t.add_text_row({machine.name,
-                    std::to_string(p.latency * 1e6).substr(0, 5),
-                    std::to_string(p.overhead * 1e6).substr(0, 5),
-                    std::to_string(p.gap_per_byte * 1e9 * 1024).substr(0, 5),
-                    std::to_string(1.0 / p.gap_per_byte / 1e9).substr(0, 5)});
+                    trace::fmt(p.latency * 1e6, 2),
+                    trace::fmt(p.overhead * 1e6, 2),
+                    trace::fmt(p.gap_per_byte * 1e9 * 1024, 2),
+                    trace::fmt(1.0 / p.gap_per_byte / 1e9, 2)});
   }
   t.print(std::cout);
   std::cout << "\no is the frequency-scaled software overhead the paper's §3 isolates:\n"

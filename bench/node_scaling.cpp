@@ -21,9 +21,9 @@ int main() {
     cg.ranks = ranks;
     auto rc = runtime::run_cg_app(machine, np, cfg, cg);
     t.add_text_row({"CG", "n=32768", std::to_string(ranks),
-                    std::to_string(rc.makespan * 1e3).substr(0, 6),
-                    std::to_string(rc.sending_bw / 1e9).substr(0, 5),
-                    std::to_string(100 * rc.stall_fraction).substr(0, 4)});
+                    trace::fmt(rc.makespan * 1e3, 3),
+                    trace::fmt(rc.sending_bw / 1e9, 2),
+                    trace::fmt(100 * rc.stall_fraction, 1)});
 
     // GEMM in both regimes: broadcast-bound (small m) and compute-bound.
     for (std::size_t m : {2048u, 8192u}) {
@@ -34,9 +34,9 @@ int main() {
       gm.ranks = ranks;
       auto rg = runtime::run_gemm_app(machine, np, cfg, gm);
       t.add_text_row({"GEMM", "m=" + std::to_string(m), std::to_string(ranks),
-                      std::to_string(rg.makespan * 1e3).substr(0, 6),
-                      std::to_string(rg.sending_bw / 1e9).substr(0, 5),
-                      std::to_string(100 * rg.stall_fraction).substr(0, 4)});
+                      trace::fmt(rg.makespan * 1e3, 3),
+                      trace::fmt(rg.sending_bw / 1e9, 2),
+                      trace::fmt(100 * rg.stall_fraction, 1)});
     }
   }
   t.print(std::cout);

@@ -40,10 +40,10 @@ int main() {
     for (int cores : {2, 8, 16}) {
       auto r = run_case(c.traits, cores);
       t.add_text_row({c.label, std::to_string(cores),
-                      std::to_string(r.t_comm * 1e3).substr(0, 5),
-                      std::to_string(r.t_comp * 1e3).substr(0, 5),
-                      std::to_string(r.t_overlap * 1e3).substr(0, 5),
-                      std::to_string(r.ratio()).substr(0, 5)});
+                      trace::fmt(r.t_comm * 1e3, 2),
+                      trace::fmt(r.t_comp * 1e3, 2),
+                      trace::fmt(r.t_overlap * 1e3, 2),
+                      trace::fmt(r.ratio(), 2)});
     }
   }
   t.print(std::cout);

@@ -23,9 +23,9 @@ int main() {
     cg.workers = workers;
     auto rc = runtime::run_cg_app(machine, np, rt_cfg, cg);
     t.add_text_row({"CG", std::to_string(workers),
-                    std::to_string(rc.makespan * 1e3).substr(0, 6),
-                    std::to_string(rc.sending_bw / 1e9).substr(0, 5),
-                    std::to_string(100.0 * rc.stall_fraction).substr(0, 4),
+                    trace::fmt(rc.makespan * 1e3, 3),
+                    trace::fmt(rc.sending_bw / 1e9, 2),
+                    trace::fmt(100.0 * rc.stall_fraction, 1),
                     std::to_string(rc.tasks)});
 
     runtime::GemmAppOptions gm;
@@ -34,9 +34,9 @@ int main() {
     gm.workers = workers;
     auto rg = runtime::run_gemm_app(machine, np, rt_cfg, gm);
     t.add_text_row({"GEMM", std::to_string(workers),
-                    std::to_string(rg.makespan * 1e3).substr(0, 6),
-                    std::to_string(rg.sending_bw / 1e9).substr(0, 5),
-                    std::to_string(100.0 * rg.stall_fraction).substr(0, 4),
+                    trace::fmt(rg.makespan * 1e3, 3),
+                    trace::fmt(rg.sending_bw / 1e9, 2),
+                    trace::fmt(100.0 * rg.stall_fraction, 1),
                     std::to_string(rg.tasks)});
   }
   t.print(std::cout);

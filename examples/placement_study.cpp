@@ -39,9 +39,9 @@ int main(int argc, char** argv) {
       double bandwidth = bw.comm_together.bandwidth.median;
       double stream = bw.compute_together.per_core_bandwidth.median;
       table.add_text_row({to_string(data), to_string(thread),
-                          std::to_string(sim::to_usec(latency)).substr(0, 5),
-                          std::to_string(bandwidth / 1e9).substr(0, 5),
-                          std::to_string(stream / 1e9).substr(0, 5)});
+                          trace::fmt(sim::to_usec(latency), 2),
+                          trace::fmt(bandwidth / 1e9, 2),
+                          trace::fmt(stream / 1e9, 2)});
       // Combined figure of merit: bandwidth and latency both matter.
       double score = bandwidth / 1e9 + 1.0 / sim::to_usec(latency) * 5.0 + stream / 1e9;
       if (score > best_score) {

@@ -44,14 +44,14 @@ int main() {
     std::size_t flops = tt.run();
     double gf = static_cast<double>(flops) / seconds_since(t0) / 1e9;
     t.add_text_row({"TRIAD cursor=72", tt.verify() ? "yes" : "NO",
-                    std::to_string(gf).substr(0, 5) + " Gflop/s", "144 flop / 24 B (AI 6)"});
+                    trace::fmt(gf, 2) + " Gflop/s", "144 flop / 24 B (AI 6)"});
   }
   {
     auto t0 = Clock::now();
     std::uint64_t primes = kernels::count_primes(2, 200000);
     double sec = seconds_since(t0);
     t.add_text_row({"prime counting", primes == 17984 ? "yes" : "NO",
-                    std::to_string(sec * 1e3).substr(0, 5) + " ms for [2,2e5)",
+                    trace::fmt(sec * 1e3, 2) + " ms for [2,2e5)",
                     "4 flop-eq / 0 B (CPU-bound)"});
   }
   {
@@ -60,7 +60,7 @@ int main() {
     double checksum = v.run(2'000'000);
     double gf = 2e6 * 16.0 / seconds_since(t0) / 1e9;
     t.add_text_row({"vector FMA burn", std::isfinite(checksum) ? "yes" : "NO",
-                    std::to_string(gf).substr(0, 5) + " Gflop/s", "16 flop / 0 B (AVX512)"});
+                    trace::fmt(gf, 2) + " Gflop/s", "16 flop / 0 B (AVX512)"});
   }
   {
     const std::size_t n = 256;
@@ -73,7 +73,7 @@ int main() {
     kernels::gemm_naive(a, b, c2);
     bool ok = c1.frobenius_distance(c2) < 1e-9;
     t.add_text_row({"blocked GEMM", ok ? "yes" : "NO",
-                    std::to_string(gf).substr(0, 5) + " Gflop/s",
+                    trace::fmt(gf, 2) + " Gflop/s",
                     "2t^3 flop / 24t^2 B per tile"});
   }
   {
@@ -84,7 +84,7 @@ int main() {
     double sec = seconds_since(t0);
     t.add_text_row({"CG (CSR Laplacian)", res.converged ? "yes" : "NO",
                     std::to_string(res.iterations) + " iters, " +
-                        std::to_string(sec * 1e3).substr(0, 5) + " ms",
+                        trace::fmt(sec * 1e3, 2) + " ms",
                     "2 flop / 8 B (GEMV, AI 0.25)"});
   }
   t.print(std::cout);

@@ -51,7 +51,7 @@ int main() {
       }
     }
     table.add_text_row({t.cfg.name, std::to_string(cores),
-                        std::to_string(hi).substr(0, 5), std::to_string(t.paper).substr(0, 4)});
+                        trace::fmt(hi, 2), trace::fmt(t.paper, 1)});
   }
   table.print(std::cout);
   std::cout << "\nKernels below the boundary (memory-bound) will fight your MPI traffic;\n"

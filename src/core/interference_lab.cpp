@@ -1,5 +1,8 @@
 #include "core/interference_lab.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace cci::core {
 
 InterferenceLab::InterferenceLab(Scenario scenario) : scenario_(std::move(scenario)) {
@@ -103,10 +106,25 @@ void InterferenceLab::run_together(ComputePhase& compute, CommPhase& comm, int t
 }
 
 SideBySideResult InterferenceLab::run() {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("core.lab.protocol_runs").add(1);
+  obs::Tracer& tracer = reg.tracer();
+  const obs::TrackId track = tracer.track("lab.phases");
+  sim::Engine& engine = cluster_->engine();
+  auto phase_span = [&](const char* name, sim::Time t0) {
+    if (tracer.on()) tracer.span(track, name, t0, engine.now());
+  };
+
   SideBySideResult result;
+  sim::Time t0 = engine.now();
   result.compute_alone = run_compute_alone();
+  phase_span("compute_alone", t0);
+  t0 = engine.now();
   result.comm_alone = run_comm_alone(1000);
+  phase_span("comm_alone", t0);
+  t0 = engine.now();
   run_together(result.compute_together, result.comm_together, 2000);
+  phase_span("side_by_side", t0);
   return result;
 }
 

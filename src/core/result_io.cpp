@@ -112,6 +112,43 @@ void write_compute(JsonWriter& w, const char* key, const ComputePhase& phase) {
 
 }  // namespace
 
+void write_metrics_json(JsonWriter& w, const obs::Snapshot& snapshot) {
+  w.object_field("metrics");
+  for (const auto& e : snapshot.entries) {
+    using Kind = obs::Snapshot::Entry::Kind;
+    switch (e.kind) {
+      case Kind::kCounter:
+      case Kind::kGauge:
+        w.field(e.name, e.value);
+        break;
+      case Kind::kHistogram:
+        w.object_field(e.name);
+        w.field("count", static_cast<double>(e.count));
+        w.field("sum", e.sum);
+        w.field("mean", e.value);
+        w.field("p50", e.p50);
+        w.field("p90", e.p90);
+        w.field("p99", e.p99);
+        w.field("max", e.max);
+        w.end_object();
+        break;
+    }
+  }
+  w.end_object();
+}
+
+void write_bench_json(std::ostream& os, const std::string& bench,
+                      const std::vector<std::pair<std::string, double>>& fields,
+                      const obs::Snapshot* metrics) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("bench", bench);
+  for (const auto& [key, value] : fields) w.field(key, value);
+  if (metrics) write_metrics_json(w, *metrics);
+  w.end_object();
+  os << "\n";
+}
+
 void write_result_json(std::ostream& os, const Scenario& scenario,
                        const SideBySideResult& result) {
   JsonWriter w(os);
@@ -131,6 +168,9 @@ void write_result_json(std::ostream& os, const Scenario& scenario,
   write_comm(w, "comm_alone", result.comm_alone);
   write_compute(w, "compute_together", result.compute_together);
   write_comm(w, "comm_together", result.comm_together);
+  if (obs::Registry::global().enabled()) {
+    write_metrics_json(w, obs::Registry::global().snapshot());
+  }
   w.end_object();
   os << "\n";
 }

@@ -7,9 +7,11 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/interference_lab.hpp"
+#include "obs/metrics.hpp"
 
 namespace cci::core {
 
@@ -36,8 +38,22 @@ class JsonWriter {
   std::vector<bool> first_in_scope_;
 };
 
-/// Serialize one scenario + its three-phase result as a JSON object.
+/// Serialize one scenario + its three-phase result as a JSON object.  When
+/// the global obs::Registry is enabled, the record carries a "metrics"
+/// object with its current snapshot, so every result is self-describing
+/// telemetry-wise.
 void write_result_json(std::ostream& os, const Scenario& scenario,
                        const SideBySideResult& result);
+
+/// Emit `"metrics": {...}` into an open JSON object: counters/gauges as
+/// flat values, histograms as {count, sum, mean, p50, p90, p99, max}.
+void write_metrics_json(JsonWriter& w, const obs::Snapshot& snapshot);
+
+/// Generic bench record: bench name, flat numeric fields, and (optionally)
+/// a metrics snapshot.  Used by bench binaries that don't follow the
+/// Scenario/SideBySideResult protocol.
+void write_bench_json(std::ostream& os, const std::string& bench,
+                      const std::vector<std::pair<std::string, double>>& fields,
+                      const obs::Snapshot* metrics);
 
 }  // namespace cci::core

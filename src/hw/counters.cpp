@@ -6,12 +6,29 @@ sim::Coro CounterSampler::sample_loop() {
   const auto& cfg = machine_.config();
   ctrl_samples_.resize(static_cast<std::size_t>(cfg.numa_count()));
   core_freqs_.resize(static_cast<std::size_t>(cfg.total_cores()));
+
+  // The sampler is the registry's hardware feed: pmu-tools style counters
+  // published under hw.* alongside the private aggregation vectors.
+  obs::Registry& reg = obs::Registry::global();
+  obs_samples_ = &reg.counter("hw.counters.samples");
+  obs_ctrl_pressure_.clear();
+  obs_ctrl_util_series_.clear();
+  for (int n = 0; n < cfg.numa_count(); ++n) {
+    const std::string name = machine_.mem_ctrl(n)->name();
+    obs_ctrl_pressure_.push_back(&reg.gauge("hw." + name + ".pressure"));
+    obs_ctrl_util_series_.push_back("hw." + name + ".utilization");
+  }
+
   while (running_) {
+    obs_samples_->add(1);
     times_.push_back(machine_.engine().now());
     for (int n = 0; n < cfg.numa_count(); ++n) {
       const sim::Resource* r = machine_.mem_ctrl(n);
       ctrl_samples_[static_cast<std::size_t>(n)].push_back(
           {r->utilization(), r->pressure(), r->load()});
+      obs_ctrl_pressure_[static_cast<std::size_t>(n)]->set(r->pressure());
+      reg.tracer().counter_sample(obs_ctrl_util_series_[static_cast<std::size_t>(n)],
+                                  machine_.engine().now(), r->utilization());
     }
     const sim::Resource* x = machine_.cross_link();
     xlink_samples_.push_back({x->utilization(), x->pressure(), x->load()});

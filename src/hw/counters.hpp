@@ -8,10 +8,12 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "hw/frequency_governor.hpp"
 #include "hw/machine.hpp"
+#include "obs/metrics.hpp"
 
 namespace cci::hw {
 
@@ -61,6 +63,13 @@ class CounterSampler {
   std::vector<std::vector<Sample>> ctrl_samples_;  ///< [numa][sample]
   std::vector<Sample> xlink_samples_;
   std::vector<std::vector<double>> core_freqs_;  ///< [core][sample]
+
+  // Observability: every sample also lands in the global registry (gauges
+  // track the latest/peak pressure per controller; the tracer gets a
+  // utilization counter series per controller).
+  obs::Counter* obs_samples_ = nullptr;
+  std::vector<obs::Gauge*> obs_ctrl_pressure_;
+  std::vector<std::string> obs_ctrl_util_series_;
 };
 
 }  // namespace cci::hw

@@ -26,6 +26,17 @@ World::World(net::Cluster& cluster, std::vector<RankConfig> ranks) : cluster_(cl
   // permanently active at the stable comm frequency.
   for (int r = 0; r < size(); ++r)
     machine_of(r).governor().core_comm(comm_core(r));
+
+  obs_reg_ = &obs::Registry::global();
+  obs_eager_ = &obs_reg_->counter("mpi.world.eager_msgs");
+  obs_rndv_ = &obs_reg_->counter("mpi.world.rndv_msgs");
+  obs_bytes_ = &obs_reg_->counter("mpi.world.bytes_sent");
+  obs_posted_depth_ = &obs_reg_->histogram("mpi.world.posted_depth");
+  obs_unexpected_depth_ = &obs_reg_->histogram("mpi.world.unexpected_depth");
+  obs_dma_rate_ = &obs_reg_->histogram("mpi.world.dma_rate_Bps");
+  obs_rank_tracks_.reserve(ranks_.size());
+  for (int r = 0; r < size(); ++r)
+    obs_rank_tracks_.push_back(obs_reg_->tracer().track("mpi.rank" + std::to_string(r)));
 }
 
 int World::comm_core(int rank) const { return cfg(rank).comm_core; }
@@ -77,6 +88,9 @@ RequestPtr World::isend(int src_rank, int dst_rank, int tag, MsgView msg) {
 RequestPtr World::irecv(int rank_id, int src_rank, int tag, MsgView msg) {
   auto req = std::make_shared<Request>(engine());
   RankState& R = rank(rank_id);
+  // Tag-matching pressure at post time (perf-counter view of the MPI queues).
+  obs_posted_depth_->record(static_cast<double>(R.posted.size()));
+  obs_unexpected_depth_->record(static_cast<double>(R.unexpected.size()));
   // Try the unexpected queue first, in arrival order.
   for (auto it = R.unexpected.begin(); it != R.unexpected.end(); ++it) {
     if (!matches(src_rank, tag, (*it)->src, (*it)->tag)) continue;
@@ -105,11 +119,13 @@ void World::arrive(int dst_rank, const ArrivalPtr& arrival) {
     return;
   }
   R.unexpected.push_back(arrival);
+  obs_unexpected_depth_->record(static_cast<double>(R.unexpected.size()));
 }
 
 sim::Coro World::finish_eager_recv(int dst_rank, ArrivalPtr arrival, bool from_unexpected) {
   const auto& np = nic_of(dst_rank).params();
   hw::Machine& m = machine_of(dst_rank);
+  const sim::Time recv_t0 = engine().now();
   double t = sw_delay(dst_rank, np.recv_overhead_cycles);
   // Messages past the latency cutoff land in the user buffer through DRAM;
   // tiny payloads arrive with the completion and stay in cache.
@@ -122,6 +138,12 @@ sim::Coro World::finish_eager_recv(int dst_rank, ArrivalPtr arrival, bool from_u
     t += static_cast<double>(arrival->bytes) * np.pio_cycles_per_byte / f;
   }
   co_await engine().sleep(t);
+  obs::Tracer& tracer = obs_reg_->tracer();
+  if (tracer.on())
+    tracer.span(obs_rank_tracks_[static_cast<std::size_t>(dst_rank)],
+                (from_unexpected ? "eager-recv (unexpected) tag=" : "eager-recv tag=") +
+                    std::to_string(arrival->tag),
+                recv_t0, engine().now());
   arrival->recv_req->done().set();
 }
 
@@ -165,6 +187,13 @@ sim::Coro World::send_process(int src_rank, int dst_rank, int tag, MsgView msg,
     // Local completion: buffer reusable once handed to the NIC.
     S.stats.bytes += static_cast<double>(msg.bytes);
     S.stats.busy_time += engine().now() - t0;
+    obs_eager_->add(1);
+    obs_bytes_->add(static_cast<double>(msg.bytes));
+    if (obs_reg_->tracer().on())
+      obs_reg_->tracer().span(obs_rank_tracks_[static_cast<std::size_t>(src_rank)],
+                              "eager tag=" + std::to_string(tag) + " B=" +
+                                  std::to_string(msg.bytes),
+                              t0, engine().now());
     if (message_trace_enabled_)
       message_trace_.push_back(
           {src_rank, dst_rank, tag, msg.bytes, true, t0, t0, engine().now()});
@@ -181,10 +210,12 @@ sim::Coro World::send_process(int src_rank, int dst_rank, int tag, MsgView msg,
 
   // ---- rendezvous ---------------------------------------------------------
   arrival->eager = false;
+  const sim::Time hs_start = engine().now();
   co_await engine().sleep(control_delay());  // RTS travels to the receiver
   arrive(dst_rank, arrival);
   co_await arrival->matched->wait();         // receiver posted a matching recv
   co_await engine().sleep(control_delay());  // CTS travels back
+  const sim::Time hs_end = engine().now();
 
   net::Nic& dnic = nic_of(dst_rank);
   if (msg.buffer_id != 0 && !snic.registered(msg.buffer_id)) {
@@ -219,6 +250,21 @@ sim::Coro World::send_process(int src_rank, int dst_rank, int tag, MsgView msg,
 
   S.stats.bytes += static_cast<double>(msg.bytes);
   S.stats.busy_time += engine().now() - transfer_start;
+  obs_rndv_->add(1);
+  obs_bytes_->add(static_cast<double>(msg.bytes));
+  if (engine().now() > transfer_start)
+    obs_dma_rate_->record(static_cast<double>(msg.bytes) / (engine().now() - transfer_start));
+  if (obs_reg_->tracer().on()) {
+    // Per-message lifecycle: the whole rendezvous, with the RTS/CTS
+    // handshake and the DMA window nested inside (lane spill in the
+    // exporter keeps concurrent messages legible).
+    obs::Tracer& tracer = obs_reg_->tracer();
+    obs::TrackId track = obs_rank_tracks_[static_cast<std::size_t>(src_rank)];
+    std::string id = " tag=" + std::to_string(tag) + " B=" + std::to_string(msg.bytes);
+    tracer.span(track, "rndv" + id, t0, engine().now());
+    tracer.span(track, "handshake" + id, hs_start, hs_end);
+    tracer.span(track, "dma" + id, transfer_start, engine().now());
+  }
   if (message_trace_enabled_)
     message_trace_.push_back(
         {src_rank, dst_rank, tag, msg.bytes, false, t0, transfer_start, engine().now()});

@@ -25,6 +25,8 @@
 
 #include "mpi/message.hpp"
 #include "net/cluster.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/coro.hpp"
 
 namespace cci::mpi {
@@ -146,6 +148,17 @@ class World {
   std::vector<RankState> ranks_;
   bool message_trace_enabled_ = false;
   std::vector<MessageRecord> message_trace_;
+
+  // Observability: per-message lifecycle spans land on one tracer track per
+  // rank; counters/histograms live in the global registry.
+  obs::Registry* obs_reg_ = nullptr;
+  obs::Counter* obs_eager_ = nullptr;
+  obs::Counter* obs_rndv_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Histogram* obs_posted_depth_ = nullptr;
+  obs::Histogram* obs_unexpected_depth_ = nullptr;
+  obs::Histogram* obs_dma_rate_ = nullptr;
+  std::vector<obs::TrackId> obs_rank_tracks_;
 };
 
 }  // namespace cci::mpi

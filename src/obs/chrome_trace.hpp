@@ -1,0 +1,26 @@
+// Chrome trace-event JSON export (loadable in Perfetto / about://tracing).
+//
+// Simulated seconds map to trace microseconds (ts = t * 1e6).  Each interned
+// track becomes a named thread row; overlapping spans within one track are
+// spilled onto numbered overflow lanes so every emitted B/E pair nests
+// properly — Perfetto refuses mis-nested duration events, and our MPI
+// message lifecycles genuinely overlap.  Counter samples become "C" events.
+// All timed events are emitted with monotonically non-decreasing `ts`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace cci::obs {
+
+class Registry;
+class Tracer;
+
+/// Write `{"traceEvents": [...]}` for everything the tracer recorded.
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// Convenience: export the registry's tracer to `path`.  Returns false when
+/// the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path, const Registry& registry);
+
+}  // namespace cci::obs

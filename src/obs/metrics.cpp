@@ -1,0 +1,137 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/tracer.hpp"
+
+namespace cci::obs {
+
+// ---- Histogram -------------------------------------------------------------
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return kUnderflow;
+  int exp = 0;
+  double mant = std::frexp(v, &exp);  // mant in [0.5, 1)
+  int sub = static_cast<int>((mant - 0.5) * 2.0 * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // guard rounding at mant->1
+  return exp * kSubBuckets + sub;
+}
+
+double Histogram::bucket_value(int index) {
+  if (index == kUnderflow) return 0.0;
+  int exp = index >= 0 ? index / kSubBuckets : (index - kSubBuckets + 1) / kSubBuckets;
+  int sub = index - exp * kSubBuckets;
+  // Midpoint of the sub-bucket [0.5 + sub/2S, 0.5 + (sub+1)/2S) * 2^exp.
+  double mant = 0.5 + (static_cast<double>(sub) + 0.5) / (2.0 * kSubBuckets);
+  return std::ldexp(mant, exp);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (const auto& [index, n] : buckets_) {
+    seen += n;
+    if (seen >= target) return bucket_value(index);
+  }
+  return max_;
+}
+
+// ---- Snapshot --------------------------------------------------------------
+
+const Snapshot::Entry* Snapshot::find(const std::string& name) const {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const Entry& e, const std::string& n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+double Snapshot::value_of(const std::string& name) const {
+  const Entry* e = find(name);
+  return e != nullptr ? e->value : 0.0;
+}
+
+// ---- Registry --------------------------------------------------------------
+
+Registry::Registry() : tracer_(std::make_unique<Tracer>()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter(&enabled_));
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge(&enabled_));
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new Histogram(&enabled_));
+  return *slot;
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c->value_ = 0.0;
+  for (auto& [name, g] : gauges_) {
+    g->value_ = 0.0;
+    g->max_ = 0.0;
+  }
+  for (auto& [name, h] : histograms_) {
+    h->buckets_.clear();
+    h->count_ = 0;
+    h->sum_ = h->min_ = h->max_ = 0.0;
+  }
+  tracer_->clear();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.entries.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    Snapshot::Entry e;
+    e.name = name;
+    e.kind = Snapshot::Entry::Kind::kCounter;
+    e.value = c->value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauges_) {
+    Snapshot::Entry e;
+    e.name = name;
+    e.kind = Snapshot::Entry::Kind::kGauge;
+    e.value = g->value();
+    e.max = g->max();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::Entry e;
+    e.name = name;
+    e.kind = Snapshot::Entry::Kind::kHistogram;
+    e.count = h->count();
+    e.sum = h->sum();
+    e.value = h->mean();
+    e.min = h->min();
+    e.max = h->max();
+    e.p50 = h->quantile(0.5);
+    e.p90 = h->quantile(0.9);
+    e.p99 = h->quantile(0.99);
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const Snapshot::Entry& a, const Snapshot::Entry& b) { return a.name < b.name; });
+  return snap;
+}
+
+}  // namespace cci::obs

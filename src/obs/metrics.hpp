@@ -1,0 +1,203 @@
+// Unified metrics layer: typed counters/gauges/histograms in one Registry.
+//
+// This is the simulator's stand-in for a perf-counter/Prometheus stack: every
+// layer (sim, net, mpi, runtime, hw, core) registers named metrics under the
+// `layer.component.metric` scheme and bumps them through stable handles.  The
+// design goals, in order:
+//
+//  * near-zero overhead when disabled — every mutation is a single
+//    predictable branch on the owning registry's enabled flag, and the whole
+//    call site can additionally be compiled out with -DCCI_OBS_DISABLE;
+//  * determinism — snapshots iterate metrics in name order, histogram
+//    buckets are value-deterministic (no RNG, no wall clock), so two
+//    identical simulations produce byte-identical snapshots;
+//  * stable handles — metric objects live as long as their registry and are
+//    never invalidated by reset(), so instrumented objects may cache raw
+//    pointers at construction time.
+//
+// The simulator is single-threaded by construction (one discrete-event loop),
+// so the registry performs no locking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+// Compile-time kill switch: with -DCCI_OBS_DISABLE all mutations become
+// no-ops (the registry still exists so handles stay valid).
+#ifndef CCI_OBS_DISABLE
+#define CCI_OBS_COMPILED_IN 1
+#else
+#define CCI_OBS_COMPILED_IN 0
+#endif
+
+namespace cci::obs {
+
+/// Monotonically increasing sum (events dispatched, bytes moved, ...).
+class Counter {
+ public:
+  void add(double n = 1.0) {
+#if CCI_OBS_COMPILED_IN
+    if (*enabled_) value_ += n;
+#else
+    (void)n;
+#endif
+  }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  double value_ = 0.0;
+};
+
+/// Last-written value plus the running maximum (queue depths, lock delays).
+class Gauge {
+ public:
+  void set(double v) {
+#if CCI_OBS_COMPILED_IN
+    if (*enabled_) {
+      value_ = v;
+      if (v > max_) max_ = v;
+    }
+#else
+    (void)v;
+#endif
+  }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// HDR-style log-linear histogram for positive doubles.
+///
+/// Buckets are octaves (powers of two) split into kSubBuckets linear
+/// sub-buckets, giving a fixed ~3% relative resolution over the full double
+/// range — the classic high-dynamic-range layout, suited to latencies that
+/// span nanoseconds to seconds.  Non-positive values land in a dedicated
+/// underflow bucket.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 32;
+
+  void record(double v) {
+#if CCI_OBS_COMPILED_IN
+    if (!*enabled_) return;
+    ++buckets_[bucket_index(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+#else
+    (void)v;
+#endif
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Quantile estimate (q in [0,1]): the representative value of the bucket
+  /// holding the q-th recorded sample.  Exact to bucket resolution.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Deterministic bucket index for a value (kUnderflow for v <= 0).
+  static int bucket_index(double v);
+  /// Representative (geometric-mid) value of a bucket.
+  static double bucket_value(int index);
+
+  static constexpr int kUnderflow = INT32_MIN;
+
+  /// Sparse bucket map, index -> count, for tests and exporters.
+  [[nodiscard]] const std::map<int, std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  std::map<int, std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Immutable view of every metric at one point in time, name-sorted.
+struct Snapshot {
+  struct Entry {
+    enum class Kind { kCounter, kGauge, kHistogram };
+    std::string name;
+    Kind kind = Kind::kCounter;
+    double value = 0.0;  ///< counter total / gauge current value
+    double max = 0.0;    ///< gauge or histogram max
+    // Histogram-only summary:
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<Entry> entries;
+
+  /// nullptr when no metric of that name exists.
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+  /// Counter/gauge value by name; 0 when absent.
+  [[nodiscard]] double value_of(const std::string& name) const;
+};
+
+class Tracer;
+
+/// Owner of all metrics plus the span tracer.  Metrics follow the
+/// `layer.component.metric` naming scheme (docs/OBSERVABILITY.md).
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry used by all instrumented layers.  Disabled
+  /// at startup; benches/tests flip it on.
+  static Registry& global();
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Find-or-create.  Returned references stay valid for the registry's
+  /// lifetime; reset() zeroes values but never destroys metric objects.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zero every metric and drop all trace events.  Handles stay valid, the
+  /// enabled flag is unchanged.
+  void reset();
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  Tracer& tracer() { return *tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return *tracer_; }
+
+ private:
+  bool enabled_ = false;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::unique_ptr<Tracer> tracer_;
+};
+
+}  // namespace cci::obs

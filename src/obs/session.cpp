@@ -1,0 +1,47 @@
+#include "obs/session.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace cci::obs {
+
+Session Session::from_env() {
+  const char* trace = std::getenv("CCI_TRACE");
+  if (trace != nullptr && trace[0] != '\0') return Session(trace);
+  const char* metrics = std::getenv("CCI_METRICS");
+  if (metrics != nullptr && metrics[0] != '\0' && metrics[0] != '0')
+    return Session("", /*metrics_only=*/true);
+  return Session();
+}
+
+Session::Session(std::string path, bool metrics_only)
+    : active_(true), path_(std::move(path)) {
+  Registry& reg = Registry::global();
+  reg.set_enabled(true);
+  if (!metrics_only && !path_.empty()) reg.tracer().set_enabled(true);
+}
+
+Session::Session(Session&& other) noexcept
+    : active_(std::exchange(other.active_, false)),
+      flushed_(other.flushed_),
+      path_(std::move(other.path_)) {}
+
+Session::~Session() { flush(); }
+
+void Session::flush() {
+  if (!tracing() || flushed_) return;
+  flushed_ = true;
+  if (write_chrome_trace_file(path_, Registry::global())) {
+    std::fprintf(stderr, "[cci-obs] Chrome trace written to %s (open in Perfetto)\n",
+                 path_.c_str());
+  } else {
+    std::fprintf(stderr, "[cci-obs] failed to write trace to %s\n", path_.c_str());
+  }
+}
+
+}  // namespace cci::obs

@@ -1,0 +1,45 @@
+// Environment-driven observability session.
+//
+// `CCI_TRACE=<path>` turns the global registry + tracer on and, when the
+// session object is destroyed (or flush()ed), writes the Chrome trace-event
+// JSON to <path>.  Bench binaries construct one Session at the top of main
+// so every run can be opened in Perfetto without recompiling.
+// `CCI_METRICS=1` enables metrics collection without span recording.
+#pragma once
+
+#include <string>
+
+namespace cci::obs {
+
+class Session {
+ public:
+  /// Inspect CCI_TRACE / CCI_METRICS and arm the global registry
+  /// accordingly.  Inactive (and free) when neither is set.
+  static Session from_env();
+
+  /// Arm the global registry and write the trace to `path` on destruction;
+  /// an empty path records metrics only.
+  explicit Session(std::string path, bool metrics_only = false);
+  Session() = default;  ///< inactive
+  ~Session();
+  Session(Session&& other) noexcept;
+  Session& operator=(Session&&) = delete;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// True when metrics (and possibly tracing) were enabled by this session.
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] bool tracing() const { return active_ && !path_.empty(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Write the Chrome trace now (no-op unless tracing).  Idempotent: the
+  /// destructor will not write again.
+  void flush();
+
+ private:
+  bool active_ = false;
+  bool flushed_ = false;
+  std::string path_;
+};
+
+}  // namespace cci::obs

@@ -1,0 +1,23 @@
+#include "obs/tracer.hpp"
+
+namespace cci::obs {
+
+TrackId Tracer::track(const std::string& name) {
+  auto it = track_ids_.find(name);
+  if (it != track_ids_.end()) return it->second;
+  auto id = static_cast<TrackId>(track_names_.size());
+  track_ids_.emplace(name, id);
+  track_names_.push_back(name);
+  return id;
+}
+
+std::size_t Tracer::span_count_on(const std::string& prefix) const {
+  std::size_t n = 0;
+  for (const Span& s : spans_) {
+    const std::string& track = track_names_[s.track];
+    if (track.compare(0, prefix.size(), prefix) == 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace cci::obs

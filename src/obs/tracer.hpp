@@ -1,0 +1,88 @@
+// Span tracer stamped in *simulated* time.
+//
+// Tracks are interned rows (one per core, per resource, per MPI rank...);
+// instrumentation records completed spans [t0, t1] plus point samples of
+// counters.  The tracer never consults the engine — callers pass simulated
+// timestamps — so it lives below every other layer.  Recording is a no-op
+// unless the tracer is enabled; sites that build span names should guard
+// with `if (tracer.on())` to skip the string work too.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cci::obs {
+
+using TrackId = std::uint32_t;
+
+class Tracer {
+ public:
+  struct Span {
+    TrackId track = 0;
+    std::string name;
+    double t0 = 0.0;
+    double t1 = 0.0;
+  };
+  struct CounterSample {
+    std::string name;
+    double t = 0.0;
+    double value = 0.0;
+  };
+  struct Instant {
+    TrackId track = 0;
+    std::string name;
+    double t = 0.0;
+  };
+
+  [[nodiscard]] bool on() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Intern a track row by name (idempotent; works while disabled so
+  /// constructors can pre-resolve their tracks).
+  TrackId track(const std::string& name);
+  [[nodiscard]] const std::vector<std::string>& track_names() const { return track_names_; }
+
+  /// Record a completed span on a track.  Ignores t1 < t0.
+  void span(TrackId track, std::string name, double t0, double t1) {
+    if (!enabled_ || t1 < t0) return;
+    spans_.push_back({track, std::move(name), t0, t1});
+  }
+  /// Record a point-in-time value of a named counter series.
+  void counter_sample(std::string name, double t, double value) {
+    if (!enabled_) return;
+    counter_samples_.push_back({std::move(name), t, value});
+  }
+  /// Record an instantaneous event on a track.
+  void instant(TrackId track, std::string name, double t) {
+    if (!enabled_) return;
+    instants_.push_back({track, std::move(name), t});
+  }
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<CounterSample>& counter_samples() const {
+    return counter_samples_;
+  }
+  [[nodiscard]] const std::vector<Instant>& instants() const { return instants_; }
+
+  /// Spans recorded on tracks whose name starts with `prefix` (test helper).
+  [[nodiscard]] std::size_t span_count_on(const std::string& prefix) const;
+
+  /// Drop all recorded events; interned tracks survive.
+  void clear() {
+    spans_.clear();
+    counter_samples_.clear();
+    instants_.clear();
+  }
+
+ private:
+  bool enabled_ = false;
+  std::map<std::string, TrackId> track_ids_;
+  std::vector<std::string> track_names_;
+  std::vector<Span> spans_;
+  std::vector<CounterSample> counter_samples_;
+  std::vector<Instant> instants_;
+};
+
+}  // namespace cci::obs

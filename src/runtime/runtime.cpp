@@ -52,6 +52,24 @@ Runtime::Runtime(mpi::World& world, int rank, RuntimeConfig config)
   queues_.resize(config_.numa_aware_scheduling
                      ? static_cast<std::size_t>(machine_.config().numa_count())
                      : 1);
+
+  obs_reg_ = &obs::Registry::global();
+  obs_tasks_done_ = &obs_reg_->counter("runtime.sched.tasks_completed");
+  obs_msgs_ = &obs_reg_->counter("runtime.comm.messages");
+  obs_polls_ = &obs_reg_->counter("runtime.worker.polls");
+  obs_idle_transitions_ = &obs_reg_->counter("runtime.worker.idle_transitions");
+  const std::string rank_tag = "runtime.rank" + std::to_string(rank_);
+  obs_polling_workers_ = &obs_reg_->gauge(rank_tag + ".polling_workers");
+  obs_lock_delay_ = &obs_reg_->gauge(rank_tag + ".lock_delay_s");
+  obs_task_dur_ = &obs_reg_->histogram("runtime.task.duration_s");
+  obs::Tracer& tracer = obs_reg_->tracer();
+  obs_core_tracks_.reserve(worker_cores_.size());
+  for (int core : worker_cores_)
+    obs_core_tracks_.push_back(
+        tracer.track("rt.rank" + std::to_string(rank_) + ".core" + std::to_string(core)));
+  obs_comm_track_ = tracer.track("rt.rank" + std::to_string(rank_) + ".comm");
+  obs_pollers_track_ = tracer.track("rt.rank" + std::to_string(rank_) + ".pollers");
+  obs_pollers_series_ = rank_tag + ".polling_workers";
 }
 
 std::size_t Runtime::queue_of(const Task* task) const {
@@ -126,6 +144,25 @@ double Runtime::poll_period() const {
 double Runtime::message_overhead() const { return config_.message_overhead; }
 
 void Runtime::update_polling_pressure() {
+  // Poll-count integral: between change points, `prev` workers each polled
+  // once per poll_period (the §5.4 list-hammering the registry reports).
+  const double now = machine_.engine().now();
+  if (obs_prev_polling_workers_ > 0 && !config_.workers_paused) {
+    obs_polls_->add((now - obs_polls_last_change_) *
+                    static_cast<double>(obs_prev_polling_workers_) / poll_period());
+    // One span per steady polling regime: the Perfetto row shows when the
+    // §5.4 list-hammering was active and how many workers took part.
+    if (obs_reg_->tracer().on())
+      obs_reg_->tracer().span(obs_pollers_track_,
+                              "poll x" + std::to_string(obs_prev_polling_workers_),
+                              obs_polls_last_change_, now);
+  }
+  obs_polls_last_change_ = now;
+  obs_prev_polling_workers_ = polling_workers_;
+  obs_polling_workers_->set(polling_workers_);
+  obs_reg_->tracer().counter_sample(obs_pollers_series_, now,
+                                    static_cast<double>(polling_workers_));
+
   if (polling_flow_) {
     machine_.model().cancel(polling_flow_);
     polling_flow_.reset();
@@ -145,6 +182,7 @@ void Runtime::update_polling_pressure() {
     lock_delay = static_cast<double>(polling_workers_) * config_.lock_delay_per_worker *
                  (kLockHold / period);
   }
+  obs_lock_delay_->set(lock_delay);
   world_.set_progress_overhead(rank_, lock_delay);
 }
 
@@ -180,6 +218,7 @@ void Runtime::enqueue(Task* task) {
 
 void Runtime::on_task_done(Task* task) {
   ++completed_;
+  obs_tasks_done_->add(1);
   for (Task* next : task->successors)
     if (--next->pending == 0) enqueue(next);
   if (completed_ == submitted_ && submitted_ > 0) all_done_->set();
@@ -198,6 +237,7 @@ sim::Coro Runtime::worker_loop(std::size_t slot) {
       slots_[slot].idle = true;
       idle_order_.push_back(slot);
       ++polling_workers_;
+      obs_idle_transitions_->add(1);
       update_polling_pressure();
       task = co_await slots_[slot].box->get();
       --polling_workers_;
@@ -222,6 +262,12 @@ sim::Coro Runtime::worker_loop(std::size_t slot) {
     if (trace_enabled_)
       exec_trace_.push_back({task->codelet.name, core, task->data_numa, act->started_at(),
                              act->finished_at()});
+    // The execution trace and the unified tracer see the same spans: one
+    // Gantt row per worker core.
+    obs_task_dur_->record(act->duration());
+    if (obs_reg_->tracer().on())
+      obs_reg_->tracer().span(obs_core_tracks_[slot], task->codelet.name, act->started_at(),
+                              act->finished_at());
 
     double wall = act->duration();
     if (wall > 0.0 && cpu_rate > 0.0) {
@@ -241,10 +287,18 @@ sim::Coro Runtime::comm_loop() {
     if (task == nullptr) break;
     // §5.2: the runtime's software stack on the message path (lists,
     // worker hand-off, callbacks).  Serialized on the comm thread.
+    const sim::Time post_t0 = engine.now();
     co_await engine.sleep(message_overhead());
     mpi::RequestPtr req = task->kind == Task::Kind::kSend
                               ? world_.isend(rank_, task->peer, task->tag, task->msg)
                               : world_.irecv(rank_, task->peer, task->tag, task->msg);
+    obs_msgs_->add(1);
+    if (obs_reg_->tracer().on())
+      obs_reg_->tracer().span(obs_comm_track_,
+                              std::string(task->kind == Task::Kind::kSend ? "post-send tag="
+                                                                          : "post-recv tag=") +
+                                  std::to_string(task->tag),
+                              post_t0, engine.now());
     // Progression of the transfer itself overlaps with later operations.
     engine.spawn([](Runtime* rt, mpi::RequestPtr r, Task* t) -> sim::Coro {
       co_await *r;
@@ -270,6 +324,7 @@ void Runtime::start_workers_idle() {
 }
 
 void Runtime::shutdown() {
+  update_polling_pressure();  // flush the poll-count integral
   shutdown_ = true;
   for (auto& slot : slots_) slot.box->put(nullptr);
   comm_box_->put(nullptr);

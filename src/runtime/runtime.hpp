@@ -25,6 +25,8 @@
 
 #include "hw/workload.hpp"
 #include "mpi/world.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/sync.hpp"
 
 namespace cci::runtime {
@@ -198,6 +200,26 @@ class Runtime {
   int remote_executed_ = 0;
   bool trace_enabled_ = false;
   std::vector<ExecRecord> exec_trace_;
+
+  // Observability: worker/task/comm metrics plus tracer tracks (one per
+  // worker core, one for the comm thread).  Counters aggregate over ranks;
+  // gauges and counter-sample series are per rank.
+  obs::Registry* obs_reg_ = nullptr;
+  obs::Counter* obs_tasks_done_ = nullptr;
+  obs::Counter* obs_msgs_ = nullptr;
+  obs::Counter* obs_polls_ = nullptr;
+  obs::Counter* obs_idle_transitions_ = nullptr;
+  obs::Gauge* obs_polling_workers_ = nullptr;
+  obs::Gauge* obs_lock_delay_ = nullptr;
+  obs::Histogram* obs_task_dur_ = nullptr;
+  std::vector<obs::TrackId> obs_core_tracks_;
+  obs::TrackId obs_comm_track_ = 0;
+  obs::TrackId obs_pollers_track_ = 0;
+  std::string obs_pollers_series_;
+  /// Poll-count time integral: polls = sum over intervals of
+  /// (workers polling) * dt / poll_period.
+  double obs_polls_last_change_ = 0.0;
+  int obs_prev_polling_workers_ = 0;
 };
 
 }  // namespace cci::runtime

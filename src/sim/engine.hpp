@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "sim/coro.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -21,7 +22,12 @@ namespace cci::sim {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine() {
+    obs::Registry& reg = obs::Registry::global();
+    obs_events_ = &reg.counter("sim.engine.events_dispatched");
+    obs_spawns_ = &reg.counter("sim.engine.processes_spawned");
+    obs_heap_depth_ = &reg.histogram("sim.engine.heap_depth");
+  }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine() {
@@ -51,6 +57,7 @@ class Engine {
     h.promise().engine = this;
     auto state = h.promise().state;
     call_at(start_at < 0 ? now_ : start_at, [h] { h.resume(); });
+    obs_spawns_->add(1);
     ++live_processes_;
     live_handles_.insert(h.address());
     return ProcessRef(state);
@@ -68,6 +75,8 @@ class Engine {
       auto [time, fn] = queue_.pop();
       assert(time >= now_ - kTimeEpsilon);
       now_ = std::max(now_, time);
+      obs_events_->add(1);
+      obs_heap_depth_->record(static_cast<double>(queue_.size_estimate()));
       fn();
     }
     return now_;
@@ -120,6 +129,9 @@ class Engine {
   EventQueue queue_;
   int live_processes_ = 0;
   std::unordered_set<void*> live_handles_;
+  obs::Counter* obs_events_ = nullptr;
+  obs::Counter* obs_spawns_ = nullptr;
+  obs::Histogram* obs_heap_depth_ = nullptr;
 };
 
 inline void Coro::promise_type::FinalAwaiter::await_suspend(

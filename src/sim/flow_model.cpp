@@ -1,6 +1,7 @@
 #include "sim/flow_model.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -13,6 +14,13 @@ namespace {
 double completion_eps(double work) { return std::max(1.0, work) * 1e-9; }
 }  // namespace
 
+FlowModel::FlowModel(Engine& engine) : engine_(engine) {
+  obs_reg_ = &obs::Registry::global();
+  obs_resolves_ = &obs_reg_->counter("sim.flow.resolves");
+  obs_started_ = &obs_reg_->counter("sim.flow.activities_started");
+  obs_solve_wall_us_ = &obs_reg_->histogram("sim.flow.solve_wall_us");
+}
+
 void Resource::set_capacity(double capacity) {
   assert(capacity >= 0.0);
   if (capacity == capacity_) return;
@@ -23,12 +31,16 @@ void Resource::set_capacity(double capacity) {
 Resource* FlowModel::add_resource(std::string name, double capacity) {
   resources_.push_back(std::unique_ptr<Resource>(
       new Resource(this, resources_.size(), std::move(name), capacity)));
-  return resources_.back().get();
+  Resource* r = resources_.back().get();
+  r->obs_work_ = &obs_reg_->counter("sim.resource." + r->name() + ".work_units");
+  r->obs_load_series_ = "sim.resource." + r->name() + ".load";
+  return r;
 }
 
 ActivityPtr FlowModel::start(ActivitySpec spec) {
   auto act = std::make_shared<Activity>(engine_, std::move(spec));
   running_.push_back(act);
+  obs_started_->add(1);
   reallocate();
   return act;
 }
@@ -38,7 +50,19 @@ void FlowModel::cancel(const ActivityPtr& activity) {
   if (it == running_.end()) return;
   advance();
   running_.erase(it);
+  trace_activity(*activity, " (cancelled)");
   reallocate();
+}
+
+void FlowModel::trace_activity(const Activity& act, const char* suffix) {
+  obs::Tracer& tracer = obs_reg_->tracer();
+  if (!tracer.on()) return;
+  const auto& spec = act.spec();
+  const std::string& where =
+      spec.demands.empty() ? "unbound" : spec.demands.front().resource->name();
+  obs::TrackId track = tracer.track("sim.res." + where);
+  std::string label = spec.label.empty() ? "activity" : spec.label;
+  tracer.span(track, label + suffix, act.started_at(), engine_.now());
 }
 
 void FlowModel::on_capacity_changed() { reallocate(); }
@@ -47,6 +71,12 @@ void FlowModel::advance() {
   const Time now = engine_.now();
   const Time dt = now - last_advance_;
   if (dt > 0.0) {
+    if (obs_reg_->enabled()) {
+      // Work-unit integral per resource: loads were constant since the last
+      // change point, so load * dt is exact (bytes moved per controller).
+      for (auto& r : resources_)
+        if (r->load_ > 0.0) r->obs_work_->add(r->load_ * dt);
+    }
     for (auto& act : running_) {
       if (!std::isfinite(act->rate_)) {
         act->work_done_ = act->spec_.work;
@@ -71,6 +101,7 @@ void FlowModel::reallocate() {
       act->rate_ = 0.0;
       ActivityPtr done = std::move(act);
       running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+      trace_activity(*done, "");
       done->done_.set();
     } else {
       ++i;
@@ -91,9 +122,31 @@ void FlowModel::reallocate() {
       flow.entries.push_back({d.resource->index_, d.amount});
     problem.flows.push_back(std::move(flow));
   }
-  MaxMinSolution sol = solve_max_min(problem);
+  obs_resolves_->add(1);
+  MaxMinSolution sol;
+  if (obs_reg_->enabled()) {
+    auto wall0 = std::chrono::steady_clock::now();
+    sol = solve_max_min(problem);
+    obs_solve_wall_us_->record(
+        std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - wall0)
+            .count());
+  } else {
+    sol = solve_max_min(problem);
+  }
   for (std::size_t i = 0; i < resources_.size(); ++i) resources_[i]->load_ = sol.load[i];
   for (std::size_t i = 0; i < running_.size(); ++i) running_[i]->rate_ = sol.rate[i];
+
+  // Sampled granted rates: one counter-track point per resource whose load
+  // changed at this re-solve (Perfetto renders these as step curves).
+  obs::Tracer& tracer = obs_reg_->tracer();
+  if (tracer.on()) {
+    for (auto& r : resources_) {
+      if (r->load_ != r->obs_last_sampled_load_) {
+        tracer.counter_sample(r->obs_load_series_, now, r->load_);
+        r->obs_last_sampled_load_ = r->load_;
+      }
+    }
+  }
 
   // Demand pressure: what each flow would push if it ran alone.
   for (auto& r : resources_) r->pressure_ = 0.0;

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/activity.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -20,7 +22,7 @@ namespace cci::sim {
 
 class FlowModel {
  public:
-  explicit FlowModel(Engine& engine) : engine_(engine) {}
+  explicit FlowModel(Engine& engine);
   FlowModel(const FlowModel&) = delete;
   FlowModel& operator=(const FlowModel&) = delete;
 
@@ -55,11 +57,19 @@ class FlowModel {
   /// Re-solve rates, harvest completions, reschedule the timer.
   void reallocate();
 
+  /// Completed/cancelled activities become tracer spans on the track of
+  /// their first demanded resource.
+  void trace_activity(const Activity& act, const char* suffix);
+
   Engine& engine_;
   std::vector<std::unique_ptr<Resource>> resources_;
   std::vector<ActivityPtr> running_;
   EventQueue::Handle timer_;
   Time last_advance_ = 0.0;
+  obs::Registry* obs_reg_;
+  obs::Counter* obs_resolves_;
+  obs::Counter* obs_started_;
+  obs::Histogram* obs_solve_wall_us_;
 };
 
 }  // namespace cci::sim

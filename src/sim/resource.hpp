@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace cci::sim {
 
 class FlowModel;
@@ -42,6 +44,11 @@ class Resource {
   double capacity_;
   double load_ = 0.0;
   double pressure_ = 0.0;
+  // Observability: work-unit integral (bytes for links/controllers, cycles
+  // for cores) and the cached name of the load counter-sample series.
+  obs::Counter* obs_work_ = nullptr;
+  std::string obs_load_series_;
+  double obs_last_sampled_load_ = -1.0;
 };
 
 }  // namespace cci::sim

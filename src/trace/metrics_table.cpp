@@ -1,0 +1,26 @@
+#include "trace/metrics_table.hpp"
+
+namespace cci::trace {
+
+Table metrics_table(const obs::Snapshot& snapshot) {
+  Table t({"metric", "kind", "value", "count", "p50", "p90", "max"});
+  for (const auto& e : snapshot.entries) {
+    using Kind = obs::Snapshot::Entry::Kind;
+    switch (e.kind) {
+      case Kind::kCounter:
+        t.add_text_row({e.name, "counter", fmt(e.value, 3), "", "", "", ""});
+        break;
+      case Kind::kGauge:
+        t.add_text_row({e.name, "gauge", fmt(e.value, 3), "", "", "", fmt(e.max, 3)});
+        break;
+      case Kind::kHistogram:
+        t.add_text_row({e.name, "histogram", fmt(e.value, 6),
+                        std::to_string(e.count), fmt(e.p50, 6), fmt(e.p90, 6),
+                        fmt(e.max, 6)});
+        break;
+    }
+  }
+  return t;
+}
+
+}  // namespace cci::trace

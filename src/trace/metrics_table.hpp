@@ -1,0 +1,16 @@
+// Render an obs::Snapshot as a trace::Table (terminal + CSV export path).
+//
+// One row per metric, name-sorted (the snapshot's order), so a registry
+// dump diffed across two runs lines up metric-for-metric.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "trace/table.hpp"
+
+namespace cci::trace {
+
+/// Columns: metric, kind, value (counter total / gauge value / histogram
+/// mean), count, p50, p90, max.
+Table metrics_table(const obs::Snapshot& snapshot);
+
+}  // namespace cci::trace

@@ -31,6 +31,11 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Fixed-precision decimal formatting: fmt(3.14159, 3) == "3.142".  The
+/// replacement for the to_string().substr() truncation idiom — rounds
+/// instead of chopping and never emits a dangling '.'.
+std::string fmt(double value, int digits = 4);
+
 /// Format seconds as the most readable unit (ns/us/ms/s).
 std::string format_time(double seconds);
 /// Format bytes/s as MB/s or GB/s.
