@@ -2,7 +2,10 @@
 // throughput — not a paper figure, but the cost model of every experiment.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "mpi/pingpong.hpp"
+#include "sim/flow_model.hpp"
 #include "sim/maxmin.hpp"
 #include "sim/rng.hpp"
 
@@ -31,6 +34,67 @@ void BM_MaxMinSolve(benchmark::State& state) {
                           static_cast<std::int64_t>(n_flows));
 }
 BENCHMARK(BM_MaxMinSolve)->Args({8, 16})->Args({32, 64})->Args({128, 256});
+
+struct ChurnStats {
+  std::uint64_t flow_visits = 0;
+  std::uint64_t solves = 0;
+};
+
+/// Clustered flow churn through the full FlowModel: staggered activities over
+/// disjoint resource groups, so every completion dirties one component only.
+ChurnStats run_flow_churn(std::size_t clusters, std::size_t flows_per_cluster,
+                          bool incremental) {
+  constexpr std::size_t kResPerCluster = 3;
+  sim::Rng rng(11);
+  sim::Engine engine;
+  sim::FlowModel model(engine);
+  model.set_incremental(incremental);
+  std::vector<sim::Resource*> res;
+  for (std::size_t r = 0; r < clusters * kResPerCluster; ++r)
+    res.push_back(model.add_resource("churn" + std::to_string(r), rng.uniform(5.0, 50.0)));
+  std::vector<sim::ActivityPtr> acts;
+  acts.reserve(clusters * flows_per_cluster);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (std::size_t f = 0; f < flows_per_cluster; ++f) {
+      sim::ActivitySpec spec;
+      spec.work = rng.uniform(10.0, 100.0);
+      spec.weight = rng.uniform(0.5, 2.0);
+      std::size_t hops = 1 + rng.below(2);
+      for (std::size_t h = 0; h < hops; ++h)
+        spec.demands.push_back({res[c * kResPerCluster + rng.below(kResPerCluster)],
+                                rng.uniform(0.2, 2.0)});
+      engine.call_at(rng.uniform(0.0, 2.0),
+                     [&model, &acts, spec]() mutable { acts.push_back(model.start(spec)); });
+    }
+  }
+  engine.run();
+  return {model.solver().stats().flow_visits, model.solver().stats().solves};
+}
+
+void BM_FlowModelChurn(benchmark::State& state) {
+  const auto clusters = static_cast<std::size_t>(state.range(0));
+  const auto flows_per_cluster = static_cast<std::size_t>(state.range(1));
+  // Untimed from-scratch reference run; deterministic, so once is enough.
+  const ChurnStats full = run_flow_churn(clusters, flows_per_cluster, false);
+  ChurnStats inc;
+  for (auto _ : state) {
+    inc = run_flow_churn(clusters, flows_per_cluster, true);
+    benchmark::DoNotOptimize(inc.flow_visits);
+  }
+  // Each re-solve corresponds to one simulated change-point event.  These
+  // counters are deterministic (fixed seed): the CI perf guard compares
+  // visits_per_event against the checked-in baseline.
+  const double inc_vpe =
+      static_cast<double>(inc.flow_visits) / static_cast<double>(inc.solves);
+  const double full_vpe =
+      static_cast<double>(full.flow_visits) / static_cast<double>(full.solves);
+  state.counters["flows"] = static_cast<double>(clusters * flows_per_cluster);
+  state.counters["visits_per_event"] = inc_vpe;
+  state.counters["visit_reduction"] = full_vpe / inc_vpe;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inc.solves));
+}
+BENCHMARK(BM_FlowModelChurn)->Args({8, 16})->Args({32, 32})->Args({64, 16});
 
 void BM_EngineTimerChurn(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,128 @@
+// Solver microbenchmark: component-structured max-min problems (K disjoint
+// clusters x F flows), full re-solve vs incremental partial re-solve.
+//
+// The workload mimics the engine's change-point pattern: one flow in one
+// cluster finishes and a replacement starts, while every other cluster is
+// untouched.  The incremental solver should pay for the touched cluster
+// only, so flow-visits per re-solve drop by ~K.
+//
+// Usage: micro_maxmin [out.json]
+//   With a path, appends a machine-readable record (ns/re-solve is
+//   host-dependent; flow-visits are deterministic and what the CI perf
+//   guard keys on).  The checked-in BENCH_sim.json at the repo root is this
+//   bench's output — the perf trajectory baseline for later PRs.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/maxmin.hpp"
+#include "sim/rng.hpp"
+#include "trace/table.hpp"
+
+using namespace cci;
+
+namespace {
+
+struct PathResult {
+  double ns_per_resolve = 0.0;
+  double visits_per_resolve = 0.0;
+  std::uint64_t resolves = 0;
+};
+
+PathResult run_path(std::size_t clusters, std::size_t flows_per_cluster, bool incremental) {
+  constexpr std::size_t kResPerCluster = 4;
+  constexpr int kEvents = 2000;
+
+  sim::Rng rng(42);
+  sim::MaxMinSolver solver;
+  for (std::size_t r = 0; r < clusters * kResPerCluster; ++r)
+    solver.add_resource(rng.uniform(10.0, 100.0));
+
+  auto make_entries = [&](std::size_t cluster) {
+    std::vector<sim::MaxMinFlow::Entry> entries;
+    std::size_t hops = 1 + rng.below(3);
+    for (std::size_t h = 0; h < hops; ++h)
+      entries.push_back(
+          {cluster * kResPerCluster + rng.below(kResPerCluster), rng.uniform(0.2, 2.0)});
+    return entries;
+  };
+
+  std::vector<std::vector<sim::MaxMinSolver::FlowId>> ids(clusters);
+  for (std::size_t c = 0; c < clusters; ++c)
+    for (std::size_t f = 0; f < flows_per_cluster; ++f)
+      ids[c].push_back(solver.add_flow(rng.uniform(0.5, 2.0), 0.0, make_entries(c)));
+  solver.solve();
+
+  const std::uint64_t visits0 = solver.stats().flow_visits;
+  const std::uint64_t solves0 = solver.stats().solves;
+  auto wall0 = std::chrono::steady_clock::now();
+  for (int e = 0; e < kEvents; ++e) {
+    // One completion + one arrival in a single cluster: two change points.
+    std::size_t c = rng.below(clusters);
+    std::size_t k = rng.below(ids[c].size());
+    solver.remove_flow(ids[c][k]);
+    if (!incremental) solver.mark_all_dirty();
+    solver.solve();
+    ids[c][k] = solver.add_flow(rng.uniform(0.5, 2.0), 0.0, make_entries(c));
+    if (!incremental) solver.mark_all_dirty();
+    solver.solve();
+  }
+  auto wall1 = std::chrono::steady_clock::now();
+
+  PathResult out;
+  out.resolves = solver.stats().solves - solves0;
+  out.ns_per_resolve =
+      std::chrono::duration<double, std::nano>(wall1 - wall0).count() /
+      static_cast<double>(out.resolves);
+  out.visits_per_resolve =
+      static_cast<double>(solver.stats().flow_visits - visits0) /
+      static_cast<double>(out.resolves);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== micro_maxmin — incremental vs full max-min re-solves ===\n"
+            << "(K disjoint clusters x F flows; one cluster churns per event)\n\n";
+
+  struct Case {
+    std::size_t clusters, flows_per_cluster;
+  };
+  const std::vector<Case> cases = {{1, 16}, {4, 16}, {16, 16}, {64, 16}, {64, 32}};
+
+  trace::Table t({"clusters", "flows", "full ns/slv", "inc ns/slv", "full visits/slv",
+                  "inc visits/slv", "visit x-reduction"});
+  std::string json;
+  for (const Case& c : cases) {
+    PathResult full = run_path(c.clusters, c.flows_per_cluster, false);
+    PathResult inc = run_path(c.clusters, c.flows_per_cluster, true);
+    double reduction = full.visits_per_resolve / std::max(1.0, inc.visits_per_resolve);
+    t.add_text_row({std::to_string(c.clusters),
+                    std::to_string(c.clusters * c.flows_per_cluster),
+                    trace::fmt(full.ns_per_resolve, 0), trace::fmt(inc.ns_per_resolve, 0),
+                    trace::fmt(full.visits_per_resolve, 1),
+                    trace::fmt(inc.visits_per_resolve, 1), trace::fmt(reduction, 1)});
+    json += std::string(json.empty() ? "" : ",\n    ") + "{\"clusters\": " +
+            std::to_string(c.clusters) +
+            ", \"flows\": " + std::to_string(c.clusters * c.flows_per_cluster) +
+            ", \"full_ns_per_resolve\": " + trace::fmt(full.ns_per_resolve, 0) +
+            ", \"inc_ns_per_resolve\": " + trace::fmt(inc.ns_per_resolve, 0) +
+            ", \"full_visits_per_resolve\": " + trace::fmt(full.visits_per_resolve, 2) +
+            ", \"inc_visits_per_resolve\": " + trace::fmt(inc.visits_per_resolve, 2) +
+            ", \"visit_reduction\": " + trace::fmt(reduction, 2) + "}";
+  }
+  t.print(std::cout);
+  std::cout << "\nns/re-solve is host-dependent; visits/re-solve is deterministic\n"
+               "(the CI perf guard keys on visit counts, not wall time).\n";
+
+  if (argc > 1) {
+    std::ofstream os(argv[1]);
+    os << "{\n  \"bench\": \"micro_maxmin\",\n  \"cases\": [\n    " << json << "\n  ]\n}\n";
+    std::cout << "\n[micro_maxmin] baseline written to " << argv[1] << "\n";
+  }
+  return 0;
+}

@@ -6,6 +6,9 @@
 // Activities are created from a spec and driven by the FlowModel.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,10 +39,22 @@ struct ActivitySpec {
 class Activity {
  public:
   Activity(Engine& engine, ActivitySpec spec)
-      : spec_(std::move(spec)), done_(engine), started_at_(engine.now()) {}
+      : spec_(std::move(spec)),
+        done_(engine),
+        engine_(&engine),
+        base_time_(engine.now()),
+        started_at_(engine.now()) {}
 
   [[nodiscard]] const ActivitySpec& spec() const { return spec_; }
-  [[nodiscard]] double work_done() const { return work_done_; }
+  /// Progress is kept lazily: work done is extrapolated from the last rate
+  /// change (rates are constant between change points, so this is exact and
+  /// lets the model skip untouched activities entirely).
+  [[nodiscard]] double work_done() const {
+    if (rate_ == 0.0) return work_base_;
+    if (!std::isfinite(rate_)) return spec_.work;
+    double w = work_base_ + rate_ * (engine_->now() - base_time_);
+    return w > spec_.work ? spec_.work : w;
+  }
   [[nodiscard]] double rate() const { return rate_; }
   [[nodiscard]] bool finished() const { return done_.is_set(); }
   [[nodiscard]] Time started_at() const { return started_at_; }
@@ -53,12 +68,22 @@ class Activity {
 
  private:
   friend class FlowModel;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
   ActivitySpec spec_;
   OneShotEvent done_;
-  double work_done_ = 0.0;
+  Engine* engine_;
+  double work_base_ = 0.0;  ///< work done as of base_time_
+  Time base_time_ = 0.0;    ///< last rate change (progress materialization)
   double rate_ = 0.0;
   Time started_at_ = 0.0;
   Time finished_at_ = kNever;
+  // FlowModel bookkeeping: O(1) cancel and incremental re-solves.
+  std::uint64_t seq_ = 0;               ///< start order (deterministic ties)
+  std::size_t run_slot_ = kNoSlot;      ///< index in FlowModel::running_
+  std::size_t flow_id_ = kNoSlot;       ///< MaxMinSolver flow id
+  std::size_t heap_pos_ = kNoSlot;      ///< position in the completion heap
+  Time predicted_finish_ = kNever;      ///< completion-heap key
 };
 
 using ActivityPtr = std::shared_ptr<Activity>;

@@ -50,6 +50,15 @@ class Engine {
     return call_at(now_ + dt, std::move(fn));
   }
 
+  /// Move a still-pending callback to time `t` (fresh FIFO sequence, same
+  /// ordering semantics as cancel + call_at, but without abandoning a heap
+  /// node).  Returns false if the handle already fired or was cancelled —
+  /// the caller must then call_at() a fresh event.
+  bool retime(const EventQueue::Handle& h, Time t) {
+    assert(t >= now_ - kTimeEpsilon);
+    return queue_.retime(h, t);
+  }
+
   /// Spawn a process: the coroutine starts from the event loop at the
   /// current time (or at `start_at` if given).  Returns a joinable ref.
   ProcessRef spawn(Coro coro, Time start_at = -1.0) {

@@ -1,15 +1,31 @@
 // A cancellable timer queue: the single ordering structure of the engine.
 //
-// Entries are (time, sequence, callback).  Cancellation is lazy: a cancelled
-// entry stays in the heap but is skipped when popped.  Sequence numbers give
-// deterministic FIFO ordering among entries scheduled for the same instant,
-// which is what makes whole simulations reproducible run-to-run.
+// Entries are (time, sequence, callback) nodes in an index-tracked binary
+// heap.  Sequence numbers give deterministic FIFO ordering among entries
+// scheduled for the same instant, which is what makes whole simulations
+// reproducible run-to-run.
+//
+// Churn control (the engine's re-solve loop retimes one timer per change
+// point, thousands of times per simulated second):
+//
+//  * retime() repositions a pending entry in place — no abandoned node is
+//    left behind, unlike the classic cancel-and-reschedule pattern;
+//  * entry nodes are pooled on an intrusive free-list and recycled as soon
+//    as they fire or get pruned, so steady-state operation performs no
+//    allocation;
+//  * cancellation is lazy (the entry is skipped when it surfaces), but a
+//    compaction pass eagerly sweeps cancelled entries whenever they exceed
+//    half the heap, bounding the heap to <= 2x its live size.
+//
+// Handles are small (pointer + generation) and may be freely copied.  They
+// must not outlive the owning queue (in practice: the Engine).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -26,32 +42,56 @@ class EventQueue {
    public:
     Handle() = default;
     /// True if the event is still pending (not fired, not cancelled).
-    [[nodiscard]] bool pending() const { return entry_ && !entry_->cancelled && !entry_->fired; }
+    [[nodiscard]] bool pending() const {
+      return entry_ && entry_->gen == gen_ && entry_->state == State::kPending;
+    }
     void cancel() {
-      if (entry_) entry_->cancelled = true;
+      if (pending()) entry_->owner->cancel_entry(entry_);
     }
 
    private:
     friend class EventQueue;
+    enum class State : std::uint8_t { kFree, kPending, kCancelled, kFired };
     struct Entry {
       Time time = kNever;
       std::uint64_t seq = 0;
+      std::uint64_t gen = 0;  ///< bumped on recycle; stale handles go inert
       Callback fn;
-      bool cancelled = false;
-      bool fired = false;
+      EventQueue* owner = nullptr;
+      Entry* next_free = nullptr;  ///< intrusive free-list link
+      std::size_t heap_pos = 0;
+      State state = State::kFree;
     };
-    explicit Handle(std::shared_ptr<Entry> e) : entry_(std::move(e)) {}
-    std::shared_ptr<Entry> entry_;
+    Handle(Entry* e, std::uint64_t gen) : entry_(e), gen_(gen) {}
+    Entry* entry_ = nullptr;
+    std::uint64_t gen_ = 0;
   };
 
   /// Schedule `fn` to run at absolute time `t`.
   Handle schedule(Time t, Callback fn) {
-    auto entry = std::make_shared<Handle::Entry>();
-    entry->time = t;
-    entry->seq = next_seq_++;
-    entry->fn = std::move(fn);
-    heap_.push(entry);
-    return Handle(entry);
+    Entry* e = alloc_entry();
+    e->time = t;
+    e->seq = next_seq_++;
+    e->fn = std::move(fn);
+    e->state = Handle::State::kPending;
+    e->heap_pos = heap_.size();
+    heap_.push_back(e);
+    sift_up(e->heap_pos);
+    return Handle(e, e->gen);
+  }
+
+  /// Move a pending event to time `t`, keeping its callback.  The event is
+  /// re-sequenced as if freshly scheduled, so same-instant FIFO ordering is
+  /// identical to a cancel-and-reschedule (but with zero heap garbage).
+  /// Returns false (and does nothing) if the handle is not pending.
+  bool retime(const Handle& h, Time t) {
+    if (!h.pending() || h.entry_->owner != this) return false;
+    Entry* e = h.entry_;
+    e->time = t;
+    e->seq = next_seq_++;
+    sift_up(e->heap_pos);
+    sift_down(e->heap_pos);
+    return true;
   }
 
   [[nodiscard]] bool empty() const {
@@ -62,37 +102,137 @@ class EventQueue {
   /// Time of the earliest live event, or kNever if none.
   [[nodiscard]] Time next_time() const {
     prune();
-    return heap_.empty() ? kNever : heap_.top()->time;
+    return heap_.empty() ? kNever : heap_.front()->time;
   }
 
   /// Pop and return the earliest live event's callback, marking it fired.
   /// Precondition: !empty().
   std::pair<Time, Callback> pop() {
     prune();
-    auto entry = heap_.top();
-    heap_.pop();
-    entry->fired = true;
-    return {entry->time, std::move(entry->fn)};
+    Entry* e = heap_.front();
+    remove_at(0);
+    std::pair<Time, Callback> out{e->time, std::move(e->fn)};
+    e->state = Handle::State::kFired;
+    free_entry(e);
+    return out;
   }
 
+  /// Heap slots currently occupied (live + not-yet-swept cancelled).
   [[nodiscard]] std::size_t size_estimate() const { return heap_.size(); }
+  /// Events that are actually pending.
+  [[nodiscard]] std::size_t live_size() const { return heap_.size() - n_cancelled_; }
 
  private:
-  using EntryPtr = std::shared_ptr<Handle::Entry>;
-  struct Later {
-    bool operator()(const EntryPtr& a, const EntryPtr& b) const {
-      if (a->time != b->time) return a->time > b->time;
-      return a->seq > b->seq;
+  using Entry = Handle::Entry;
+
+  Entry* alloc_entry() {
+    Entry* e;
+    if (free_head_) {
+      e = free_head_;
+      free_head_ = e->next_free;
+      e->next_free = nullptr;
+    } else {
+      pool_.emplace_back();
+      e = &pool_.back();
+      e->owner = this;
     }
-  };
+    return e;
+  }
+
+  void free_entry(Entry* e) {
+    ++e->gen;  // invalidate outstanding handles
+    e->fn = nullptr;
+    e->state = Handle::State::kFree;
+    e->next_free = free_head_;
+    free_head_ = e;
+  }
+
+  void cancel_entry(Entry* e) {
+    e->state = Handle::State::kCancelled;
+    ++n_cancelled_;
+    // Eager sweep: never let cancelled entries exceed half the heap.
+    if (heap_.size() >= 16 && n_cancelled_ * 2 > heap_.size()) compact();
+  }
+
+  [[nodiscard]] bool before(const Entry* a, const Entry* b) const {
+    if (a->time != b->time) return a->time < b->time;
+    return a->seq < b->seq;
+  }
+
+  void sift_up(std::size_t i) const {
+    Entry* e = heap_[i];
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      heap_[i]->heap_pos = i;
+      i = parent;
+    }
+    heap_[i] = e;
+    e->heap_pos = i;
+  }
+
+  void sift_down(std::size_t i) const {
+    Entry* e = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+      if (!before(heap_[child], e)) break;
+      heap_[i] = heap_[child];
+      heap_[i]->heap_pos = i;
+      i = child;
+    }
+    heap_[i] = e;
+    e->heap_pos = i;
+  }
+
+  /// Remove the entry at heap position i (does not free it).
+  void remove_at(std::size_t i) const {
+    Entry* last = heap_.back();
+    heap_.pop_back();
+    if (i < heap_.size()) {
+      heap_[i] = last;
+      last->heap_pos = i;
+      sift_up(i);
+      sift_down(i);
+    }
+  }
 
   /// Drop cancelled entries sitting at the top so next_time()/pop() see a
   /// live event.
   void prune() const {
-    while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+    while (!heap_.empty() && heap_.front()->state == Handle::State::kCancelled) {
+      Entry* e = heap_.front();
+      remove_at(0);
+      --n_cancelled_;
+      const_cast<EventQueue*>(this)->free_entry(e);
+    }
   }
 
-  mutable std::priority_queue<EntryPtr, std::vector<EntryPtr>, Later> heap_;
+  /// Sweep every cancelled entry and re-heapify in O(n).
+  void compact() {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      Entry* e = heap_[i];
+      if (e->state == Handle::State::kCancelled) {
+        free_entry(e);
+      } else {
+        heap_[keep] = e;
+        e->heap_pos = keep;
+        ++keep;
+      }
+    }
+    heap_.resize(keep);
+    n_cancelled_ = 0;
+    for (std::size_t i = keep / 2; i-- > 0;) sift_down(i);
+  }
+
+  mutable std::vector<Entry*> heap_;
+  mutable std::size_t n_cancelled_ = 0;
+  std::deque<Entry> pool_;  ///< stable storage; nodes recycled via free-list
+  Entry* free_head_ = nullptr;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,37 +1,48 @@
 #include "sim/flow_model.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
-
-#include "sim/maxmin.hpp"
 
 namespace cci::sim {
 
 namespace {
-/// Completion slack: absorbs linear-progress round-off.
+/// Completion slack: absorbs linear-progress round-off.  Activities whose
+/// total work is below this threshold complete at start without ever
+/// entering the solver.
 double completion_eps(double work) { return std::max(1.0, work) * 1e-9; }
 }  // namespace
 
 FlowModel::FlowModel(Engine& engine) : engine_(engine) {
   obs_reg_ = &obs::Registry::global();
   obs_resolves_ = &obs_reg_->counter("sim.flow.resolves");
+  obs_resolves_full_ = &obs_reg_->counter("sim.flow.resolves_full");
+  obs_resolves_partial_ = &obs_reg_->counter("sim.flow.resolves_partial");
+  obs_flow_visits_ = &obs_reg_->counter("sim.flow.solver_flow_visits");
+  obs_components_solved_ = &obs_reg_->counter("sim.flow.components_solved");
   obs_started_ = &obs_reg_->counter("sim.flow.activities_started");
   obs_solve_wall_us_ = &obs_reg_->histogram("sim.flow.solve_wall_us");
+  if (const char* env = std::getenv("CCI_SIM_INCREMENTAL"))
+    incremental_ = !(env[0] == '0' && env[1] == '\0');
 }
 
 void Resource::set_capacity(double capacity) {
   assert(capacity >= 0.0);
   if (capacity == capacity_) return;
   capacity_ = capacity;
-  model_->on_capacity_changed();
+  model_->on_capacity_changed(this);
 }
 
 Resource* FlowModel::add_resource(std::string name, double capacity) {
   resources_.push_back(std::unique_ptr<Resource>(
       new Resource(this, resources_.size(), std::move(name), capacity)));
   Resource* r = resources_.back().get();
+  const std::size_t solver_index = solver_.add_resource(capacity);
+  assert(solver_index == r->index_);
+  (void)solver_index;
   r->obs_work_ = &obs_reg_->counter("sim.resource." + r->name() + ".work_units");
   r->obs_load_series_ = "sim.resource." + r->name() + ".load";
   return r;
@@ -39,18 +50,48 @@ Resource* FlowModel::add_resource(std::string name, double capacity) {
 
 ActivityPtr FlowModel::start(ActivitySpec spec) {
   auto act = std::make_shared<Activity>(engine_, std::move(spec));
+  Activity* a = act.get();
+  a->seq_ = next_activity_seq_++;
+  a->run_slot_ = running_.size();
   running_.push_back(act);
   obs_started_->add(1);
+  if (a->spec_.work <= completion_eps(a->spec_.work)) {
+    // Degenerate work: completes in the harvest pass of the reallocate()
+    // below, without ever registering a solver flow.
+    heap_set(a, engine_.now());
+  } else {
+    entries_scratch_.clear();
+    entries_scratch_.reserve(a->spec_.demands.size());
+    for (const auto& d : a->spec_.demands)
+      entries_scratch_.push_back({d.resource->index_, d.amount});
+    a->flow_id_ = solver_.add_flow(a->spec_.weight, a->spec_.rate_cap, entries_scratch_);
+    if (flow_act_.size() <= a->flow_id_) flow_act_.resize(a->flow_id_ + 1, nullptr);
+    flow_act_[a->flow_id_] = a;
+  }
   reallocate();
   return act;
 }
 
 void FlowModel::cancel(const ActivityPtr& activity) {
-  auto it = std::find(running_.begin(), running_.end(), activity);
-  if (it == running_.end()) return;
+  Activity* a = activity.get();
+  if (!a || a->run_slot_ == Activity::kNoSlot || a->run_slot_ >= running_.size() ||
+      running_[a->run_slot_].get() != a)
+    return;
   advance();
-  running_.erase(it);
-  trace_activity(*activity, " (cancelled)");
+  const Time now = engine_.now();
+  // Freeze progress at the cancellation instant.
+  double w = a->work_done();
+  a->work_base_ = w;
+  a->base_time_ = now;
+  a->rate_ = 0.0;
+  heap_erase(a);
+  if (a->flow_id_ != Activity::kNoSlot) {
+    flow_act_[a->flow_id_] = nullptr;
+    solver_.remove_flow(a->flow_id_);
+    a->flow_id_ = Activity::kNoSlot;
+  }
+  ActivityPtr owned = detach_running(a);
+  trace_activity(*a, " (cancelled)");
   reallocate();
 }
 
@@ -65,118 +106,203 @@ void FlowModel::trace_activity(const Activity& act, const char* suffix) {
   tracer.span(track, label + suffix, act.started_at(), engine_.now());
 }
 
-void FlowModel::on_capacity_changed() { reallocate(); }
+void FlowModel::on_capacity_changed(Resource* resource) {
+  solver_.set_capacity(resource->index_, resource->capacity_);
+  reallocate();
+}
 
 void FlowModel::advance() {
   const Time now = engine_.now();
   const Time dt = now - last_advance_;
-  if (dt > 0.0) {
-    if (obs_reg_->enabled()) {
-      // Work-unit integral per resource: loads were constant since the last
-      // change point, so load * dt is exact (bytes moved per controller).
-      for (auto& r : resources_)
-        if (r->load_ > 0.0) r->obs_work_->add(r->load_ * dt);
-    }
-    for (auto& act : running_) {
-      if (!std::isfinite(act->rate_)) {
-        act->work_done_ = act->spec_.work;
-      } else {
-        act->work_done_ = std::min(act->spec_.work, act->work_done_ + act->rate_ * dt);
-      }
-    }
+  if (dt > 0.0 && obs_reg_->enabled()) {
+    // Work-unit integral per resource: loads were constant since the last
+    // change point, so load * dt is exact (bytes moved per controller).
+    for (auto& r : resources_)
+      if (r->load_ > 0.0) r->obs_work_->add(r->load_ * dt);
   }
   last_advance_ = now;
+}
+
+Time FlowModel::predicted_finish(const Activity& act) const {
+  if (!std::isfinite(act.rate_)) return act.base_time_;  // unconstrained: done now
+  if (act.rate_ <= 0.0) return kNever;  // stalled until some change point
+  const double remaining = act.spec_.work - act.work_base_;
+  if (remaining <= 0.0) return act.base_time_;
+  return act.base_time_ + remaining / act.rate_;
+}
+
+ActivityPtr FlowModel::detach_running(Activity* act) {
+  const std::size_t slot = act->run_slot_;
+  ActivityPtr owned = std::move(running_[slot]);
+  if (slot != running_.size() - 1) {
+    running_[slot] = std::move(running_.back());
+    running_[slot]->run_slot_ = slot;
+  }
+  running_.pop_back();
+  act->run_slot_ = Activity::kNoSlot;
+  return owned;
 }
 
 void FlowModel::reallocate() {
   advance();
   const Time now = engine_.now();
 
-  // Harvest activities that have completed their work.
-  for (std::size_t i = 0; i < running_.size();) {
-    auto& act = running_[i];
-    if (act->work_done_ + completion_eps(act->spec_.work) >= act->spec_.work) {
-      act->work_done_ = act->spec_.work;
-      act->finished_at_ = now;
-      act->rate_ = 0.0;
-      ActivityPtr done = std::move(act);
-      running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
-      trace_activity(*done, "");
-      done->done_.set();
-    } else {
-      ++i;
+  // Harvest activities whose predicted completion instant has arrived.
+  // Rates are constant between change points, so the prediction is exact:
+  // no O(running) completion scan.  Same-instant completions are processed
+  // in start order (seq), matching the insertion-ordered scan this replaces.
+  harvest_.clear();
+  while (!completion_heap_.empty() && completion_heap_.front()->predicted_finish_ <= now) {
+    Activity* a = completion_heap_.front();
+    heap_erase(a);
+    harvest_.push_back(a);
+  }
+  if (harvest_.size() > 1)
+    std::sort(harvest_.begin(), harvest_.end(),
+              [](const Activity* a, const Activity* b) { return a->seq_ < b->seq_; });
+  for (Activity* a : harvest_) {
+    a->work_base_ = a->spec_.work;
+    a->base_time_ = now;
+    a->finished_at_ = now;
+    a->rate_ = 0.0;
+    if (a->flow_id_ != Activity::kNoSlot) {
+      flow_act_[a->flow_id_] = nullptr;
+      solver_.remove_flow(a->flow_id_);
+      a->flow_id_ = Activity::kNoSlot;
     }
+    ActivityPtr done = detach_running(a);
+    trace_activity(*done, "");
+    done->done_.set();
   }
 
-  // Re-solve the allocation for the surviving set.
-  MaxMinProblem problem;
-  problem.capacity.reserve(resources_.size());
-  for (const auto& r : resources_) problem.capacity.push_back(r->capacity());
-  problem.flows.reserve(running_.size());
-  for (const auto& act : running_) {
-    MaxMinFlow flow;
-    flow.weight = act->spec_.weight;
-    flow.rate_cap = act->spec_.rate_cap;
-    flow.entries.reserve(act->spec_.demands.size());
-    for (const auto& d : act->spec_.demands)
-      flow.entries.push_back({d.resource->index_, d.amount});
-    problem.flows.push_back(std::move(flow));
-  }
+  // Re-solve the dirty components (all of them on the reference path).
   obs_resolves_->add(1);
-  MaxMinSolution sol;
+  if (!incremental_) solver_.mark_all_dirty();
   if (obs_reg_->enabled()) {
     auto wall0 = std::chrono::steady_clock::now();
-    sol = solve_max_min(problem);
+    solver_.solve();
     obs_solve_wall_us_->record(
         std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - wall0)
             .count());
   } else {
-    sol = solve_max_min(problem);
+    solver_.solve();
   }
-  for (std::size_t i = 0; i < resources_.size(); ++i) resources_[i]->load_ = sol.load[i];
-  for (std::size_t i = 0; i < running_.size(); ++i) running_[i]->rate_ = sol.rate[i];
+  const MaxMinSolver::Stats& st = solver_.stats();
+  obs_resolves_full_->add(static_cast<double>(st.full_solves - last_full_solves_));
+  obs_resolves_partial_->add(static_cast<double>(st.partial_solves - last_partial_solves_));
+  obs_flow_visits_->add(static_cast<double>(st.flow_visits - last_flow_visits_));
+  obs_components_solved_->add(
+      static_cast<double>(st.components_solved - last_components_solved_));
+  last_full_solves_ = st.full_solves;
+  last_partial_solves_ = st.partial_solves;
+  last_flow_visits_ = st.flow_visits;
+  last_components_solved_ = st.components_solved;
 
-  // Sampled granted rates: one counter-track point per resource whose load
-  // changed at this re-solve (Perfetto renders these as step curves).
+  // Publish loads/pressures of solved components; untouched resources keep
+  // their previous values verbatim.  Sampled granted rates: one
+  // counter-track point per resource whose load changed at this re-solve
+  // (Perfetto renders these as step curves).
   obs::Tracer& tracer = obs_reg_->tracer();
-  if (tracer.on()) {
-    for (auto& r : resources_) {
-      if (r->load_ != r->obs_last_sampled_load_) {
-        tracer.counter_sample(r->obs_load_series_, now, r->load_);
-        r->obs_last_sampled_load_ = r->load_;
-      }
+  const bool tracing = tracer.on();
+  for (std::size_t ridx : solver_.touched_resources()) {
+    Resource* r = resources_[ridx].get();
+    r->load_ = solver_.load(ridx);
+    r->pressure_ = solver_.pressure(ridx);
+    if (tracing && r->load_ != r->obs_last_sampled_load_) {
+      tracer.counter_sample(r->obs_load_series_, now, r->load_);
+      r->obs_last_sampled_load_ = r->load_;
     }
   }
 
-  // Demand pressure: what each flow would push if it ran alone.
-  for (auto& r : resources_) r->pressure_ = 0.0;
-  for (const auto& act : running_) {
-    double solo = act->spec_.rate_cap > 0.0 ? act->spec_.rate_cap
-                                            : std::numeric_limits<double>::infinity();
-    for (const auto& d : act->spec_.demands) {
-      if (d.amount <= 0.0) continue;
-      solo = std::min(solo, d.resource->capacity() / d.amount);
+  // Only activities whose rate actually changed get their progress
+  // materialized and their completion prediction recomputed.
+  for (MaxMinSolver::FlowId f : solver_.changed_flows()) {
+    Activity* a = flow_act_[f];
+    if (!a) continue;
+    if (a->base_time_ != now) {
+      double w = !std::isfinite(a->rate_)
+                     ? a->spec_.work
+                     : a->work_base_ + a->rate_ * (now - a->base_time_);
+      a->work_base_ = w > a->spec_.work ? a->spec_.work : w;
+      a->base_time_ = now;
     }
-    if (!std::isfinite(solo)) continue;
-    for (const auto& d : act->spec_.demands) {
-      Resource* r = d.resource;
-      if (r->capacity() > 0.0) r->pressure_ += solo * d.amount / r->capacity();
-    }
+    a->rate_ = solver_.rate(f);
+    heap_set(a, predicted_finish(*a));
   }
 
-  // Schedule the next completion.
-  Time next = kNever;
-  for (const auto& act : running_) {
-    double remaining = act->spec_.work - act->work_done_;
-    if (!std::isfinite(act->rate_)) {
-      next = now;  // unconstrained activity finishes immediately
-    } else if (act->rate_ > 0.0) {
-      next = std::min(next, now + remaining / act->rate_);
-    }
-    // rate == 0 with remaining work: stalled until some change point.
+  // One engine timer at the earliest predicted completion.  retime() gives
+  // the event a fresh FIFO sequence (identical ordering semantics to the
+  // cancel-and-reschedule pattern it replaces) without abandoning a node.
+  const Time next =
+      completion_heap_.empty() ? kNever : completion_heap_.front()->predicted_finish_;
+  if (next < kNever) {
+    if (!engine_.retime(timer_, next))
+      timer_ = engine_.call_at(next, [this] { reallocate(); });
+  } else {
+    timer_.cancel();
   }
-  timer_.cancel();
-  if (next < kNever) timer_ = engine_.call_at(next, [this] { reallocate(); });
+}
+
+// ---- completion heap --------------------------------------------------------
+
+void FlowModel::heap_sift_up(std::size_t i) {
+  Activity* a = completion_heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_before(a, completion_heap_[parent])) break;
+    completion_heap_[i] = completion_heap_[parent];
+    completion_heap_[i]->heap_pos_ = i;
+    i = parent;
+  }
+  completion_heap_[i] = a;
+  a->heap_pos_ = i;
+}
+
+void FlowModel::heap_sift_down(std::size_t i) {
+  Activity* a = completion_heap_[i];
+  const std::size_t n = completion_heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_before(completion_heap_[child + 1], completion_heap_[child]))
+      ++child;
+    if (!heap_before(completion_heap_[child], a)) break;
+    completion_heap_[i] = completion_heap_[child];
+    completion_heap_[i]->heap_pos_ = i;
+    i = child;
+  }
+  completion_heap_[i] = a;
+  a->heap_pos_ = i;
+}
+
+void FlowModel::heap_set(Activity* act, Time finish) {
+  act->predicted_finish_ = finish;
+  if (!(finish < kNever)) {  // stalled: no completion to schedule
+    heap_erase(act);
+    return;
+  }
+  if (act->heap_pos_ == Activity::kNoSlot) {
+    act->heap_pos_ = completion_heap_.size();
+    completion_heap_.push_back(act);
+    heap_sift_up(act->heap_pos_);
+  } else {
+    heap_sift_up(act->heap_pos_);
+    heap_sift_down(act->heap_pos_);
+  }
+}
+
+void FlowModel::heap_erase(Activity* act) {
+  const std::size_t i = act->heap_pos_;
+  if (i == Activity::kNoSlot) return;
+  act->heap_pos_ = Activity::kNoSlot;
+  Activity* last = completion_heap_.back();
+  completion_heap_.pop_back();
+  if (last != act) {
+    completion_heap_[i] = last;
+    last->heap_pos_ = i;
+    heap_sift_up(i);
+    heap_sift_down(i);
+  }
 }
 
 }  // namespace cci::sim

@@ -1,13 +1,17 @@
 // FlowModel: drives all fluid activities over shared resources.
 //
 // The model keeps the set of running activities; whenever the set or any
-// resource capacity changes it (1) advances every activity's progress to
-// the current time at the previously computed rates, (2) re-solves the
-// weighted bottleneck max-min allocation, and (3) schedules one engine
-// timer at the earliest completion.  Between change points all rates are
-// constant, so progress is exactly linear — the classic fluid-flow DES.
+// resource capacity changes it (1) harvests activities whose predicted
+// completion instant has arrived, (2) re-solves the weighted bottleneck
+// max-min allocation *incrementally* — only the resource components touched
+// by the change are re-run; rates and loads elsewhere carry over verbatim —
+// and (3) retimes one engine timer to the earliest predicted completion.
+// Between change points all rates are constant, so progress is exactly
+// linear — the classic fluid-flow DES, with change-point cost proportional
+// to the touched component instead of the whole machine.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +20,7 @@
 #include "obs/tracer.hpp"
 #include "sim/activity.hpp"
 #include "sim/engine.hpp"
+#include "sim/maxmin.hpp"
 #include "sim/resource.hpp"
 
 namespace cci::sim {
@@ -36,10 +41,19 @@ class FlowModel {
   /// The returned pointer stays valid at least until completion.
   ActivityPtr start(ActivitySpec spec);
 
-  /// Abort a running activity; its completion event is NOT set.
+  /// Abort a running activity; its completion event is NOT set.  O(1).
   void cancel(const ActivityPtr& activity);
 
   [[nodiscard]] std::size_t running_count() const { return running_.size(); }
+
+  /// Toggle connected-component partial re-solves (on by default).  The
+  /// CCI_SIM_INCREMENTAL=0 environment variable forces the from-scratch
+  /// reference path; useful for A/B determinism checks.
+  void set_incremental(bool on) { incremental_ = on; }
+  [[nodiscard]] bool incremental() const { return incremental_; }
+
+  /// Read-only view of the underlying solver (perf counters for benches).
+  [[nodiscard]] const MaxMinSolver& solver() const { return solver_; }
 
   /// Maximum utilization over a set of resources — the congestion signal
   /// used by the latency-inflation model for small messages.
@@ -51,25 +65,63 @@ class FlowModel {
 
  private:
   friend class Resource;
-  void on_capacity_changed();
-  /// Advance work_done of all running activities to engine_.now().
+  void on_capacity_changed(Resource* resource);
+  /// Accumulate the per-resource work-unit integrals up to engine_.now()
+  /// (loads are constant since the last change point, so load * dt is
+  /// exact).  Activity progress itself is lazy — see Activity::work_done().
   void advance();
-  /// Re-solve rates, harvest completions, reschedule the timer.
+  /// Harvest due completions, re-solve dirty components, retime the timer.
   void reallocate();
+
+  /// Completion instant implied by the current rate; kNever while stalled.
+  [[nodiscard]] Time predicted_finish(const Activity& act) const;
+
+  /// Remove `act` from running_ (swap-erase, O(1)); returns the owning ptr.
+  ActivityPtr detach_running(Activity* act);
+
+  // ---- completion heap: running activities with a finite predicted finish,
+  // ordered by (predicted_finish_, seq_).  Positions live in the Activity so
+  // a rate change updates one entry in O(log n) instead of rescanning all.
+  [[nodiscard]] bool heap_before(const Activity* a, const Activity* b) const {
+    if (a->predicted_finish_ != b->predicted_finish_)
+      return a->predicted_finish_ < b->predicted_finish_;
+    return a->seq_ < b->seq_;
+  }
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  void heap_set(Activity* act, Time finish);  ///< insert/update/remove
+  void heap_erase(Activity* act);
 
   /// Completed/cancelled activities become tracer spans on the track of
   /// their first demanded resource.
   void trace_activity(const Activity& act, const char* suffix);
 
   Engine& engine_;
+  MaxMinSolver solver_;
   std::vector<std::unique_ptr<Resource>> resources_;
-  std::vector<ActivityPtr> running_;
+  std::vector<ActivityPtr> running_;       ///< unordered; slot in Activity
+  std::vector<Activity*> flow_act_;        ///< solver FlowId -> activity
+  std::vector<Activity*> completion_heap_;
+  std::vector<Activity*> harvest_;         ///< scratch, reused
+  std::vector<MaxMinFlow::Entry> entries_scratch_;
   EventQueue::Handle timer_;
   Time last_advance_ = 0.0;
+  std::uint64_t next_activity_seq_ = 0;
+  bool incremental_ = true;
+
   obs::Registry* obs_reg_;
   obs::Counter* obs_resolves_;
+  obs::Counter* obs_resolves_full_;
+  obs::Counter* obs_resolves_partial_;
+  obs::Counter* obs_flow_visits_;
+  obs::Counter* obs_components_solved_;
   obs::Counter* obs_started_;
   obs::Histogram* obs_solve_wall_us_;
+  // Solver-stat baselines so counters receive per-solve deltas.
+  std::uint64_t last_full_solves_ = 0;
+  std::uint64_t last_partial_solves_ = 0;
+  std::uint64_t last_flow_visits_ = 0;
+  std::uint64_t last_components_solved_ = 0;
 };
 
 }  // namespace cci::sim

@@ -1,5 +1,6 @@
 #include "sim/maxmin.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -11,59 +12,252 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // Relative slack when deciding that a flow participates in the current
 // bottleneck; absorbs round-off in the ratio computations.
 constexpr double kSlack = 1e-12;
+constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
 }  // namespace
 
-MaxMinSolution solve_max_min(const MaxMinProblem& problem) {
-  const std::size_t n_res = problem.capacity.size();
-  const std::size_t n_flows = problem.flows.size();
+// ---- resources and partition ----------------------------------------------
 
-  MaxMinSolution out;
-  out.rate.assign(n_flows, 0.0);
-  out.load.assign(n_res, 0.0);
+std::size_t MaxMinSolver::add_resource(double capacity) {
+  assert(capacity >= 0.0);
+  const std::size_t r = capacity_.size();
+  capacity_.push_back(capacity);
+  load_.push_back(0.0);
+  pressure_.push_back(0.0);
+  parent_.push_back(r);
+  comp_size_.push_back(1);
+  comp_flows_.emplace_back();
+  comp_res_.push_back({r});
+  dirty_.push_back(0);
+  return r;
+}
 
-  std::vector<double> cap_left = problem.capacity;
-  std::vector<char> fixed(n_flows, 0);
+void MaxMinSolver::set_capacity(std::size_t resource, double capacity) {
+  assert(capacity >= 0.0);
+  capacity_[resource] = capacity;
+  mark_dirty(find_root(resource));
+}
+
+std::size_t MaxMinSolver::find_root(std::size_t r) {
+  std::size_t root = r;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[r] != root) {  // path compression
+    std::size_t next = parent_[r];
+    parent_[r] = root;
+    r = next;
+  }
+  return root;
+}
+
+void MaxMinSolver::mark_dirty(std::size_t root) {
+  if (!dirty_[root]) {
+    dirty_[root] = 1;
+    dirty_roots_.push_back(root);
+  }
+}
+
+std::size_t MaxMinSolver::unite(std::size_t a, std::size_t b) {
+  if (a == b) return a;
+  if (comp_size_[a] < comp_size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  comp_size_[a] += comp_size_[b];
+  for (FlowId id : comp_flows_[b]) {
+    flows_[id].comp_pos = comp_flows_[a].size();
+    comp_flows_[a].push_back(id);
+  }
+  comp_flows_[b].clear();
+  comp_res_[a].insert(comp_res_[a].end(), comp_res_[b].begin(), comp_res_[b].end());
+  comp_res_[b].clear();
+  if (dirty_[b]) {
+    dirty_[b] = 0;
+    mark_dirty(a);
+  }
+  return a;
+}
+
+// ---- flows ------------------------------------------------------------------
+
+MaxMinSolver::FlowId MaxMinSolver::add_flow(double weight, double rate_cap,
+                                            const std::vector<MaxMinFlow::Entry>& entries) {
+  assert(weight > 0.0);
+  FlowId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = flows_.size();
+    flows_.emplace_back();
+  }
+  FlowRec& rec = flows_[id];
+  rec.weight = weight;
+  rec.rate_cap = rate_cap;
+  rec.rate = 0.0;
+  rec.seq = next_seq_++;
+  rec.entries = entries;
+  rec.live = true;
+  rec.comp_pos = kNoPos;
+  if (entries.empty()) {
+    // No shared resource: the flow is only limited by its own cap.  Solved
+    // eagerly; it never joins (or dirties) a component.
+    rec.rate = rate_cap > 0.0 ? rate_cap : kInf;
+    entryless_changed_.push_back(id);
+    return id;
+  }
+  std::size_t root = find_root(entries.front().resource);
+  for (std::size_t i = 1; i < entries.size(); ++i)
+    root = unite(root, find_root(entries[i].resource));
+  rec.comp_pos = comp_flows_[root].size();
+  comp_flows_[root].push_back(id);
+  ++live_flows_;
+  mark_dirty(root);
+  return id;
+}
+
+void MaxMinSolver::remove_flow(FlowId id) {
+  FlowRec& rec = flows_[id];
+  assert(rec.live);
+  rec.live = false;
+  rec.rate = 0.0;
+  if (!rec.entries.empty()) {
+    const std::size_t root = find_root(rec.entries.front().resource);
+    auto& list = comp_flows_[root];
+    const std::size_t pos = rec.comp_pos;
+    list[pos] = list.back();
+    flows_[list[pos]].comp_pos = pos;
+    list.pop_back();
+    mark_dirty(root);
+    --live_flows_;
+    ++removals_since_rebuild_;
+  }
+  rec.entries.clear();
+  rec.comp_pos = kNoPos;
+  free_slots_.push_back(id);
+}
+
+void MaxMinSolver::rebuild_partition() {
+  // Removals leave the union-find over-merged (a superset component is
+  // still solved correctly, just wastefully).  Rebuilding from the live
+  // flows restores the tight partition; dirty marks are carried across by
+  // remembering which *resources* sat in dirty components.
+  ++stats_.partition_rebuilds;
+  removals_since_rebuild_ = 0;
+  const std::size_t n_res = capacity_.size();
+  std::vector<char> res_dirty(n_res, 0);
+  for (std::size_t r = 0; r < n_res; ++r) res_dirty[r] = dirty_[find_root(r)];
+  for (std::size_t r = 0; r < n_res; ++r) {
+    parent_[r] = r;
+    comp_size_[r] = 1;
+    comp_flows_[r].clear();
+    comp_res_[r].clear();
+    comp_res_[r].push_back(r);
+    dirty_[r] = 0;
+  }
+  dirty_roots_.clear();
+  for (FlowId id = 0; id < flows_.size(); ++id) {
+    FlowRec& rec = flows_[id];
+    if (!rec.live || rec.entries.empty()) continue;
+    std::size_t root = find_root(rec.entries.front().resource);
+    for (std::size_t i = 1; i < rec.entries.size(); ++i)
+      root = unite(root, find_root(rec.entries[i].resource));
+    rec.comp_pos = comp_flows_[root].size();
+    comp_flows_[root].push_back(id);
+  }
+  for (std::size_t r = 0; r < n_res; ++r)
+    if (res_dirty[r]) mark_dirty(find_root(r));
+}
+
+// ---- solving ----------------------------------------------------------------
+
+void MaxMinSolver::mark_all_dirty() {
+  for (std::size_t r = 0; r < capacity_.size(); ++r) mark_dirty(find_root(r));
+}
+
+void MaxMinSolver::solve() {
+  ++stats_.solves;
+  changed_flows_.clear();
+  touched_resources_.clear();
+  for (FlowId id : entryless_changed_) changed_flows_.push_back(id);
+  entryless_changed_.clear();
+
+  if (removals_since_rebuild_ > 64 && removals_since_rebuild_ > live_flows_)
+    rebuild_partition();
+
+  std::size_t solved_flows = 0;
+  for (std::size_t i = 0; i < dirty_roots_.size(); ++i) {
+    const std::size_t root = dirty_roots_[i];
+    if (parent_[root] != root || !dirty_[root]) continue;  // merged or stale
+    dirty_[root] = 0;
+    solved_flows += comp_flows_[root].size();
+    ++stats_.components_solved;
+    solve_component(root);
+  }
+  dirty_roots_.clear();
+  if (solved_flows >= live_flows_)
+    ++stats_.full_solves;
+  else
+    ++stats_.partial_solves;
+}
+
+void MaxMinSolver::solve_component(std::size_t root) {
+  const std::vector<std::size_t>& res_list = comp_res_[root];
+  const std::size_t n_res = res_list.size();
+
+  // Solve order is registration order (seq), independent of how the
+  // component was assembled — this keeps floating-point accumulation order
+  // identical between a partial re-solve and a from-scratch solve.
+  scratch_flows_.assign(comp_flows_[root].begin(), comp_flows_[root].end());
+  std::sort(scratch_flows_.begin(), scratch_flows_.end(),
+            [this](FlowId a, FlowId b) { return flows_[a].seq < flows_[b].seq; });
+  const std::size_t n_flows = scratch_flows_.size();
+
+  // Dense local resource indices.
+  if (res_local_.size() < capacity_.size()) res_local_.resize(capacity_.size());
+  for (std::size_t i = 0; i < n_res; ++i)
+    res_local_[res_list[i]] = static_cast<std::uint32_t>(i);
+
+  sc_cap_left_.assign(n_res, 0.0);
+  sc_load_.assign(n_res, 0.0);
+  sc_pressure_.assign(n_res, 0.0);
+  for (std::size_t i = 0; i < n_res; ++i) sc_cap_left_[i] = capacity_[res_list[i]];
+
+  sc_cap_lambda_.assign(n_flows, kInf);
+  sc_fixed_.assign(n_flows, 0);
   std::size_t n_fixed = 0;
-
-  // Effective cap in "lambda units" (rate / weight); kInf when uncapped.
-  std::vector<double> cap_lambda(n_flows);
   for (std::size_t f = 0; f < n_flows; ++f) {
-    const auto& flow = problem.flows[f];
-    assert(flow.weight > 0.0);
-    cap_lambda[f] = flow.rate_cap > 0.0 ? flow.rate_cap / flow.weight : kInf;
-    if (flow.entries.empty()) {
-      // No shared resource: the flow is only limited by its own cap.
-      out.rate[f] = flow.rate_cap > 0.0 ? flow.rate_cap : kInf;
-      fixed[f] = 1;
-      ++n_fixed;
-    }
+    const FlowRec& rec = flows_[scratch_flows_[f]];
+    if (rec.rate_cap > 0.0) sc_cap_lambda_[f] = rec.rate_cap / rec.weight;
   }
 
-  std::vector<double> weighted_demand(n_res);
+  sc_weighted_demand_.resize(std::max(sc_weighted_demand_.size(), n_res));
+  sc_bottleneck_.resize(std::max(sc_bottleneck_.size(), n_res));
+  sc_rate_.assign(n_flows, 0.0);
+  std::vector<double>& rate_out = sc_rate_;
+
   while (n_fixed < n_flows) {
     // Total weighted demand of unfixed flows per resource.
-    weighted_demand.assign(n_res, 0.0);
+    std::fill(sc_weighted_demand_.begin(), sc_weighted_demand_.begin() + static_cast<std::ptrdiff_t>(n_res), 0.0);
     for (std::size_t f = 0; f < n_flows; ++f) {
-      if (fixed[f]) continue;
-      for (const auto& e : problem.flows[f].entries)
-        weighted_demand[e.resource] += problem.flows[f].weight * e.demand;
+      if (sc_fixed_[f]) continue;
+      ++stats_.flow_visits;
+      const FlowRec& rec = flows_[scratch_flows_[f]];
+      for (const auto& e : rec.entries)
+        sc_weighted_demand_[res_local_[e.resource]] += rec.weight * e.demand;
     }
 
     // Candidate lambda: tightest resource or tightest flow cap.
     double lambda = kInf;
     for (std::size_t r = 0; r < n_res; ++r) {
-      if (weighted_demand[r] <= 0.0) continue;
-      lambda = std::min(lambda, std::max(0.0, cap_left[r]) / weighted_demand[r]);
+      if (sc_weighted_demand_[r] <= 0.0) continue;
+      lambda = std::min(lambda, std::max(0.0, sc_cap_left_[r]) / sc_weighted_demand_[r]);
     }
     for (std::size_t f = 0; f < n_flows; ++f)
-      if (!fixed[f]) lambda = std::min(lambda, cap_lambda[f]);
+      if (!sc_fixed_[f]) lambda = std::min(lambda, sc_cap_lambda_[f]);
 
     if (!std::isfinite(lambda)) {
       // Unfixed flows touch only zero-demand resources and have no caps.
       for (std::size_t f = 0; f < n_flows; ++f)
-        if (!fixed[f]) {
-          out.rate[f] = kInf;
-          fixed[f] = 1;
+        if (!sc_fixed_[f]) {
+          rate_out[f] = kInf;
+          sc_fixed_[f] = 1;
           ++n_fixed;
         }
       break;
@@ -72,29 +266,30 @@ MaxMinSolution solve_max_min(const MaxMinProblem& problem) {
     // Freeze every flow that is saturated at this lambda: either its own
     // cap binds, or it crosses a resource that just became a bottleneck.
     bool froze_any = false;
-    std::vector<char> bottleneck(n_res, 0);
+    std::fill(sc_bottleneck_.begin(), sc_bottleneck_.begin() + static_cast<std::ptrdiff_t>(n_res), char{0});
     for (std::size_t r = 0; r < n_res; ++r) {
-      if (weighted_demand[r] <= 0.0) continue;
-      double ratio = std::max(0.0, cap_left[r]) / weighted_demand[r];
-      if (ratio <= lambda * (1.0 + kSlack) + kSlack) bottleneck[r] = 1;
+      if (sc_weighted_demand_[r] <= 0.0) continue;
+      double ratio = std::max(0.0, sc_cap_left_[r]) / sc_weighted_demand_[r];
+      if (ratio <= lambda * (1.0 + kSlack) + kSlack) sc_bottleneck_[r] = 1;
     }
     for (std::size_t f = 0; f < n_flows; ++f) {
-      if (fixed[f]) continue;
-      bool saturated = cap_lambda[f] <= lambda * (1.0 + kSlack);
+      if (sc_fixed_[f]) continue;
+      const FlowRec& rec = flows_[scratch_flows_[f]];
+      bool saturated = sc_cap_lambda_[f] <= lambda * (1.0 + kSlack);
       if (!saturated)
-        for (const auto& e : problem.flows[f].entries)
-          if (bottleneck[e.resource] && e.demand > 0.0) {
+        for (const auto& e : rec.entries)
+          if (sc_bottleneck_[res_local_[e.resource]] && e.demand > 0.0) {
             saturated = true;
             break;
           }
       if (!saturated) continue;
-      double rate = problem.flows[f].weight * std::min(lambda, cap_lambda[f]);
-      out.rate[f] = rate;
-      for (const auto& e : problem.flows[f].entries) {
-        cap_left[e.resource] -= rate * e.demand;
-        out.load[e.resource] += rate * e.demand;
+      double rate = rec.weight * std::min(lambda, sc_cap_lambda_[f]);
+      rate_out[f] = rate;
+      for (const auto& e : rec.entries) {
+        sc_cap_left_[res_local_[e.resource]] -= rate * e.demand;
+        sc_load_[res_local_[e.resource]] += rate * e.demand;
       }
-      fixed[f] = 1;
+      sc_fixed_[f] = 1;
       ++n_fixed;
       froze_any = true;
     }
@@ -102,18 +297,64 @@ MaxMinSolution solve_max_min(const MaxMinProblem& problem) {
     // comparisons ever fail to, freeze everything at lambda to terminate.
     if (!froze_any) {
       for (std::size_t f = 0; f < n_flows; ++f) {
-        if (fixed[f]) continue;
-        double rate = problem.flows[f].weight * std::min(lambda, cap_lambda[f]);
-        out.rate[f] = rate;
-        for (const auto& e : problem.flows[f].entries) {
-          cap_left[e.resource] -= rate * e.demand;
-          out.load[e.resource] += rate * e.demand;
+        if (sc_fixed_[f]) continue;
+        const FlowRec& rec = flows_[scratch_flows_[f]];
+        double rate = rec.weight * std::min(lambda, sc_cap_lambda_[f]);
+        rate_out[f] = rate;
+        for (const auto& e : rec.entries) {
+          sc_cap_left_[res_local_[e.resource]] -= rate * e.demand;
+          sc_load_[res_local_[e.resource]] += rate * e.demand;
         }
-        fixed[f] = 1;
+        sc_fixed_[f] = 1;
         ++n_fixed;
       }
     }
   }
+
+  // Demand pressure: what each flow would push if it ran alone.
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    const FlowRec& rec = flows_[scratch_flows_[f]];
+    double solo = rec.rate_cap > 0.0 ? rec.rate_cap : kInf;
+    for (const auto& e : rec.entries) {
+      if (e.demand <= 0.0) continue;
+      solo = std::min(solo, capacity_[e.resource] / e.demand);
+    }
+    if (!std::isfinite(solo)) continue;
+    for (const auto& e : rec.entries) {
+      if (capacity_[e.resource] > 0.0)
+        sc_pressure_[res_local_[e.resource]] += solo * e.demand / capacity_[e.resource];
+    }
+  }
+
+  // Publish: rates that actually changed (bitwise), loads/pressures of all
+  // member resources.
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    FlowRec& rec = flows_[scratch_flows_[f]];
+    if (rate_out[f] != rec.rate) {
+      rec.rate = rate_out[f];
+      changed_flows_.push_back(scratch_flows_[f]);
+    }
+  }
+  for (std::size_t i = 0; i < n_res; ++i) {
+    load_[res_list[i]] = sc_load_[i];
+    pressure_[res_list[i]] = sc_pressure_[i];
+    touched_resources_.push_back(res_list[i]);
+  }
+}
+
+// ---- pure wrapper -----------------------------------------------------------
+
+MaxMinSolution solve_max_min(const MaxMinProblem& problem) {
+  MaxMinSolver solver;
+  for (double c : problem.capacity) solver.add_resource(c);
+  for (const auto& flow : problem.flows)
+    solver.add_flow(flow.weight, flow.rate_cap, flow.entries);
+  solver.solve();
+  MaxMinSolution out;
+  out.rate.resize(problem.flows.size());
+  out.load.resize(problem.capacity.size());
+  for (std::size_t f = 0; f < problem.flows.size(); ++f) out.rate[f] = solver.rate(f);
+  for (std::size_t r = 0; r < problem.capacity.size(); ++r) out.load[r] = solver.load(r);
   return out;
 }
 

@@ -8,11 +8,24 @@
 // solution: all flows grow at a common weighted scale until a resource (or
 // a flow's own rate cap) saturates; saturated flows freeze; repeat.
 //
-// Kept as a free function over plain structs so it is trivially
-// property-testable in isolation from the engine.
+// Two entry points:
+//
+//  * solve_max_min() — the original pure function over plain structs,
+//    trivially property-testable in isolation from the engine.  It is a
+//    thin wrapper over the incremental solver below.
+//
+//  * MaxMinSolver — persistent solver state for the engine's hot path.
+//    Flows are registered once and updated in place; resources linked by
+//    shared flows are grouped into connected components via a union-find,
+//    and a change (flow added/removed, capacity changed) dirty-marks only
+//    the touched component.  solve() then re-runs progressive filling on
+//    the dirty components only — rates, loads and pressures of untouched
+//    components carry over verbatim (bitwise), which is what makes partial
+//    re-solves indistinguishable from full ones.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace cci::sim {
@@ -44,5 +57,124 @@ struct MaxMinSolution {
 /// Complexity O(F * R * rounds); rounds <= F.  Flows with empty demand
 /// vectors get their rate cap (or +inf with no cap).
 MaxMinSolution solve_max_min(const MaxMinProblem& problem);
+
+/// Incremental solver: persistent flow records + connected-component
+/// partial re-solves.  Not thread-safe (the engine is single-threaded).
+class MaxMinSolver {
+ public:
+  using FlowId = std::size_t;
+  static constexpr FlowId kNoFlow = static_cast<FlowId>(-1);
+
+  // ---- problem mutation (each call dirty-marks the touched component) ----
+
+  /// Register a resource; returns its index.  Indices are dense and stable.
+  std::size_t add_resource(double capacity);
+  void set_capacity(std::size_t resource, double capacity);
+
+  /// Register a flow.  Slots are recycled, so FlowIds of removed flows may
+  /// be reused; relative solve order follows registration order (a
+  /// monotonic sequence number), never slot order.
+  FlowId add_flow(double weight, double rate_cap,
+                  const std::vector<MaxMinFlow::Entry>& entries);
+  void remove_flow(FlowId id);
+
+  // ---- solving ----------------------------------------------------------
+
+  /// Re-solve every dirty component.  After the call, changed_flows() lists
+  /// flows whose rate differs bitwise from before, and touched_resources()
+  /// lists the members of solved components (their load/pressure are
+  /// freshly written; untouched resources keep their previous values).
+  void solve();
+
+  /// Force the next solve() to re-solve every component (the "from-scratch"
+  /// reference path used for A/B determinism checks).
+  void mark_all_dirty();
+
+  [[nodiscard]] const std::vector<FlowId>& changed_flows() const { return changed_flows_; }
+  [[nodiscard]] const std::vector<std::size_t>& touched_resources() const {
+    return touched_resources_;
+  }
+
+  // ---- state accessors --------------------------------------------------
+
+  [[nodiscard]] double rate(FlowId id) const { return flows_[id].rate; }
+  [[nodiscard]] double load(std::size_t resource) const { return load_[resource]; }
+  [[nodiscard]] double capacity(std::size_t resource) const { return capacity_[resource]; }
+  /// Demand pressure: sum over the resource's flows of solo-rate * demand /
+  /// capacity — see Resource::pressure().
+  [[nodiscard]] double pressure(std::size_t resource) const { return pressure_[resource]; }
+  [[nodiscard]] std::size_t resource_count() const { return capacity_.size(); }
+  [[nodiscard]] std::size_t live_flow_count() const { return live_flows_; }
+
+  /// Cumulative work/quality counters, for perf guards and benches.
+  struct Stats {
+    std::uint64_t solves = 0;            ///< solve() calls
+    std::uint64_t full_solves = 0;       ///< solves that visited every live flow
+    std::uint64_t partial_solves = 0;    ///< solves that skipped >= 1 clean component
+    std::uint64_t components_solved = 0; ///< dirty components re-solved
+    std::uint64_t flow_visits = 0;       ///< flow scans inside filling rounds
+    std::uint64_t partition_rebuilds = 0;///< union-find rebuilds after removals
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct FlowRec {
+    double weight = 1.0;
+    double rate_cap = 0.0;
+    double rate = 0.0;
+    std::uint64_t seq = 0;    ///< registration order; solve order within a component
+    std::vector<MaxMinFlow::Entry> entries;
+    std::size_t comp_pos = 0; ///< position inside its component's flow list
+    bool live = false;
+  };
+
+  std::size_t find_root(std::size_t r);
+  /// Union the components of a and b; returns the surviving root.
+  std::size_t unite(std::size_t a, std::size_t b);
+  void mark_dirty(std::size_t root);
+  void rebuild_partition();
+  void solve_component(std::size_t root);
+
+  // Resources.
+  std::vector<double> capacity_;
+  std::vector<double> load_;
+  std::vector<double> pressure_;
+
+  // Union-find over resources (merged on flow registration; removals leave
+  // the partition over-merged, which is conservative-but-correct, and a
+  // rebuild is scheduled once removals pile up).
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> comp_size_;              ///< valid at roots
+  std::vector<std::vector<FlowId>> comp_flows_;     ///< valid at roots
+  std::vector<std::vector<std::size_t>> comp_res_;  ///< valid at roots
+  std::vector<char> dirty_;                         ///< valid at roots
+  std::vector<std::size_t> dirty_roots_;
+
+  // Flows.
+  std::vector<FlowRec> flows_;
+  std::vector<FlowId> free_slots_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_flows_ = 0;           ///< live flows with >= 1 demand entry
+  std::size_t removals_since_rebuild_ = 0;
+  std::vector<FlowId> entryless_changed_;  ///< demandless flows solved at add
+
+  // Solve outputs and reusable scratch (never shrunk: zero steady-state
+  // allocation on the hot path).
+  std::vector<FlowId> changed_flows_;
+  std::vector<std::size_t> touched_resources_;
+  std::vector<FlowId> scratch_flows_;          ///< component flows, seq-sorted
+  std::vector<std::uint32_t> res_local_;       ///< global res -> local slot
+  std::vector<std::size_t> scratch_res_;       ///< component resources
+  std::vector<double> sc_cap_left_;
+  std::vector<double> sc_weighted_demand_;
+  std::vector<char> sc_bottleneck_;
+  std::vector<double> sc_load_;
+  std::vector<double> sc_pressure_;
+  std::vector<double> sc_cap_lambda_;
+  std::vector<char> sc_fixed_;
+  std::vector<double> sc_rate_;
+
+  Stats stats_;
+};
 
 }  // namespace cci::sim

@@ -1,0 +1,140 @@
+// EventQueue: retime semantics, cancelled-entry compaction, node recycling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace cci::sim {
+namespace {
+
+TEST(EventQueue, CancelRescheduleDoesNotGrowHeapUnboundedly) {
+  // The engine's old change-point pattern: cancel the completion timer and
+  // schedule a fresh one, thousands of times.  Every cancelled node used to
+  // linger in the heap until its (possibly far-future) time surfaced; the
+  // compaction pass now bounds the heap to ~2x the live entries.
+  EventQueue q;
+  EventQueue::Handle timer;
+  for (int i = 0; i < 100000; ++i) {
+    timer.cancel();
+    timer = q.schedule(1e9 + i, [] {});  // far future: never pops naturally
+  }
+  EXPECT_EQ(q.live_size(), 1u);
+  EXPECT_LE(q.size_estimate(), 16u);  // compaction threshold, not 100000
+}
+
+TEST(EventQueue, RetimeLeavesNoGarbageAtAll) {
+  EventQueue q;
+  EventQueue::Handle timer = q.schedule(1e9, [] {});
+  for (int i = 0; i < 100000; ++i) EXPECT_TRUE(q.retime(timer, 1e9 + i));
+  EXPECT_EQ(q.size_estimate(), 1u);
+  EXPECT_EQ(q.live_size(), 1u);
+  EXPECT_TRUE(timer.pending());
+}
+
+TEST(EventQueue, RetimeMovesEventAndKeepsCallback) {
+  EventQueue q;
+  std::vector<int> order;
+  auto a = q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  ASSERT_TRUE(q.retime(a, 3.0));  // 1 -> after 2
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RetimeResequencesLikeAFreshSchedule) {
+  // Two events at the same instant run in scheduling order; a retimed event
+  // counts as freshly scheduled (exactly what cancel+reschedule used to do).
+  EventQueue q;
+  std::vector<int> order;
+  auto a = q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(5.0, [&] { order.push_back(2); });
+  ASSERT_TRUE(q.retime(a, 5.0));
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RetimeFailsOnFiredCancelledOrInertHandles) {
+  EventQueue q;
+  EventQueue::Handle inert;
+  EXPECT_FALSE(q.retime(inert, 1.0));
+
+  auto fired = q.schedule(1.0, [] {});
+  (void)q.pop();
+  EXPECT_FALSE(q.retime(fired, 2.0));
+  EXPECT_FALSE(fired.pending());
+
+  auto cancelled = q.schedule(1.0, [] {});
+  cancelled.cancel();
+  EXPECT_FALSE(q.retime(cancelled, 2.0));
+}
+
+TEST(EventQueue, RecycledNodesDoNotResurrectOldHandles) {
+  EventQueue q;
+  auto h1 = q.schedule(1.0, [] {});
+  (void)q.pop();  // node goes to the free-list
+  auto h2 = q.schedule(2.0, [] {});  // recycles the same node
+  EXPECT_FALSE(h1.pending());
+  EXPECT_TRUE(h2.pending());
+  h1.cancel();  // stale handle: must be inert, not cancel h2's event
+  EXPECT_TRUE(h2.pending());
+  EXPECT_EQ(q.live_size(), 1u);
+}
+
+TEST(EventQueue, CompactionPreservesPopOrder) {
+  Rng rng(17);
+  EventQueue q;
+  std::vector<EventQueue::Handle> handles;
+  std::vector<double> expected;
+  for (int i = 0; i < 400; ++i) {
+    double t = rng.uniform(0.0, 100.0);
+    handles.push_back(q.schedule(t, [] {}));
+    expected.push_back(t);
+  }
+  // Cancel ~three quarters, triggering at least one compaction sweep.
+  std::vector<double> surviving;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (i % 4 != 0) {
+      handles[i].cancel();
+    } else {
+      surviving.push_back(expected[i]);
+    }
+  }
+  std::sort(surviving.begin(), surviving.end());
+  EXPECT_EQ(q.live_size(), surviving.size());
+  std::vector<double> popped;
+  while (!q.empty()) popped.push_back(q.pop().first);
+  EXPECT_EQ(popped, surviving);
+}
+
+TEST(EventQueue, LiveSizeExcludesLazilyCancelledEntries) {
+  EventQueue q;
+  auto a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.schedule(3.0, [] {});
+  EXPECT_EQ(q.live_size(), 3u);
+  a.cancel();
+  EXPECT_EQ(q.live_size(), 2u);
+  EXPECT_GE(q.size_estimate(), q.live_size());
+}
+
+TEST(EngineRetime, RetimedCallbackFiresAtNewTime) {
+  Engine engine;
+  Time fired_at = -1.0;
+  auto h = engine.call_at(1.0, [&] { fired_at = engine.now(); });
+  EXPECT_TRUE(engine.retime(h, 4.0));
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+}  // namespace
+}  // namespace cci::sim
