@@ -48,6 +48,12 @@ class FrequencyGovernor {
   void core_comm(int core);
 
   // ---- observations -------------------------------------------------------
+  /// Active policy, as `cpupower frequency-info` would report it.  Fault
+  /// injection saves this before throttling so recovery can restore the
+  /// operator's configuration instead of assuming ondemand.
+  [[nodiscard]] CpuPolicy policy() const { return policy_; }
+  /// Operator-pinned core frequency (meaningful under kUserspace).
+  [[nodiscard]] double pinned_core_freq() const { return pinned_core_hz_; }
   [[nodiscard]] double core_freq(int core) const {
     return freq_.at(static_cast<std::size_t>(core));
   }

@@ -23,16 +23,36 @@ struct MsgView {
   std::uint64_t buffer_id = 0;
 };
 
+/// Operation outcome.  Everything is kOk on the healthy path; the reliable
+/// transport surfaces bounded-retry failures instead of hanging.
+enum class MpiStatus {
+  kOk = 0,
+  kTimedOut,   ///< retry budget exhausted without an acknowledged delivery
+  kCorrupted,  ///< budget exhausted and the last failure was a CRC mismatch
+  kCancelled,  ///< aborted by runtime failover (owner rank/worker died)
+};
+
 /// Completion handle for a nonblocking operation; `co_await *req` waits.
+/// Always check `status()` after a wait when faults may be armed: a request
+/// completes (event set) on failure too, carrying the error here.
 class Request {
  public:
   explicit Request(sim::Engine& engine) : done_(engine) {}
   sim::OneShotEvent& done() { return done_; }
   [[nodiscard]] bool test() const { return done_.is_set(); }
+  [[nodiscard]] MpiStatus status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_ == MpiStatus::kOk; }
+  /// Complete with an error (idempotent; the first completion wins).
+  void fail(MpiStatus status) {
+    if (done_.is_set()) return;
+    status_ = status;
+    done_.set();
+  }
   auto operator co_await() { return done_.wait(); }
 
  private:
   sim::OneShotEvent done_;
+  MpiStatus status_ = MpiStatus::kOk;
 };
 
 using RequestPtr = std::shared_ptr<Request>;

@@ -1,9 +1,12 @@
 #include "mpi/world.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 #include "hw/frequency_governor.hpp"
+#include "net/faults.hpp"
+#include "sim/sync.hpp"
 
 namespace cci::mpi {
 
@@ -34,9 +37,32 @@ World::World(net::Cluster& cluster, std::vector<RankConfig> ranks) : cluster_(cl
   obs_posted_depth_ = &obs_reg_->histogram("mpi.world.posted_depth");
   obs_unexpected_depth_ = &obs_reg_->histogram("mpi.world.unexpected_depth");
   obs_dma_rate_ = &obs_reg_->histogram("mpi.world.dma_rate_Bps");
+  obs_retransmits_ = &obs_reg_->counter("mpi.retransmits");
+  obs_timeouts_ = &obs_reg_->counter("mpi.timeouts");
   obs_rank_tracks_.reserve(ranks_.size());
   for (int r = 0; r < size(); ++r)
     obs_rank_tracks_.push_back(obs_reg_->tracer().track("mpi.rank" + std::to_string(r)));
+
+  faults_ = &cluster_.faults();
+  // A NIC blackout kills every rendezvous DMA touching the node: cancel the
+  // flow and wake the sender so its retransmit timer takes over.
+  faults_->on_blackout([this](int node) {
+    for (auto& d : inflight_dma_) {
+      if (d.abort->is_set()) continue;
+      if (d.src_node != node && d.dst_node != node) continue;
+      if (!d.act->finished()) cluster_.model().cancel(d.act);
+      d.abort->set();
+    }
+  });
+  // Watchdog reports name receives that never matched (the classic deadlock
+  // diagnostic: which rank is waiting for a message that never came).
+  engine().add_stall_inspector([this](std::vector<std::string>& out) {
+    for (int r = 0; r < size(); ++r)
+      for (const PostedRecv& p : ranks_[static_cast<std::size_t>(r)].posted)
+        out.push_back("mpi rank " + std::to_string(r) + " posted recv (src=" +
+                      std::to_string(p.src) + ", tag=" + std::to_string(p.tag) +
+                      ") never matched");
+  });
 }
 
 int World::comm_core(int rank) const { return cfg(rank).comm_core; }
@@ -99,6 +125,10 @@ RequestPtr World::irecv(int rank_id, int src_rank, int tag, MsgView msg) {
     arr->recv_msg = msg;
     arr->recv_req = req;
     arr->matched->set();
+    if (arr->status != MpiStatus::kOk) {
+      req->fail(arr->status);  // poison: the sender already gave up
+      return req;
+    }
     if (arr->eager) engine().spawn(finish_eager_recv(rank_id, arr, /*from_unexpected=*/true));
     return req;
   }
@@ -114,6 +144,10 @@ void World::arrive(int dst_rank, const ArrivalPtr& arrival) {
     arrival->recv_req = it->req;
     R.posted.erase(it);
     arrival->matched->set();
+    if (arrival->status != MpiStatus::kOk) {
+      arrival->recv_req->fail(arrival->status);  // poison: sender gave up
+      return;
+    }
     if (arrival->eager)
       engine().spawn(finish_eager_recv(dst_rank, arrival, /*from_unexpected=*/false));
     return;
@@ -131,6 +165,8 @@ sim::Coro World::finish_eager_recv(int dst_rank, ArrivalPtr arrival, bool from_u
   // tiny payloads arrive with the completion and stay in cache.
   if (arrival->bytes > np.pio_latency_cutoff)
     t += m.mem_access_latency(comm_numa(dst_rank), arrival->recv_msg.data_numa);
+  // Reliable transport verifies a checksum on every delivered payload.
+  if (faults_->wire_active()) t += crc_delay(dst_rank, arrival->bytes);
   if (from_unexpected) {
     // The payload was parked in a bounce buffer near the NIC; the comm
     // core copies it out.
@@ -162,6 +198,16 @@ sim::Coro World::send_process(int src_rank, int dst_rank, int tag, MsgView msg,
   arrival->tag = tag;
   arrival->bytes = msg.bytes;
   arrival->matched = std::make_unique<sim::OneShotEvent>(engine());
+
+  if (reliable()) {
+    // Fault model armed: both protocols switch to the acknowledged
+    // transport with retransmit timers and bounded retry budgets.
+    if (msg.bytes <= np.eager_threshold)
+      engine().spawn(reliable_eager_send(src_rank, dst_rank, tag, msg, sreq, arrival, t0));
+    else
+      engine().spawn(reliable_rndv_send(src_rank, dst_rank, tag, msg, sreq, arrival, t0));
+    co_return;
+  }
 
   if (msg.bytes <= np.eager_threshold) {
     arrival->eager = true;
@@ -271,6 +317,323 @@ sim::Coro World::send_process(int src_rank, int dst_rank, int tag, MsgView msg,
   sreq->done().set();
 
   co_await engine().sleep(sw_delay(dst_rank, np.recv_overhead_cycles));
+  arrival->recv_req->done().set();
+}
+
+// ---- reliable transport -----------------------------------------------------
+
+bool World::reliable() const { return faults_->wire_active(); }
+
+double World::initial_rto(std::size_t bytes) const {
+  // LogGP-derived: the earliest instant an ack could possibly return is one
+  // serialization plus a round trip of wire and control latency; the safety
+  // factor absorbs queueing, jitter and receiver-side software overheads.
+  const auto& np = cluster_.net();
+  return faults_->reliability.rto_safety *
+         (2.0 * (np.wire_latency + np.control_latency) +
+          static_cast<double>(bytes) / np.wire_bw);
+}
+
+double World::crc_delay(int rank_id, std::size_t bytes) {
+  const auto& np = nic_of(rank_id).params();
+  double f = machine_of(rank_id).governor().core_freq(comm_core(rank_id));
+  return static_cast<double>(bytes) * np.crc_cycles_per_byte / f;
+}
+
+void World::register_dma(sim::ActivityPtr act, sim::OneShotEvent* abort, int src_node,
+                         int dst_node) {
+  inflight_dma_.push_back({std::move(act), abort, src_node, dst_node});
+}
+
+void World::fail_rndv(int dst_rank, const ArrivalPtr& arrival, const RequestPtr& sreq,
+                      MpiStatus status, bool rts_delivered) {
+  // Fail the whole operation: the sender surfaces the status, and whichever
+  // side the receiver reached (matched, parked, or nothing yet) is poisoned
+  // so its receive fails too instead of waiting forever.
+  obs_timeouts_->add(1);
+  arrival->status = status;
+  if (arrival->recv_req) {
+    arrival->recv_req->fail(status);
+  } else if (!rts_delivered) {
+    arrive(dst_rank, arrival);  // poison
+  }
+  sreq->fail(status);
+}
+
+void World::unregister_dma(const sim::OneShotEvent* abort) {
+  for (auto it = inflight_dma_.begin(); it != inflight_dma_.end(); ++it)
+    if (it->abort == abort) {
+      inflight_dma_.erase(it);
+      return;
+    }
+}
+
+sim::Coro World::reliable_eager_send(int src_rank, int dst_rank, int tag, MsgView msg,
+                                     RequestPtr sreq, ArrivalPtr arrival, sim::Time t0) {
+  RankState& S = rank(src_rank);
+  hw::Machine& M = machine_of(src_rank);
+  net::Nic& snic = nic_of(src_rank);
+  const auto& np = snic.params();
+  const int src_node = cfg(src_rank).node;
+  const int dst_node = cfg(dst_rank).node;
+  const auto& rel = faults_->reliability;
+
+  arrival->eager = true;
+  // Gather the payload once; retransmits resend from the NIC-side staging.
+  co_await engine().sleep(M.mem_access_latency(comm_numa(src_rank), msg.data_numa) *
+                          cluster_.rng().jitter(np.noise_rel));
+
+  double rto = initial_rto(msg.bytes);
+  bool delivered = false;  // suppress duplicates when only the ack was lost
+  bool acked = false;
+  MpiStatus fail_status = MpiStatus::kTimedOut;
+
+  for (int attempt = 0; attempt <= rel.max_retries; ++attempt) {
+    if (attempt > 0) obs_retransmits_->add(1);
+    // Per-attempt injection cost on the comm core (same as the legacy path).
+    if (msg.bytes <= np.pio_latency_cutoff) {
+      co_await engine().sleep(pio_latency(src_rank, msg.bytes));
+    } else {
+      sim::ActivitySpec copy;
+      copy.label = "pio-copy";
+      copy.work = static_cast<double>(msg.bytes);
+      for (sim::Resource* r : M.mem_path(comm_numa(src_rank), msg.data_numa))
+        copy.demands.push_back({r, 1.0});
+      copy.demands.push_back({snic.dma_engine(), 1.0});
+      double f = M.governor().core_freq(comm_core(src_rank));
+      copy.rate_cap = f / np.pio_cycles_per_byte;
+      co_await *M.model().start(copy);
+      co_await engine().sleep(pio_latency(src_rank, np.pio_chunk));  // doorbell
+    }
+
+    // Fate of this attempt: a blacked-out NIC passes nothing; otherwise the
+    // wire may drop or corrupt the payload (receiver CRC rejects the latter).
+    const bool blackout = faults_->blacked_out(src_node) || faults_->blacked_out(dst_node);
+    const bool lost = blackout || faults_->draw_loss(cluster_.rng());
+    const bool corrupt = !lost && faults_->draw_corrupt(cluster_.rng());
+    if (!lost && !corrupt) {
+      const double wire_time = np.wire_latency * cluster_.rng().jitter(np.noise_rel) +
+                               static_cast<double>(msg.bytes) / np.wire_bw;
+      if (!delivered) {
+        delivered = true;
+        engine().spawn([](World* w, int dst, ArrivalPtr arr, double t) -> sim::Coro {
+          co_await w->engine().sleep(t);
+          w->arrive(dst, arr);
+        }(this, dst_rank, arrival, wire_time));
+      }
+      // Control-sized ack rides back on the same (possibly lossy) wire.
+      const bool ack_lost = blackout || faults_->draw_loss(cluster_.rng());
+      if (!ack_lost) {
+        co_await engine().sleep(wire_time + control_delay());
+        acked = true;
+        break;
+      }
+      fail_status = MpiStatus::kTimedOut;
+    } else {
+      fail_status = corrupt ? MpiStatus::kCorrupted : MpiStatus::kTimedOut;
+    }
+    // No ack: the retransmit timer expires, with exponential backoff.
+    co_await engine().sleep(rto);
+    rto = std::min(rto * 2.0, rel.rto_max);
+  }
+
+  if (!acked) {
+    obs_timeouts_->add(1);
+    if (!delivered) {
+      // Poison arrival so a matching receive fails instead of hanging.
+      arrival->status = fail_status;
+      arrive(dst_rank, arrival);
+    }
+    sreq->fail(fail_status);
+    co_return;
+  }
+
+  S.stats.bytes += static_cast<double>(msg.bytes);
+  S.stats.busy_time += engine().now() - t0;
+  obs_eager_->add(1);
+  obs_bytes_->add(static_cast<double>(msg.bytes));
+  if (obs_reg_->tracer().on())
+    obs_reg_->tracer().span(obs_rank_tracks_[static_cast<std::size_t>(src_rank)],
+                            "eager tag=" + std::to_string(tag) + " B=" +
+                                std::to_string(msg.bytes),
+                            t0, engine().now());
+  if (message_trace_enabled_)
+    message_trace_.push_back({src_rank, dst_rank, tag, msg.bytes, true, t0, t0, engine().now()});
+  sreq->done().set();
+}
+
+sim::Coro World::reliable_rndv_send(int src_rank, int dst_rank, int tag, MsgView msg,
+                                    RequestPtr sreq, ArrivalPtr arrival, sim::Time t0) {
+  RankState& S = rank(src_rank);
+  hw::Machine& M = machine_of(src_rank);
+  net::Nic& snic = nic_of(src_rank);
+  const auto& np = snic.params();
+  const int src_node = cfg(src_rank).node;
+  const int dst_node = cfg(dst_rank).node;
+  const auto& rel = faults_->reliability;
+
+  arrival->eager = false;
+  const sim::Time hs_start = engine().now();
+
+  // ---- RTS: control-sized, link-level acked --------------------------------
+  double rto = initial_rto(0);
+  bool rts_delivered = false;
+  bool rts_acked = false;
+  for (int attempt = 0; attempt <= rel.max_retries; ++attempt) {
+    if (attempt > 0) obs_retransmits_->add(1);
+    const bool blackout = faults_->blacked_out(src_node) || faults_->blacked_out(dst_node);
+    const bool lost = blackout || faults_->draw_loss(cluster_.rng());
+    if (!lost) {
+      const double d = control_delay();
+      if (!rts_delivered) {
+        rts_delivered = true;
+        engine().spawn([](World* w, int dst, ArrivalPtr arr, double t) -> sim::Coro {
+          co_await w->engine().sleep(t);
+          w->arrive(dst, arr);
+        }(this, dst_rank, arrival, d));
+      }
+      const bool ack_lost = blackout || faults_->draw_loss(cluster_.rng());
+      if (!ack_lost) {
+        co_await engine().sleep(2.0 * d);
+        rts_acked = true;
+        break;
+      }
+    }
+    co_await engine().sleep(rto);
+    rto = std::min(rto * 2.0, rel.rto_max);
+  }
+  if (!rts_acked) {
+    fail_rndv(dst_rank, arrival, sreq, MpiStatus::kTimedOut, rts_delivered);
+    co_return;
+  }
+
+  // The wait for a matching receive is application behaviour, not a fault:
+  // it stays unbounded, exactly as in the legacy protocol.
+  co_await arrival->matched->wait();
+
+  // ---- CTS: receiver-driven retransmit, same control-scale timer -----------
+  rto = initial_rto(0);
+  bool cts_ok = false;
+  for (int attempt = 0; attempt <= rel.max_retries; ++attempt) {
+    if (attempt > 0) obs_retransmits_->add(1);
+    const bool blackout = faults_->blacked_out(src_node) || faults_->blacked_out(dst_node);
+    const bool lost = blackout || faults_->draw_loss(cluster_.rng());
+    if (!lost) {
+      co_await engine().sleep(control_delay());
+      cts_ok = true;
+      break;
+    }
+    co_await engine().sleep(rto);
+    rto = std::min(rto * 2.0, rel.rto_max);
+  }
+  if (!cts_ok) {
+    fail_rndv(dst_rank, arrival, sreq, MpiStatus::kTimedOut, rts_delivered);
+    co_return;
+  }
+  const sim::Time hs_end = engine().now();
+
+  net::Nic& dnic = nic_of(dst_rank);
+  if (msg.buffer_id != 0 && !snic.registered(msg.buffer_id)) {
+    co_await engine().sleep(snic.registration_cost(msg.bytes));
+    snic.register_buffer(msg.buffer_id);
+  }
+  if (arrival->recv_msg.buffer_id != 0 && !dnic.registered(arrival->recv_msg.buffer_id)) {
+    co_await engine().sleep(dnic.registration_cost(arrival->recv_msg.bytes));
+    dnic.register_buffer(arrival->recv_msg.buffer_id);
+  }
+  snic.refresh_dma_capacity();
+  dnic.refresh_dma_capacity();
+
+  const sim::Time transfer_start = engine().now();
+  hw::Machine& D = machine_of(dst_rank);
+
+  // ---- DMA with whole-transfer retransmit ----------------------------------
+  // A blackout mid-transfer cancels the flow (frozen progress, completion
+  // never fires); the abort event wakes us and the timer takes over.
+  rto = initial_rto(msg.bytes);
+  MpiStatus fail_status = MpiStatus::kTimedOut;
+  bool transferred = false;
+  for (int attempt = 0; attempt <= rel.max_retries; ++attempt) {
+    if (attempt > 0) obs_retransmits_->add(1);
+    if (faults_->blacked_out(src_node) || faults_->blacked_out(dst_node)) {
+      fail_status = MpiStatus::kTimedOut;
+      co_await engine().sleep(rto);
+      rto = std::min(rto * 2.0, rel.rto_max);
+      continue;
+    }
+    sim::ActivitySpec dma;
+    dma.label = "dma";
+    dma.work = static_cast<double>(msg.bytes);
+    dma.weight = M.config().nic_dma_weight;
+    for (sim::Resource* r : M.mem_path(snic.numa(), msg.data_numa))
+      dma.demands.push_back({r, 1.0});
+    dma.demands.push_back({snic.dma_engine(), 1.0});
+    for (sim::Resource* r : cluster_.fabric_path(src_node, dst_node))
+      dma.demands.push_back({r, 1.0});
+    dma.demands.push_back({dnic.dma_engine(), 1.0});
+    for (sim::Resource* r : D.mem_path(dnic.numa(), arrival->recv_msg.data_numa))
+      dma.demands.push_back({r, 1.0});
+    sim::ActivityPtr act = M.model().start(dma);
+    sim::OneShotEvent abort(engine());
+    register_dma(act, &abort, src_node, dst_node);
+    // Named awaitable: an initializer_list inside the co_await expression
+    // trips a GCC coroutine-frame bug ("array used as initializer").
+    sim::WhenAny done_or_abort = sim::when_any(engine(), {&act->done(), &abort});
+    co_await done_or_abort;
+    unregister_dma(&abort);
+    if (!act->finished()) {
+      // Cancelled by a blackout: back off, then restart from scratch.
+      fail_status = MpiStatus::kTimedOut;
+      co_await engine().sleep(rto);
+      rto = std::min(rto * 2.0, rel.rto_max);
+      continue;
+    }
+    if (faults_->draw_corrupt(cluster_.rng())) {
+      fail_status = MpiStatus::kCorrupted;  // receiver CRC rejects the data
+      co_await engine().sleep(rto);
+      rto = std::min(rto * 2.0, rel.rto_max);
+      continue;
+    }
+    const bool fin_lost = faults_->blacked_out(src_node) || faults_->blacked_out(dst_node) ||
+                          faults_->draw_loss(cluster_.rng());
+    if (fin_lost) {
+      fail_status = MpiStatus::kTimedOut;
+      co_await engine().sleep(rto);
+      rto = std::min(rto * 2.0, rel.rto_max);
+      continue;
+    }
+    co_await engine().sleep(control_delay());  // completion notification
+    transferred = true;
+    break;
+  }
+  if (!transferred) {
+    fail_rndv(dst_rank, arrival, sreq, fail_status, rts_delivered);
+    co_return;
+  }
+
+  // Stats cover transfer_start..now, retransmissions included — exactly the
+  // bandwidth degradation the fault sweep measures.
+  S.stats.bytes += static_cast<double>(msg.bytes);
+  S.stats.busy_time += engine().now() - transfer_start;
+  obs_rndv_->add(1);
+  obs_bytes_->add(static_cast<double>(msg.bytes));
+  if (engine().now() > transfer_start)
+    obs_dma_rate_->record(static_cast<double>(msg.bytes) / (engine().now() - transfer_start));
+  if (obs_reg_->tracer().on()) {
+    obs::Tracer& tracer = obs_reg_->tracer();
+    obs::TrackId track = obs_rank_tracks_[static_cast<std::size_t>(src_rank)];
+    std::string id = " tag=" + std::to_string(tag) + " B=" + std::to_string(msg.bytes);
+    tracer.span(track, "rndv" + id, t0, engine().now());
+    tracer.span(track, "handshake" + id, hs_start, hs_end);
+    tracer.span(track, "dma" + id, transfer_start, engine().now());
+  }
+  if (message_trace_enabled_)
+    message_trace_.push_back(
+        {src_rank, dst_rank, tag, msg.bytes, false, t0, transfer_start, engine().now()});
+  sreq->done().set();
+
+  co_await engine().sleep(sw_delay(dst_rank, np.recv_overhead_cycles) +
+                          crc_delay(dst_rank, msg.bytes));
   arrival->recv_req->done().set();
 }
 

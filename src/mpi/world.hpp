@@ -17,6 +17,15 @@
 //
 // Software overheads are charged in comm-core cycles (LogP's o), so pinned
 // or DVFS-driven core frequencies move latency exactly as §3 observes.
+//
+// Reliability: when the cluster's FaultState is armed (loss/corruption
+// windows, NIC blackouts, or force_reliable), both protocols switch to an
+// acknowledged transport — CRC verification at the receiver, per-message
+// retransmit timers with LogGP-derived initial RTO and exponential backoff,
+// a bounded retry budget surfacing MpiStatus::kTimedOut/kCorrupted instead
+// of hanging, and cancellation of in-flight DMA flows when a NIC blacks
+// out.  With the fault model unarmed, the legacy fire-and-forget path runs
+// verbatim (bitwise-identical event stream, no extra RNG draws).
 #pragma once
 
 #include <deque>
@@ -97,12 +106,15 @@ class World {
 
  private:
   /// A message that reached the matching point at the receiver: an eager
-  /// payload after the wire, or a rendezvous RTS.
+  /// payload after the wire, or a rendezvous RTS.  A non-kOk status marks a
+  /// "poison" arrival: the sender gave up before delivering, and the
+  /// matching receive must fail instead of waiting forever.
   struct Arrival {
     int src = 0;
     int tag = 0;
     std::size_t bytes = 0;
     bool eager = true;
+    MpiStatus status = MpiStatus::kOk;
     std::unique_ptr<sim::OneShotEvent> matched;  // set when a recv matches
     MsgView recv_msg;                            // filled at match time
     RequestPtr recv_req;
@@ -144,8 +156,41 @@ class World {
 
   sim::Coro send_process(int src_rank, int dst_rank, int tag, MsgView msg, RequestPtr sreq);
 
+  // ---- reliable transport (active only when the fault model is armed) ------
+  [[nodiscard]] bool reliable() const;
+  /// LogGP-derived initial retransmission timeout for a payload of `bytes`:
+  /// safety x (data serialization + round-trip wire and control latency).
+  [[nodiscard]] double initial_rto(std::size_t bytes) const;
+  /// Receiver-side CRC verification delay, charged per delivered payload.
+  [[nodiscard]] double crc_delay(int rank, std::size_t bytes);
+  /// Reliable-path replacements for the two protocol branches.
+  sim::Coro reliable_eager_send(int src_rank, int dst_rank, int tag, MsgView msg,
+                                RequestPtr sreq, ArrivalPtr arrival, sim::Time t0);
+  sim::Coro reliable_rndv_send(int src_rank, int dst_rank, int tag, MsgView msg,
+                               RequestPtr sreq, ArrivalPtr arrival, sim::Time t0);
+  /// Give up on a rendezvous: fail the sender and poison/fail the receiver.
+  void fail_rndv(int dst_rank, const ArrivalPtr& arrival, const RequestPtr& sreq,
+                 MpiStatus status, bool rts_delivered);
+  /// Deliver a small control message (RTS/CTS-class) with per-attempt loss
+  /// draws and link-level acks; spawns `on_delivery` once on the first
+  /// successful transmission.  Returns true when acknowledged in budget.
+  /// (Implemented inline in the callers; declaration kept for symmetry.)
+
+  /// In-flight rendezvous DMA registry: NIC blackouts cancel the flows of
+  /// every transfer touching the dead node and wake their senders.
+  struct InflightDma {
+    sim::ActivityPtr act;
+    sim::OneShotEvent* abort;
+    int src_node;
+    int dst_node;
+  };
+  void register_dma(sim::ActivityPtr act, sim::OneShotEvent* abort, int src_node, int dst_node);
+  void unregister_dma(const sim::OneShotEvent* abort);
+
   net::Cluster& cluster_;
+  net::FaultState* faults_ = nullptr;
   std::vector<RankState> ranks_;
+  std::vector<InflightDma> inflight_dma_;
   bool message_trace_enabled_ = false;
   std::vector<MessageRecord> message_trace_;
 
@@ -158,6 +203,8 @@ class World {
   obs::Histogram* obs_posted_depth_ = nullptr;
   obs::Histogram* obs_unexpected_depth_ = nullptr;
   obs::Histogram* obs_dma_rate_ = nullptr;
+  obs::Counter* obs_retransmits_ = nullptr;
+  obs::Counter* obs_timeouts_ = nullptr;
   std::vector<obs::TrackId> obs_rank_tracks_;
 };
 

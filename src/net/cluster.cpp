@@ -1,6 +1,7 @@
 #include "net/cluster.hpp"
 
 #include "hw/frequency_governor.hpp"
+#include "net/faults.hpp"
 
 namespace cci::net {
 
@@ -16,7 +17,12 @@ Cluster::Cluster(hw::MachineConfig config, NetworkParams net, int nodes, std::ui
   }
   crossbar_ = model_.add_resource(
       "switch", net_.wire_bw * static_cast<double>(nodes) * fabric.oversubscription);
+  faults_ = std::make_unique<FaultState>();
 }
+
+Cluster::~Cluster() = default;
+
+FaultState& Cluster::faults() { return *faults_; }
 
 void Nic::refresh_dma_capacity() {
   const auto& cfg = machine_.config();

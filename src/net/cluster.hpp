@@ -15,6 +15,8 @@
 
 namespace cci::net {
 
+class FaultState;
+
 class Cluster {
  public:
   /// Switch model: each node has full-duplex uplink ports; the crossbar
@@ -30,6 +32,7 @@ class Cluster {
       : Cluster(std::move(config), std::move(net), nodes, seed, FabricOptions()) {}
   Cluster(hw::MachineConfig config, NetworkParams net, int nodes, std::uint64_t seed,
           FabricOptions fabric);
+  ~Cluster();
 
   sim::Engine& engine() { return engine_; }
   sim::FlowModel& model() { return model_; }
@@ -38,6 +41,10 @@ class Cluster {
   hw::Machine& machine(int node) { return *machines_.at(static_cast<std::size_t>(node)); }
   Nic& nic(int node) { return *nics_.at(static_cast<std::size_t>(node)); }
   const NetworkParams& net() const { return net_; }
+
+  /// Wire-unreliability state (loss/corruption windows, NIC blackouts) the
+  /// transport consults per message.  Inert until a FaultInjector arms it.
+  FaultState& faults();
 
   /// Legacy accessor: the switch crossbar resource (historically "wire").
   sim::Resource* wire() { return crossbar_; }
@@ -59,6 +66,7 @@ class Cluster {
   std::vector<sim::Resource*> tx_ports_;
   std::vector<sim::Resource*> rx_ports_;
   sim::Resource* crossbar_ = nullptr;
+  std::unique_ptr<FaultState> faults_;
 };
 
 }  // namespace cci::net

@@ -46,6 +46,11 @@ struct NetworkParams {
   double registration_base = 0;      ///< per-buffer registration cost (s)
   double registration_per_byte = 0;  ///< pinning cost per byte (s/B)
 
+  // ---- reliability (only charged when the fault model is armed) -------------
+  /// Receiver-side CRC/checksum verification cost per payload byte, in
+  /// comm-core cycles.  Software CRC32C sits around 0.4 cycles/B.
+  double crc_cycles_per_byte = 0.4;
+
   // ---- run-to-run noise ------------------------------------------------------
   double noise_rel = 0.0;  ///< relative jitter on latency components
 

@@ -6,12 +6,15 @@
 
 #include "kernels/cg.hpp"
 #include "net/cluster.hpp"
+#include "runtime/distributed.hpp"
 
 namespace cci::runtime {
 
 namespace {
 
-/// Shared experiment scaffolding: P-node cluster, world, one runtime/rank.
+/// Shared experiment scaffolding: P-node cluster, world, one runtime/rank
+/// orchestrated by a DistributedRuntime (its healthy join path reproduces
+/// the historical joiner event-for-event).
 struct MultiRankApp {
   MultiRankApp(const hw::MachineConfig& machine, const net::NetworkParams& net,
                const RuntimeConfig& rt_config, int workers, int ranks) {
@@ -21,36 +24,29 @@ struct MultiRankApp {
     world = std::make_unique<mpi::World>(*cluster, rc);
     RuntimeConfig cfg = rt_config;
     cfg.workers = workers;
-    for (int r = 0; r < ranks; ++r) rt.push_back(std::make_unique<Runtime>(*world, r, cfg));
+    drt = std::make_unique<DistributedRuntime>(*world, cfg);
   }
 
+  Runtime& rt(int r) { return drt->runtime(r); }
+
   AppResult finish() {
-    auto& engine = cluster->engine();
-    sim::Time t0 = engine.now();
-    std::vector<sim::OneShotEvent*> done;
-    for (auto& r : rt) done.push_back(&r->run());
-    engine.spawn([](std::vector<std::unique_ptr<Runtime>>& rts,
-                    std::vector<sim::OneShotEvent*> events) -> sim::Coro {
-      for (auto* e : events) co_await e->wait();
-      for (auto& r : rts) r->shutdown();
-    }(rt, done));
-    engine.run();
+    DistributedRuntime::Report rep = drt->run_to_completion();
 
     AppResult res;
-    res.makespan = engine.now() - t0;
-    for (std::size_t r = 0; r < rt.size(); ++r) {
-      res.sending_bw += world->send_stats(static_cast<int>(r)).sending_bw();
-      res.stall_fraction += rt[r]->mem_stall_fraction();
-      res.tasks += rt[r]->tasks_completed();
+    res.makespan = rep.makespan;
+    for (int r = 0; r < drt->ranks(); ++r) {
+      res.sending_bw += world->send_stats(r).sending_bw();
+      res.stall_fraction += drt->runtime(r).mem_stall_fraction();
+      res.tasks += drt->runtime(r).tasks_completed();
     }
-    res.sending_bw /= static_cast<double>(rt.size());
-    res.stall_fraction /= static_cast<double>(rt.size());
+    res.sending_bw /= static_cast<double>(drt->ranks());
+    res.stall_fraction /= static_cast<double>(drt->ranks());
     return res;
   }
 
   std::unique_ptr<net::Cluster> cluster;
   std::unique_ptr<mpi::World> world;
-  std::vector<std::unique_ptr<Runtime>> rt;
+  std::unique_ptr<DistributedRuntime> drt;
 };
 
 /// Round-robin NUMA home for task data: first-touch by workers spreads
@@ -67,7 +63,7 @@ AppResult run_cg_app(const hw::MachineConfig& machine, const net::NetworkParams&
   const std::size_t block_bytes = options.n / static_cast<std::size_t>(P) * sizeof(double);
   // At least one chunk per worker, so the GEMV sweep actually occupies all
   // computing cores (as the parallel loop of the real kernel would).
-  const int chunks = std::max(options.chunks_per_rank, app.rt[0]->worker_count());
+  const int chunks = std::max(options.chunks_per_rank, app.rt(0).worker_count());
 
   const hw::KernelTraits gemv = kernels::cg_gemv_traits_for(options.n);
   const hw::KernelTraits dot{"cg-dot", 2.0, 16.0, hw::VectorClass::kSse};
@@ -81,7 +77,7 @@ AppResult run_cg_app(const hw::MachineConfig& machine, const net::NetworkParams&
   };
 
   for (int r = 0; r < P; ++r) {
-    Runtime& rt = *app.rt[r];
+    Runtime& rt = app.rt(r);
     const int right = (r + 1) % P;
     const int left = (r - 1 + P) % P;
     std::vector<Task*> prev_barrier;
@@ -158,7 +154,7 @@ AppResult run_gemm_app(const hw::MachineConfig& machine, const net::NetworkParam
   const hw::KernelTraits tile_traits = kernels::gemm_tile_traits(tile);
 
   for (int r = 0; r < P; ++r) {
-    Runtime& rt = *app.rt[r];
+    Runtime& rt = app.rt(r);
     // C-tile accumulation chains: tile (i,j) across panels must serialize.
     std::vector<Task*> last_writer(row_tiles * col_tiles, nullptr);
     Task* prev_comm = nullptr;  // panels are submitted (and sent) in order

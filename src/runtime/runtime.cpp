@@ -47,6 +47,7 @@ Runtime::Runtime(mpi::World& world, int rank, RuntimeConfig config)
     WorkerSlot slot;
     slot.core = core;
     slot.box = std::make_unique<sim::Mailbox<Task*>>(engine);
+    slot.abort = std::make_unique<sim::OneShotEvent>(engine);
     slots_.push_back(std::move(slot));
   }
   queues_.resize(config_.numa_aware_scheduling
@@ -58,6 +59,7 @@ Runtime::Runtime(mpi::World& world, int rank, RuntimeConfig config)
   obs_msgs_ = &obs_reg_->counter("runtime.comm.messages");
   obs_polls_ = &obs_reg_->counter("runtime.worker.polls");
   obs_idle_transitions_ = &obs_reg_->counter("runtime.worker.idle_transitions");
+  obs_reexec_ = &obs_reg_->counter("runtime.tasks_reexecuted");
   const std::string rank_tag = "runtime.rank" + std::to_string(rank_);
   obs_polling_workers_ = &obs_reg_->gauge(rank_tag + ".polling_workers");
   obs_lock_delay_ = &obs_reg_->gauge(rank_tag + ".lock_delay_s");
@@ -230,7 +232,7 @@ sim::Coro Runtime::worker_loop(std::size_t slot) {
   const int core = slots_[slot].core;
   // Busy-waiting keeps the core active even without tasks.
   gov.core_busy(core, hw::VectorClass::kScalar);
-  while (!shutdown_) {
+  while (!shutdown_ && !slots_[slot].dead) {
     Task* task = pop_for(slot);
     if (task == nullptr) {
       // Go idle: register for direct hand-off and poll (the §5.4 traffic).
@@ -243,11 +245,13 @@ sim::Coro Runtime::worker_loop(std::size_t slot) {
       --polling_workers_;
       update_polling_pressure();
       // enqueue() already removed us from idle_order_ unless shutting down.
-      if (task == nullptr) break;  // shutdown sentinel
+      if (task == nullptr) break;  // shutdown / worker-death sentinel
     }
+    slots_[slot].current = task;  // reclaimable until completed
     // Reaction latency: on average half a backoff period elapses between
     // the push and the successful poll.
     co_await engine.sleep(poll_period() / 2.0);
+    if (slots_[slot].dead) break;  // died holding an unstarted task
 
     ++compute_executed_;
     if (machine_.config().numa_of_core(core) != task->data_numa) ++remote_executed_;
@@ -256,8 +260,20 @@ sim::Coro Runtime::worker_loop(std::size_t slot) {
     const double cpu_rate = gov.core_freq(core) / cyc;
     auto act = machine_.model().start(hw::make_compute_spec(
         machine_, core, task->data_numa, task->codelet.traits, task->codelet.iters));
-    co_await *act;
+    if (failover_armed_) {
+      // Abortable wait: fail_worker() cancels the activity (its completion
+      // never fires) and sets the abort event instead.
+      slots_[slot].running_act = act;
+      sim::WhenAny done_or_abort =
+          sim::when_any(engine, {&act->done(), slots_[slot].abort.get()});
+      co_await done_or_abort;
+      slots_[slot].running_act.reset();
+    } else {
+      co_await *act;
+    }
     gov.core_busy(core, hw::VectorClass::kScalar);
+    if (slots_[slot].dead) break;  // cancelled mid-task; fail_worker reclaimed it
+    slots_[slot].current = nullptr;
 
     if (trace_enabled_)
       exec_trace_.push_back({task->codelet.name, core, task->data_numa, act->started_at(),
@@ -276,6 +292,12 @@ sim::Coro Runtime::worker_loop(std::size_t slot) {
       ++stall_samples_;
     }
     on_task_done(task);
+  }
+  if (slots_[slot].dead) {
+    // Dying with a task in hand (fail_worker may have reclaimed it already).
+    Task* orphan = slots_[slot].current;
+    slots_[slot].current = nullptr;
+    if (orphan != nullptr && !halted_) reexecute(orphan);
   }
   gov.core_idle(core);
 }
@@ -327,6 +349,55 @@ void Runtime::shutdown() {
   update_polling_pressure();  // flush the poll-count integral
   shutdown_ = true;
   for (auto& slot : slots_) slot.box->put(nullptr);
+  comm_box_->put(nullptr);
+}
+
+// ---- failover ---------------------------------------------------------------
+
+void Runtime::reexecute(Task* task) {
+  task->queued = false;
+  ++reexecuted_;
+  obs_reexec_->add(1);
+  enqueue(task);
+}
+
+void Runtime::fail_worker(std::size_t slot) {
+  WorkerSlot& s = slots_.at(slot);
+  if (s.dead) return;
+  s.dead = true;
+  if (s.idle) {
+    // Blocked in the hand-off box: never hand it work again, wake it with
+    // the sentinel so it exits (and stops polling).
+    for (auto it = idle_order_.begin(); it != idle_order_.end(); ++it)
+      if (*it == slot) {
+        idle_order_.erase(it);
+        break;
+      }
+    s.idle = false;
+    s.box->put(nullptr);
+  }
+  // Reclaim the task it was holding; another worker runs it again.
+  Task* orphan = s.current;
+  s.current = nullptr;
+  if (s.running_act && !s.running_act->finished()) machine_.model().cancel(s.running_act);
+  s.running_act.reset();
+  s.abort->set();
+  if (orphan != nullptr && !halted_) reexecute(orphan);
+}
+
+void Runtime::kill_worker_at(int worker, double at) {
+  arm_failover();
+  machine_.engine().call_at(at, [this, worker] {
+    fail_worker(static_cast<std::size_t>(worker));
+  });
+}
+
+void Runtime::halt() {
+  if (halted_) return;
+  halted_ = true;
+  shutdown_ = true;
+  update_polling_pressure();  // flush the poll-count integral
+  for (std::size_t s = 0; s < slots_.size(); ++s) fail_worker(s);
   comm_box_->put(nullptr);
 }
 

@@ -121,6 +121,24 @@ class Runtime {
   /// simply never starts them).
   void shutdown();
 
+  // ---- failover (fault model) -----------------------------------------------
+  /// Opt into worker-death handling: running tasks are executed under an
+  /// abortable wait so fail_worker() can reclaim them.  Off by default —
+  /// the unarmed hot path is bitwise-identical to the pre-failover runtime.
+  void arm_failover() { failover_armed_ = true; }
+  [[nodiscard]] bool failover_armed() const { return failover_armed_; }
+  /// Kill one worker: cancel its running task (re-enqueued for another
+  /// worker), wake it if idle, and keep it out of scheduling forever.
+  void fail_worker(std::size_t slot);
+  /// Schedule a worker death at an absolute simulation time (arms failover).
+  void kill_worker_at(int worker, double at);
+  /// Whole-rank death: every worker fails, the comm thread stops, orphaned
+  /// tasks are NOT re-executed (the rank is gone, not degraded).
+  void halt();
+  [[nodiscard]] bool halted() const { return halted_; }
+  /// Tasks reclaimed from dead workers and run again elsewhere.
+  [[nodiscard]] int tasks_reexecuted() const { return reexecuted_; }
+
   // ---- §5.2 message path -----------------------------------------------------
   /// One-way runtime overhead currently in effect for this rank's messages
   /// (software stack + polling lock contention).
@@ -173,12 +191,21 @@ class Runtime {
   std::vector<int> worker_cores_;
   int main_core_;
 
+  /// Put a reclaimed task back on the ready queue (counts as re-execution).
+  void reexecute(Task* task);
+
   std::vector<std::unique_ptr<Task>> tasks_;
   /// Per-worker hand-off boxes (idle workers block here).
   struct WorkerSlot {
     int core = -1;
     std::unique_ptr<sim::Mailbox<Task*>> box;
     bool idle = false;
+    // Failover state: a dead worker never schedules again; `current` marks
+    // the task it holds (for reclamation), `abort` wakes an armed wait.
+    bool dead = false;
+    Task* current = nullptr;
+    sim::ActivityPtr running_act;
+    std::unique_ptr<sim::OneShotEvent> abort;
   };
   std::vector<WorkerSlot> slots_;
   /// Ready queues: one per NUMA node when numa-aware, else a single FIFO.
@@ -190,6 +217,9 @@ class Runtime {
   int submitted_ = 0;
   bool started_ = false;
   bool shutdown_ = false;
+  bool failover_armed_ = false;
+  bool halted_ = false;
+  int reexecuted_ = 0;
 
   int polling_workers_ = 0;
   sim::ActivityPtr polling_flow_;
@@ -209,6 +239,7 @@ class Runtime {
   obs::Counter* obs_msgs_ = nullptr;
   obs::Counter* obs_polls_ = nullptr;
   obs::Counter* obs_idle_transitions_ = nullptr;
+  obs::Counter* obs_reexec_ = nullptr;
   obs::Gauge* obs_polling_workers_ = nullptr;
   obs::Gauge* obs_lock_delay_ = nullptr;
   obs::Histogram* obs_task_dur_ = nullptr;

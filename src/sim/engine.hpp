@@ -10,12 +10,15 @@
 #include <cassert>
 #include <coroutine>
 #include <functional>
+#include <string>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "sim/coro.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/stall.hpp"
 #include "sim/time.hpp"
 
 namespace cci::sim {
@@ -27,6 +30,7 @@ class Engine {
     obs_events_ = &reg.counter("sim.engine.events_dispatched");
     obs_spawns_ = &reg.counter("sim.engine.processes_spawned");
     obs_heap_depth_ = &reg.histogram("sim.engine.heap_depth");
+    obs_watchdog_trips_ = &reg.counter("sim.watchdog_trips");
   }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -72,14 +76,50 @@ class Engine {
     return ProcessRef(state);
   }
 
+  /// Opt into watchdog limits for subsequent run() calls.  When a limit is
+  /// hit, run() throws SimStalled (never from inside a process).
+  void set_watchdog(WatchdogConfig config) { watchdog_ = config; }
+  [[nodiscard]] const WatchdogConfig& watchdog() const { return watchdog_; }
+
+  /// Register a callback that appends human-readable descriptions of
+  /// currently-blocked work (stalled activities, pending receives, ...) to a
+  /// SimStalled report.  The registrant must outlive every run() call — in
+  /// practice inspectors are registered by objects (FlowModel, World) that
+  /// live as long as the engine they drive.
+  using StallInspector = std::function<void(std::vector<std::string>&)>;
+  void add_stall_inspector(StallInspector fn) {
+    stall_inspectors_.push_back(std::move(fn));
+  }
+
   /// Run until the event queue drains or the optional horizon is reached.
   /// Returns the final simulated time.
   Time run(Time until = kNever) {
+    const bool guarded = watchdog_.any();
+    std::uint64_t run_events = 0;
+    std::uint64_t instant_events = 0;
+    Time instant = now_;
     while (!queue_.empty()) {
       Time t = queue_.next_time();
       if (t > until) {
         now_ = until;
         return now_;
+      }
+      if (guarded) {
+        if (t > instant + kTimeEpsilon) {
+          instant = t;
+          instant_events = 0;
+        }
+        if (watchdog_.max_events != 0 && run_events >= watchdog_.max_events) {
+          now_ = std::max(now_, t);
+          trip(StallReason::kEventBudget, run_events);
+        }
+        if (watchdog_.max_events_per_instant != 0 &&
+            instant_events >= watchdog_.max_events_per_instant) {
+          now_ = std::max(now_, t);
+          trip(StallReason::kNoProgress, run_events);
+        }
+        ++run_events;
+        ++instant_events;
       }
       auto [time, fn] = queue_.pop();
       assert(time >= now_ - kTimeEpsilon);
@@ -88,6 +128,8 @@ class Engine {
       obs_heap_depth_->record(static_cast<double>(queue_.size_estimate()));
       fn();
     }
+    if (guarded && watchdog_.report_blocked_on_drain && live_processes_ > 0)
+      trip(StallReason::kBlockedProcesses, run_events);
     return now_;
   }
 
@@ -123,6 +165,13 @@ class Engine {
   }
 
  private:
+  [[noreturn]] void trip(StallReason reason, std::uint64_t run_events) {
+    obs_watchdog_trips_->add(1);
+    std::vector<std::string> blocked;
+    for (const StallInspector& fn : stall_inspectors_) fn(blocked);
+    throw SimStalled(reason, now_, run_events, live_processes_, std::move(blocked));
+  }
+
   friend struct Coro::promise_type::FinalAwaiter;
   void on_process_done(std::coroutine_handle<Coro::promise_type> h) {
     auto state = h.promise().state;
@@ -138,9 +187,12 @@ class Engine {
   EventQueue queue_;
   int live_processes_ = 0;
   std::unordered_set<void*> live_handles_;
+  WatchdogConfig watchdog_;
+  std::vector<StallInspector> stall_inspectors_;
   obs::Counter* obs_events_ = nullptr;
   obs::Counter* obs_spawns_ = nullptr;
   obs::Histogram* obs_heap_depth_ = nullptr;
+  obs::Counter* obs_watchdog_trips_ = nullptr;
 };
 
 inline void Coro::promise_type::FinalAwaiter::await_suspend(

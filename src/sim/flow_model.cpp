@@ -27,6 +27,23 @@ FlowModel::FlowModel(Engine& engine) : engine_(engine) {
   obs_solve_wall_us_ = &obs_reg_->histogram("sim.flow.solve_wall_us");
   if (const char* env = std::getenv("CCI_SIM_INCREMENTAL"))
     incremental_ = !(env[0] == '0' && env[1] == '\0');
+  // Watchdog support: when a run stalls, name every activity still in
+  // flight — a rate of zero marks the flows the deadlock is stuck on
+  // (capacity gone, blackout, ...).  Registered once; the model outlives
+  // every run() of the engine it drives.
+  engine_.add_stall_inspector([this](std::vector<std::string>& out) {
+    for (const ActivityPtr& act : running_) {
+      const double total = act->spec().work;
+      const double done = act->work_done();
+      std::string desc = "activity '" + act->spec().label + "'";
+      desc += act->rate() == 0.0 ? " STALLED (rate 0)"
+                                 : " rate=" + std::to_string(act->rate());
+      desc += ", work " + std::to_string(done) + "/" + std::to_string(total);
+      if (!act->spec().demands.empty() && act->spec().demands.front().resource != nullptr)
+        desc += ", first resource '" + act->spec().demands.front().resource->name() + "'";
+      out.push_back(std::move(desc));
+    }
+  });
 }
 
 void Resource::set_capacity(double capacity) {

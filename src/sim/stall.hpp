@@ -1,0 +1,100 @@
+// Watchdog diagnostics: structured reports for simulations that stop
+// making progress.
+//
+// A discrete-event simulation has three silent failure modes:
+//  * runaway event storms (a bug reschedules forever, time advances),
+//  * livelocks (events keep firing at one instant, time never advances),
+//  * deadlocks (the queue drains while coroutine processes are still
+//    blocked on events nobody will set — e.g. an activity stalled at rate
+//    zero, or a receive whose sender died).
+// The engine's watchdog converts each into a thrown SimStalled carrying
+// the blocked-activity descriptions collected from registered stall
+// inspectors, instead of an infinite loop or a silently-short run.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cci::sim {
+
+/// Watchdog limits; zero/false fields are disabled.  Off by default so
+/// existing runs are untouched; tests and long experiments opt in.
+struct WatchdogConfig {
+  /// Trip after this many events in one Engine::run call (0 = unlimited).
+  std::uint64_t max_events = 0;
+  /// Trip after this many events at a single simulated instant — the
+  /// livelock detector (0 = unlimited).
+  std::uint64_t max_events_per_instant = 0;
+  /// Trip when the queue drains while spawned processes are still blocked
+  /// (the deadlock form: everything waits, nothing is scheduled).
+  bool report_blocked_on_drain = false;
+
+  [[nodiscard]] bool any() const {
+    return max_events != 0 || max_events_per_instant != 0 || report_blocked_on_drain;
+  }
+};
+
+enum class StallReason {
+  kEventBudget,       ///< max_events exceeded (runaway simulation)
+  kNoProgress,        ///< max_events_per_instant exceeded (livelock)
+  kBlockedProcesses,  ///< queue drained with live blocked processes (deadlock)
+};
+
+/// Thrown by Engine::run when the watchdog trips.  Never thrown from inside
+/// a coroutine process (exceptions escaping a process terminate), only from
+/// the run loop itself.
+class SimStalled : public std::runtime_error {
+ public:
+  SimStalled(StallReason reason, Time at, std::uint64_t events, int live_processes,
+             std::vector<std::string> blocked)
+      : std::runtime_error(format(reason, at, events, live_processes, blocked)),
+        reason_(reason),
+        at_(at),
+        events_(events),
+        live_processes_(live_processes),
+        blocked_(std::move(blocked)) {}
+
+  [[nodiscard]] StallReason reason() const { return reason_; }
+  [[nodiscard]] Time at() const { return at_; }
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+  [[nodiscard]] int live_processes() const { return live_processes_; }
+  /// Human-readable descriptions of what was blocked, collected from the
+  /// engine's stall inspectors (flow model, transport, runtime).
+  [[nodiscard]] const std::vector<std::string>& blocked() const { return blocked_; }
+
+ private:
+  static std::string format(StallReason reason, Time at, std::uint64_t events,
+                            int live_processes, const std::vector<std::string>& blocked) {
+    std::string msg = "simulation stalled (";
+    switch (reason) {
+      case StallReason::kEventBudget:
+        msg += "event budget exceeded";
+        break;
+      case StallReason::kNoProgress:
+        msg += "no progress: event storm at one instant";
+        break;
+      case StallReason::kBlockedProcesses:
+        msg += "deadlock: event queue drained with blocked processes";
+        break;
+    }
+    msg += ") at t=" + std::to_string(at) + "s after " + std::to_string(events) +
+           " events, " + std::to_string(live_processes) + " live processes";
+    if (!blocked.empty()) {
+      msg += "; blocked:";
+      for (const std::string& b : blocked) msg += "\n  - " + b;
+    }
+    return msg;
+  }
+
+  StallReason reason_;
+  Time at_;
+  std::uint64_t events_;
+  int live_processes_;
+  std::vector<std::string> blocked_;
+};
+
+}  // namespace cci::sim

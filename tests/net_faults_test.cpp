@@ -1,6 +1,8 @@
 // Fault injection + DVFS transition latency.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "hw/frequency_governor.hpp"
 #include "mpi/pingpong.hpp"
 #include "net/faults.hpp"
@@ -87,6 +89,136 @@ TEST(Faults, ThrottledNodeSlowsSmallMessages) {
     return trace::Stats::of(pp.latencies()).median;
   };
   EXPECT_GT(latency_with(true), 1.5 * latency_with(false));
+}
+
+TEST(Faults, RestoreIsDeltaTrackedNotFactorScaled) {
+  // Discriminator for the restore bug: an *absolute* capacity write lands
+  // between inject and restore (the uncore refresh does exactly this).  A
+  // `capacity / factor` restore would scale the external write; the delta
+  // restore must add back exactly what the fault removed.
+  Cluster cluster(MachineConfig::henri(), NetworkParams::ib_edr());
+  sim::Resource* wire = cluster.wire();
+  const double c0 = wire->capacity();
+  FaultInjector faults(cluster);
+  faults.degrade_wire(/*at=*/1.0, /*factor=*/0.5, /*recover_at=*/3.0);
+  cluster.engine().call_at(2.0, [&] { wire->set_capacity(0.25 * c0); });
+  cluster.engine().run();
+  // Fault removed 0.5*c0; external write set 0.25*c0; restore adds 0.5*c0.
+  EXPECT_NEAR(wire->capacity(), 0.75 * c0, 1e-6 * c0);
+}
+
+TEST(Faults, OverlappingWindowsRestoreExactly) {
+  // Two nested degradations of the same resource: each restore returns the
+  // delta it took, so after both recoveries the capacity is bit-exact.
+  Cluster cluster(MachineConfig::henri(), NetworkParams::ib_edr());
+  sim::Resource* wire = cluster.wire();
+  const double c0 = wire->capacity();
+  FaultInjector faults(cluster);
+  faults.degrade_wire(1.0, 0.5, /*recover_at=*/4.0);
+  faults.degrade_wire(2.0, 0.4, /*recover_at=*/3.0);  // nested inside
+  cluster.engine().run(2.5);
+  EXPECT_NEAR(wire->capacity(), 0.5 * 0.4 * c0, 1e-6 * c0);
+  cluster.engine().run();
+  EXPECT_DOUBLE_EQ(wire->capacity(), c0);
+}
+
+TEST(Faults, RestoreClocksReinstatesPriorPolicy) {
+  // kPerformance before the throttle must come back as kPerformance, not
+  // the historical hardcoded kOndemand.
+  Cluster cluster(MachineConfig::henri(), NetworkParams::ib_edr());
+  auto& gov = cluster.machine(0).governor();
+  gov.set_policy(hw::CpuPolicy::kPerformance);
+  FaultInjector faults(cluster);
+  faults.throttle_node(0, /*at=*/0.001, /*recover_at=*/0.002);
+  cluster.engine().run();
+  EXPECT_EQ(gov.policy(), hw::CpuPolicy::kPerformance);
+}
+
+TEST(Faults, RestoreClocksReinstatesUserspacePin) {
+  // A userspace pin (the paper's fixed-frequency experiments) must return
+  // to the pinned frequency, not just the policy enum.
+  Cluster cluster(MachineConfig::henri(), NetworkParams::ib_edr());
+  auto& gov = cluster.machine(0).governor();
+  gov.pin_core_freq(2.3e9);
+  FaultInjector faults(cluster);
+  faults.throttle_node(0, /*at=*/0.001, /*recover_at=*/0.002);
+  cluster.engine().run(0.0015);
+  EXPECT_DOUBLE_EQ(gov.core_freq(0), MachineConfig::henri().core_freq_min_hz);
+  cluster.engine().run();
+  EXPECT_EQ(gov.policy(), hw::CpuPolicy::kUserspace);
+  EXPECT_DOUBLE_EQ(gov.core_freq(0), 2.3e9);
+}
+
+TEST(FaultPlans, GenerationIsDeterministic) {
+  FaultScheduleConfig cfg;
+  cfg.seed = 1234;
+  cfg.horizon = 2.0;
+  FaultPlan a = generate_fault_plan(cfg);
+  FaultPlan b = generate_fault_plan(cfg);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  cfg.seed = 1235;
+  EXPECT_FALSE(a == generate_fault_plan(cfg));
+}
+
+TEST(FaultPlans, SerializeParseRoundTripsBitForBit) {
+  FaultScheduleConfig cfg;
+  cfg.seed = 7;
+  cfg.horizon = 1.0;
+  cfg.interarrival = FaultScheduleConfig::Dist::kWeibull;
+  FaultPlan plan = generate_fault_plan(cfg);
+  ASSERT_FALSE(plan.empty());
+  const std::string text = FaultPlan::parse(plan.serialize()).serialize();
+  EXPECT_EQ(plan, FaultPlan::parse(text));
+  EXPECT_EQ(text, plan.serialize());
+  EXPECT_THROW(FaultPlan::parse("not-a-kind at=0"), std::runtime_error);
+}
+
+TEST(FaultPlans, InjectorRecordsWhatItApplies) {
+  // Replay contract: applying a plan records a plan equal to the input.
+  FaultScheduleConfig cfg;
+  cfg.seed = 99;
+  cfg.horizon = 0.5;
+  FaultPlan plan = generate_fault_plan(cfg);
+  ASSERT_FALSE(plan.empty());
+  Cluster cluster(MachineConfig::henri(), NetworkParams::ib_edr());
+  FaultInjector faults(cluster);
+  faults.apply(plan);
+  EXPECT_EQ(faults.plan(), plan);
+  cluster.engine().run();  // scheduled events must also be consumable
+}
+
+TEST(FaultState, LossWindowsStack) {
+  FaultState fs;
+  EXPECT_DOUBLE_EQ(fs.loss_prob(), 0.0);
+  fs.push_loss(0.5);
+  fs.push_loss(0.5);
+  EXPECT_DOUBLE_EQ(fs.loss_prob(), 0.75);  // 1 - (1-p1)(1-p2)
+  fs.pop_loss(0.5);
+  EXPECT_DOUBLE_EQ(fs.loss_prob(), 0.5);
+  fs.pop_loss(0.5);
+  EXPECT_DOUBLE_EQ(fs.loss_prob(), 0.0);
+  // Quiet state draws must not consume RNG (jitter-stream neutrality).
+  sim::Rng rng(1);
+  sim::Rng ref(1);
+  EXPECT_FALSE(fs.draw_loss(rng));
+  EXPECT_FALSE(fs.draw_corrupt(rng));
+  EXPECT_EQ(rng.next_u64(), ref.next_u64());
+}
+
+TEST(FaultState, BlackoutsNestPerNode) {
+  FaultState fs;
+  int onsets = 0;
+  fs.on_blackout([&](int) { ++onsets; });
+  fs.begin_blackout(1);
+  fs.begin_blackout(1);
+  EXPECT_TRUE(fs.blacked_out(1));
+  EXPECT_FALSE(fs.blacked_out(0));
+  EXPECT_EQ(onsets, 1);  // only the 0 -> 1 transition notifies
+  fs.end_blackout(1);
+  EXPECT_TRUE(fs.blacked_out(1));
+  fs.end_blackout(1);
+  EXPECT_FALSE(fs.blacked_out(1));
 }
 
 TEST(DvfsRamp, TransitionLatencyDelaysTurbo) {

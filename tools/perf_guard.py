@@ -1,30 +1,30 @@
 #!/usr/bin/env python3
-"""CI perf guard for the incremental max-min engine.
+"""CI perf guard over deterministic benchmark counters.
 
-Compares the deterministic `visits_per_event` counter from
-`micro_engine --benchmark_filter=FlowModelChurn --benchmark_format=json`
-against the checked-in baseline.  The counter measures solver flow-visits
-per simulated change-point event with a fixed seed, so it is stable across
-machines and build types — a >20% increase means the partial re-solve path
-got structurally worse (e.g. components over-merging or dirty-marking too
-eagerly), not that the runner was noisy.
+Compares a named per-benchmark counter from a google-benchmark JSON run
+against a checked-in baseline.  The guarded counters are derived from
+fixed-seed simulations (solver flow-visits per event, transport
+retransmits per message, ...), so they are stable across machines and
+build types — an increase beyond tolerance means the guarded code path
+got structurally worse, not that the runner was noisy.
 
-Usage: perf_guard.py <baseline.json> <current.json> [--tolerance 0.20]
+Usage: perf_guard.py <baseline.json> <current.json>
+                     [--key visits_per_event] [--tolerance 0.20]
 """
 import argparse
 import json
 import sys
 
 
-def counters(path):
+def counters(path, key):
     with open(path) as f:
         doc = json.load(f)
     out = {}
     for b in doc.get("benchmarks", []):
-        if "visits_per_event" in b:
-            out[b["name"]] = float(b["visits_per_event"])
+        if key in b:
+            out[b["name"]] = float(b[key])
     if not out:
-        sys.exit(f"perf_guard: no visits_per_event counters in {path}")
+        sys.exit(f"perf_guard: no {key} counters in {path}")
     return out
 
 
@@ -32,12 +32,14 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
     ap.add_argument("current")
+    ap.add_argument("--key", default="visits_per_event",
+                    help="counter field to compare (default visits_per_event)")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional increase (default 0.20)")
     args = ap.parse_args()
 
-    base = counters(args.baseline)
-    curr = counters(args.current)
+    base = counters(args.baseline, args.key)
+    curr = counters(args.current, args.key)
     failed = False
     for name, base_v in sorted(base.items()):
         if name not in curr:
@@ -45,19 +47,23 @@ def main():
             failed = True
             continue
         curr_v = curr[name]
-        ratio = curr_v / base_v if base_v else float("inf")
+        # A zero baseline (e.g. retransmits at loss 0) must stay exactly zero.
+        if base_v == 0.0:
+            ratio = 1.0 if curr_v == 0.0 else float("inf")
+        else:
+            ratio = curr_v / base_v
         status = "OK" if ratio <= 1.0 + args.tolerance else "REGRESSED"
-        print(f"{status:10s}{name}: visits/event {base_v:.3f} -> {curr_v:.3f} "
+        print(f"{status:10s}{name}: {args.key} {base_v:.3f} -> {curr_v:.3f} "
               f"({(ratio - 1.0) * 100.0:+.1f}%)")
         if status != "OK":
             failed = True
     for name in sorted(set(curr) - set(base)):
-        print(f"NEW       {name}: visits/event {curr[name]:.3f} "
+        print(f"NEW       {name}: {args.key} {curr[name]:.3f} "
               f"(add it to the baseline)")
     if failed:
-        sys.exit("perf_guard: flow-visit regression beyond tolerance "
+        sys.exit(f"perf_guard: {args.key} regression beyond tolerance "
                  "(re-baseline only with a justification in the PR)")
-    print("perf_guard: all flow-visit counters within tolerance")
+    print(f"perf_guard: all {args.key} counters within tolerance")
 
 
 if __name__ == "__main__":
