@@ -2,6 +2,7 @@
 // (weighted max-min snapshot; proportional sharing a la Langguth [12])
 // on the Fig. 4b sweep.  Quantifies what the dynamics add.
 #include "bench/common.hpp"
+#include "core/campaign.hpp"
 #include "kernels/stream.hpp"
 #include "model/analytic.hpp"
 
@@ -12,7 +13,7 @@ int main() {
 
   trace::Table t({"cores", "sim_GBps", "static_maxmin_GBps", "proportional_GBps",
                   "sim_stream_GBps", "maxmin_stream_GBps"});
-  for (int cores : bench::core_sweep(35)) {
+  for (int cores : core::paper_core_counts(35)) {
     model::ContentionInputs in;
     in.computing_cores = cores;
     auto mm = model::predict_max_min(in);

@@ -1,84 +1,8 @@
-// Cross-architecture sweep (§2.2/§4.2): the paper states results are
-// similar on billy (AMD) and pyxis (ARM), while bora (Omni-Path, single
-// NUMA per socket) shows later bandwidth onset and wider deviation.
-#include "bench/common.hpp"
-#include "kernels/stream.hpp"
+// Thin shim kept for script compatibility: the figure moved to the
+// campaign registry (bench/figures/arch_sweep.cpp).  `cci_bench
+// arch_sweep` is the primary entry point; this binary forwards there.
+#include "bench/registry.hpp"
 
-using namespace cci;
-
-namespace {
-
-struct ArchRow {
-  std::string name;
-  double quiet_lat_us;
-  double quiet_bw_gbps;
-  int bw_onset_cores;     // first core count losing >5% bandwidth
-  double bw_left_full;    // fraction left at full machine
-  double lat_factor_full; // latency multiplier at full machine
-};
-
-ArchRow measure(const hw::MachineConfig& machine) {
-  ArchRow row;
-  row.name = machine.name;
-  auto np = net::NetworkParams::for_machine(machine.name);
-  const int max_cores = machine.total_cores() - 1;
-
-  double quiet_bw = 0.0;
-  row.bw_onset_cores = -1;
-  for (int cores : {0, 2, 3, 5, 8, 12, 16, 24, 32, max_cores}) {
-    if (cores > max_cores) continue;
-    core::Scenario s;
-    s.machine = machine;
-    s.network = np;
-    s.kernel = kernels::triad_traits();
-    s.computing_cores = cores;
-    s.message_bytes = 64 << 20;
-    s.pingpong_iterations = 4;
-    s.pingpong_warmup = 1;
-    s.compute_repetitions = 3;
-    s.target_pass_seconds = 0.02;
-    auto r = core::InterferenceLab(s).run();
-    if (cores == 0) {
-      quiet_bw = r.comm_alone.bandwidth.median;
-      row.quiet_bw_gbps = quiet_bw / 1e9;
-    }
-    double ratio = r.comm_together.bandwidth.median / r.comm_alone.bandwidth.median;
-    if (cores > 0 && ratio < 0.95 && row.bw_onset_cores < 0) row.bw_onset_cores = cores;
-    if (cores == max_cores) row.bw_left_full = ratio;
-  }
-
-  core::Scenario lat;
-  lat.machine = machine;
-  lat.network = np;
-  lat.kernel = kernels::triad_traits();
-  lat.computing_cores = max_cores;
-  lat.message_bytes = 4;
-  lat.compute_repetitions = 3;
-  lat.target_pass_seconds = 0.02;
-  auto r = core::InterferenceLab(lat).run();
-  row.quiet_lat_us = sim::to_usec(r.comm_alone.latency.median);
-  row.lat_factor_full = r.comm_together.latency.median / r.comm_alone.latency.median;
-  return row;
-}
-
-}  // namespace
-
-int main() {
-  bench::banner("Architecture sweep", "henri/bora/billy/pyxis (§2.2, §4.2 cross-checks)");
-
-  trace::Table t({"machine", "quiet_lat_us", "quiet_bw_GBps", "bw_onset_cores",
-                  "bw_left_at_full", "lat_factor_at_full"});
-  for (const auto& machine : hw::MachineConfig::all_presets()) {
-    ArchRow row = measure(machine);
-    t.add_text_row({row.name, trace::fmt(row.quiet_lat_us, 2),
-                    trace::fmt(row.quiet_bw_gbps, 2),
-                    std::to_string(row.bw_onset_cores),
-                    trace::fmt(row.bw_left_full, 2),
-                    trace::fmt(row.lat_factor_full, 2)});
-  }
-  t.print(std::cout);
-  std::cout << "\nPaper: billy and pyxis behave like henri; bora (one NUMA node per\n"
-               "socket, higher controller capacity) is impacted later (~20 cores\n"
-               "instead of 3) — visible here in the onset column.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cci::bench::run_cli("arch_sweep", argc - 1, argv + 1);
 }

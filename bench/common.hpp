@@ -1,4 +1,9 @@
 // Shared helpers for the figure-reproduction benches.
+//
+// The sweep value lists (core counts, message sizes) that used to live
+// here moved into the spec layer: core::paper_core_counts() /
+// core::paper_message_sizes() in core/campaign.hpp, where figure
+// definitions declare *what* varies instead of hand-rolling loops.
 #pragma once
 
 #include <cstdlib>
@@ -11,6 +16,7 @@
 #include "core/interference_lab.hpp"
 #include "core/result_io.hpp"
 #include "obs/session.hpp"
+#include "trace/metrics_table.hpp"
 #include "trace/table.hpp"
 
 namespace cci::bench {
@@ -21,28 +27,12 @@ inline void banner(const std::string& figure, const std::string& what) {
   std::cout << "(simulated cluster; see EXPERIMENTS.md for paper-vs-measured)\n\n";
 }
 
-/// Computing-core counts used for the sweeps on a 36-core machine.
-inline std::vector<int> core_sweep(int max_cores) {
-  std::vector<int> cores{0, 1, 2, 3, 5, 8, 12, 16, 20, 24, 28, 32};
-  std::vector<int> out;
-  for (int c : cores)
-    if (c < max_cores) out.push_back(c);
-  out.push_back(max_cores);
-  return out;
-}
-
-/// Message sizes for NetPIPE-style sweeps.
-inline std::vector<std::size_t> size_sweep() {
-  std::vector<std::size_t> sizes;
-  for (std::size_t s = 4; s <= (64u << 20); s *= 4) sizes.push_back(s);
-  return sizes;
-}
-
 /// Per-bench observability hookup, driven entirely by the environment:
 ///   CCI_TRACE=<path>    Chrome trace (written by the Session destructor)
 ///                       plus metrics; records land in "<path>.records.json"
 ///                       unless CCI_RESULTS overrides them.
-///   CCI_METRICS=1       metrics only (no trace file).
+///   CCI_METRICS=1       metrics only: the end-of-run metrics_table is
+///                       printed on exit (no trace file needed).
 ///   CCI_RESULTS=<path>  append one JSON record per write_record() call.
 /// With none of the variables set, everything is a no-op.
 class BenchObs {
@@ -68,6 +58,14 @@ class BenchObs {
   }
 
   ~BenchObs() {
+    // CCI_METRICS=1 with no trace file and no results path used to enable
+    // collection and then silently drop everything; now every bench emits
+    // the end-of-run metrics_table so metrics-only runs have an output.
+    if (session_.active() && !session_.tracing() && results_path_.empty() &&
+        obs::Registry::global().enabled()) {
+      std::cout << "\n[cci-obs] end-of-run metrics (" << bench_ << "):\n";
+      trace::metrics_table(obs::Registry::global().snapshot()).print(std::cout);
+    }
     if (recorded_)
       std::cerr << "[cci-obs] bench records appended to " << results_path_ << "\n";
   }

@@ -1,61 +1,6 @@
-// Fig. 4 — memory-bound computations (STREAM TRIAD) vs network
-// performance on henri: data near the NIC, comm thread far from the NIC,
-// sweeping the number of computing cores.
-#include "bench/common.hpp"
-#include "kernels/stream.hpp"
+// Thin shim kept for script compatibility: the figure moved to the
+// campaign registry (bench/figures/fig04.cpp).  `cci_bench fig04` is the
+// primary entry point; this binary forwards its arguments there.
+#include "bench/registry.hpp"
 
-using namespace cci;
-
-int main() {
-  bench::banner("Fig. 4", "STREAM vs network performance (data near NIC, comm thread far)");
-  bench::BenchObs obs("fig04_memory_contention");
-
-  core::Scenario base;
-  base.kernel = kernels::triad_traits();
-  base.comm_thread = core::Placement::kFarFromNic;
-  base.data = core::Placement::kNearNic;
-  base.pingpong_iterations = 30;
-  base.compute_repetitions = 5;
-  base.target_pass_seconds = 0.02;
-
-  std::cout << "--- Fig. 4a: network latency (4 B) and STREAM bandwidth/core ---\n";
-  trace::Table lat({"cores", "lat_alone_us", "lat_together_us", "lat_d1_us", "lat_d9_us",
-                    "stream_alone_GBps", "stream_together_GBps"});
-  for (int cores : bench::core_sweep(35)) {
-    core::Scenario s = base;
-    s.computing_cores = cores;
-    s.message_bytes = 4;
-    auto r = core::InterferenceLab(s).run();
-    lat.add_row({static_cast<double>(cores), sim::to_usec(r.comm_alone.latency.median),
-                 sim::to_usec(r.comm_together.latency.median),
-                 sim::to_usec(r.comm_together.latency.decile1),
-                 sim::to_usec(r.comm_together.latency.decile9),
-                 r.compute_alone.per_core_bandwidth.median / 1e9,
-                 r.compute_together.per_core_bandwidth.median / 1e9});
-    obs.write_record({{"cores", static_cast<double>(cores)},
-                      {"msg_bytes", 4.0},
-                      {"lat_together_us", sim::to_usec(r.comm_together.latency.median)}});
-  }
-  lat.print(std::cout);
-  std::cout << "\nPaper: latency impacted from ~22 cores, up to 2x at 35; STREAM unaffected.\n\n";
-
-  std::cout << "--- Fig. 4b: network bandwidth (64 MB) and STREAM bandwidth/core ---\n";
-  trace::Table bw({"cores", "net_alone_GBps", "net_together_GBps",
-                   "stream_alone_GBps", "stream_together_GBps"});
-  for (int cores : bench::core_sweep(35)) {
-    core::Scenario s = base;
-    s.computing_cores = cores;
-    s.message_bytes = 64 << 20;
-    s.pingpong_iterations = 4;
-    s.pingpong_warmup = 1;
-    auto r = core::InterferenceLab(s).run();
-    bw.add_row({static_cast<double>(cores), r.comm_alone.bandwidth.median / 1e9,
-                r.comm_together.bandwidth.median / 1e9,
-                r.compute_alone.per_core_bandwidth.median / 1e9,
-                r.compute_together.per_core_bandwidth.median / 1e9});
-  }
-  bw.print(std::cout);
-  std::cout << "\nPaper: bandwidth impacted from ~3 cores, ~2/3 lost at 35; STREAM loses <=25%\n"
-               "(worst around 5 cores).\n";
-  return 0;
-}
+int main(int argc, char** argv) { return cci::bench::run_cli("fig04", argc - 1, argv + 1); }

@@ -1,63 +1,6 @@
-// Fig. 5 — impact of communication-thread placement and data locality on
-// henri (the remaining placement combinations; Fig. 4 covered
-// data-near/thread-far).  Six panels: latency and bandwidth for each combo.
-#include "bench/common.hpp"
-#include "kernels/stream.hpp"
+// Thin shim kept for script compatibility: the figure moved to the
+// campaign registry (bench/figures/fig05.cpp).  `cci_bench fig05` is the
+// primary entry point; this binary forwards its arguments there.
+#include "bench/registry.hpp"
 
-using namespace cci;
-
-namespace {
-
-void run_panel(const char* name, core::Placement data, core::Placement thread,
-               std::size_t bytes) {
-  std::cout << "--- " << name << " (data " << to_string(data) << " NIC, comm thread "
-            << to_string(thread) << " NIC, " << trace::format_bytes(static_cast<double>(bytes))
-            << ") ---\n";
-  trace::Table t({"cores", "alone", "together", "stream_alone_GBps", "stream_together_GBps"});
-  for (int cores : bench::core_sweep(35)) {
-    core::Scenario s;
-    s.kernel = kernels::triad_traits();
-    s.data = data;
-    s.comm_thread = thread;
-    s.computing_cores = cores;
-    s.message_bytes = bytes;
-    s.compute_repetitions = 5;
-    s.target_pass_seconds = 0.02;
-    if (bytes > 4096) {
-      s.pingpong_iterations = 4;
-      s.pingpong_warmup = 1;
-    } else {
-      s.pingpong_iterations = 30;
-    }
-    auto r = core::InterferenceLab(s).run();
-    bool latency_panel = bytes <= 4096;
-    double alone = latency_panel ? sim::to_usec(r.comm_alone.latency.median)
-                                 : r.comm_alone.bandwidth.median / 1e9;
-    double together = latency_panel ? sim::to_usec(r.comm_together.latency.median)
-                                    : r.comm_together.bandwidth.median / 1e9;
-    t.add_row({static_cast<double>(cores), alone, together,
-               r.compute_alone.per_core_bandwidth.median / 1e9,
-               r.compute_together.per_core_bandwidth.median / 1e9});
-  }
-  t.print(std::cout);
-  std::cout << '\n';
-}
-
-}  // namespace
-
-int main() {
-  bench::banner("Fig. 5", "placement grid: data x comm-thread near/far from the NIC");
-  std::cout << "(latency panels in us, bandwidth panels in GB/s)\n\n";
-
-  run_panel("Fig. 5a: latency", core::Placement::kNearNic, core::Placement::kNearNic, 4);
-  run_panel("Fig. 5b: latency", core::Placement::kFarFromNic, core::Placement::kNearNic, 4);
-  run_panel("Fig. 5c: latency", core::Placement::kFarFromNic, core::Placement::kFarFromNic, 4);
-  run_panel("Fig. 5d: bandwidth", core::Placement::kNearNic, core::Placement::kNearNic, 64 << 20);
-  run_panel("Fig. 5e: bandwidth", core::Placement::kFarFromNic, core::Placement::kNearNic, 64 << 20);
-  run_panel("Fig. 5f: bandwidth", core::Placement::kFarFromNic, core::Placement::kFarFromNic, 64 << 20);
-
-  std::cout << "Paper: thread near -> latency rises slightly from ~6 cores, plateaus ~2 us;\n"
-               "thread far -> latency doubles from ~25 cores.  Data near -> bandwidth\n"
-               "decreases steadily; data far -> bandwidth drops abruptly.\n";
-  return 0;
-}
+int main(int argc, char** argv) { return cci::bench::run_cli("fig05", argc - 1, argv + 1); }

@@ -1,53 +1,6 @@
-// Fig. 6 — impact of the transmitted message size on memory contention,
-// with 5 computing cores (6a) and 35 computing cores (6b) on henri.
-#include "bench/common.hpp"
-#include "kernels/stream.hpp"
+// Thin shim kept for script compatibility: the figure moved to the
+// campaign registry (bench/figures/fig06.cpp).  `cci_bench fig06` is the
+// primary entry point; this binary forwards its arguments there.
+#include "bench/registry.hpp"
 
-using namespace cci;
-
-namespace {
-
-void run_panel(int cores) {
-  std::cout << "--- Fig. 6" << (cores <= 5 ? 'a' : 'b') << ": " << cores
-            << " computing cores ---\n";
-  trace::Table t({"msg_bytes", "net_alone", "net_together", "stream_alone_GBps",
-                  "stream_together_GBps", "net_unit"});
-  for (std::size_t bytes : bench::size_sweep()) {
-    core::Scenario s;
-    s.kernel = kernels::triad_traits();
-    s.comm_thread = core::Placement::kFarFromNic;
-    s.data = core::Placement::kNearNic;
-    s.computing_cores = cores;
-    s.message_bytes = bytes;
-    s.compute_repetitions = 4;
-    s.target_pass_seconds = 0.02;
-    s.pingpong_iterations = bytes >= (1u << 20) ? 4 : 20;
-    s.pingpong_warmup = bytes >= (1u << 20) ? 1 : 3;
-    auto r = core::InterferenceLab(s).run();
-    bool small = bytes < 64 * 1024;
-    double alone = small ? sim::to_usec(r.comm_alone.latency.median)
-                         : r.comm_alone.bandwidth.median / 1e9;
-    double together = small ? sim::to_usec(r.comm_together.latency.median)
-                            : r.comm_together.bandwidth.median / 1e9;
-    t.add_text_row({std::to_string(bytes),
-                    trace::fmt(alone, 3),
-                    trace::fmt(together, 3),
-                    trace::fmt(r.compute_alone.per_core_bandwidth.median / 1e9, 2),
-                    trace::fmt(r.compute_together.per_core_bandwidth.median / 1e9, 2),
-                    small ? "us" : "GB/s"});
-  }
-  t.print(std::cout);
-  std::cout << '\n';
-}
-
-}  // namespace
-
-int main() {
-  bench::banner("Fig. 6", "message-size sweep: who starts hurting whom, and when");
-  run_panel(5);
-  run_panel(35);
-  std::cout << "Paper: with 5 cores, communications degrade from 64 KB and STREAM from\n"
-               "4 KB messages; with 35 cores communications degrade from ~128 B and\n"
-               "STREAM from 4 KB as well.\n";
-  return 0;
-}
+int main(int argc, char** argv) { return cci::bench::run_cli("fig06", argc - 1, argv + 1); }

@@ -1,55 +1,6 @@
-// Fig. 7 — impact of memory pressure (tunable arithmetic intensity) on
-// network performance: the cursor-modified TRIAD swept from memory-bound
-// to CPU-bound, with 35 computing cores on henri.
-#include "bench/common.hpp"
-#include "kernels/tunable_triad.hpp"
+// Thin shim kept for script compatibility: the figure moved to the
+// campaign registry (bench/figures/fig07.cpp).  `cci_bench fig07` is the
+// primary entry point; this binary forwards its arguments there.
+#include "bench/registry.hpp"
 
-using namespace cci;
-
-namespace {
-
-void run_panel(const char* name, std::size_t bytes) {
-  std::cout << "--- " << name << " ---\n";
-  bool latency_panel = bytes <= 4096;
-  trace::Table t({"ai_flop_per_B", "cursor", latency_panel ? "lat_alone_us" : "bw_alone_GBps",
-                  latency_panel ? "lat_together_us" : "bw_together_GBps",
-                  "compute_alone_ms", "compute_together_ms"});
-  for (double ai : {0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 6.0, 10.0, 20.0, 40.0, 70.0, 100.0}) {
-    int cursor = kernels::TunableTriad::cursor_for_intensity(ai);
-    core::Scenario s;
-    s.kernel = kernels::TunableTriad(16, cursor).traits();
-    s.comm_thread = core::Placement::kFarFromNic;
-    s.data = core::Placement::kNearNic;
-    s.computing_cores = 35;
-    s.message_bytes = bytes;
-    // Long enough that many ping-pong iterations overlap the computation
-    // even in the CPU-bound regime (the 64 MB transfers take ~40 ms under
-    // full contention).
-    s.compute_repetitions = latency_panel ? 4 : 8;
-    s.target_pass_seconds = latency_panel ? 0.02 : 0.08;
-    s.pingpong_iterations = latency_panel ? 20 : 4;
-    s.pingpong_warmup = latency_panel ? 3 : 1;
-    auto r = core::InterferenceLab(s).run();
-    double alone = latency_panel ? sim::to_usec(r.comm_alone.latency.median)
-                                 : r.comm_alone.bandwidth.median / 1e9;
-    double together = latency_panel ? sim::to_usec(r.comm_together.latency.median)
-                                    : r.comm_together.bandwidth.median / 1e9;
-    t.add_row({ai, static_cast<double>(cursor), alone, together,
-               sim::to_msec(r.compute_alone.pass_duration.median),
-               sim::to_msec(r.compute_together.pass_duration.median)});
-  }
-  t.print(std::cout);
-  std::cout << '\n';
-}
-
-}  // namespace
-
-int main() {
-  bench::banner("Fig. 7", "memory pressure vs network performance (tunable-AI TRIAD, 35 cores)");
-  run_panel("Fig. 7a: latency (4 B messages)", 4);
-  run_panel("Fig. 7b: bandwidth (64 MB messages)", 64 << 20);
-  std::cout << "Paper (henri): below ~6 flop/B the program is memory-bound — latency\n"
-               "doubles, bandwidth drops ~60%, computation slowed ~10% by the 64 MB\n"
-               "transfers; above 6 flop/B communication returns to nominal.\n";
-  return 0;
-}
+int main(int argc, char** argv) { return cci::bench::run_cli("fig07", argc - 1, argv + 1); }

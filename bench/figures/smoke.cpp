@@ -1,0 +1,39 @@
+// Smoke campaign: a small, fast grid exercising the whole campaign stack
+// (typed axes, parallel execution, caching, sharding) in a few hundred
+// milliseconds.  CI runs it twice against one cache directory and asserts
+// the second run executes zero points.
+#include "bench/registry.hpp"
+#include "kernels/stream.hpp"
+
+namespace cci::bench {
+namespace {
+
+int run(FigureContext& ctx) {
+  core::Scenario base;
+  base.kernel = kernels::triad_traits();
+  base.comm_thread = core::Placement::kFarFromNic;
+  base.data = core::Placement::kNearNic;
+  base.pingpong_iterations = 3;
+  base.pingpong_warmup = 1;
+  base.compute_repetitions = 2;
+  base.target_pass_seconds = 0.005;
+
+  // Per-point seeding (the default policy) on purpose: the smoke test
+  // covers the path real campaigns use.
+  core::Campaign c("smoke",
+                   core::SweepSpec(base)
+                       .cores("cores", {0, 4, 16})
+                       .message_bytes("msg_bytes", {4, 1 << 20}));
+  c.column("lat_together_us", core::Campaign::latency_together_us())
+      .column("bw_ratio", core::Campaign::bandwidth_ratio())
+      .column("stream_GBps", core::Campaign::stream_per_core_gbps());
+  core::CampaignRun run = ctx.run(c);
+  ctx.print(c, run);
+  return 0;
+}
+
+const FigureRegistrar reg("smoke", "Campaign smoke",
+                          "tiny cores x message-size grid through the campaign engine", run);
+
+}  // namespace
+}  // namespace cci::bench

@@ -1,0 +1,108 @@
+// Campaign-engine microbench (google-benchmark): what does routing a
+// sweep through CampaignEngine cost versus hand-rolling the loop, and
+// what does the thread pool buy back?
+//
+// Two guarded counters (tools/perf_guard.py + baselines/
+// micro_campaign_overhead.json):
+//   * per_point_overhead_ratio — wall time of a 64-point campaign at
+//     --jobs 1 over the same 64 points driven directly through
+//     InterferenceLab.  Must stay ~1.0: the engine's expansion, seeding
+//     and bookkeeping are noise next to even the quickest simulation.
+//   * inv_speedup_jobs4 — jobs=4 wall time over jobs=1 wall time on the
+//     same grid; only reported when the host has >= 4 hardware threads
+//     (CI gates its guard step on nproc accordingly).  0.25 is perfect
+//     scaling; the guard asserts >= 3x (counter <= ~0.33).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/campaign.hpp"
+#include "kernels/stream.hpp"
+
+using namespace cci;
+
+namespace {
+
+// 64 points: 8 core counts x 8 message sizes, quick per-point settings.
+core::Campaign quick_campaign() {
+  core::Scenario base;
+  base.kernel = kernels::triad_traits();
+  base.comm_thread = core::Placement::kFarFromNic;
+  base.data = core::Placement::kNearNic;
+  base.pingpong_iterations = 2;
+  base.pingpong_warmup = 0;
+  base.compute_repetitions = 1;
+  base.target_pass_seconds = 0.002;
+
+  core::Campaign c("micro_campaign",
+                   core::SweepSpec(base)
+                       .cores("cores", {0, 1, 2, 4, 8, 16, 24, 32})
+                       .message_bytes("msg_bytes", {4, 256, 4096, 65536, 262144, 1048576,
+                                                    4194304, 16777216}));
+  c.column("lat_together_us", core::Campaign::latency_together_us())
+      .column("bw_ratio", core::Campaign::bandwidth_ratio());
+  return c;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+double run_engine(const core::Campaign& c, int jobs) {
+  core::CampaignOptions opt;
+  opt.jobs = jobs;
+  core::CampaignEngine engine(opt);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto run = engine.run(c);
+  benchmark::DoNotOptimize(run.values);
+  return seconds_since(t0);
+}
+
+void BM_CampaignPerPointOverhead(benchmark::State& state) {
+  const core::Campaign c = quick_campaign();
+  // Best-of-N on both sides: allocator warm-up and frequency ramping hit
+  // whichever side runs first, and the min discards them — the ratio of
+  // minima is what the guard can hold to a 5% tolerance.
+  double t_direct = 1e300;
+  double t_engine = 1e300;
+  bool engine_first = false;
+  for (auto _ : state) {
+    const auto points = c.spec().expand();
+    // Alternate the measurement order so cache/frequency drift cannot
+    // systematically favour one side.
+    if (engine_first) t_engine = std::min(t_engine, run_engine(c, 1));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const core::SweepPoint& p : points) {
+      core::SideBySideResult r = core::InterferenceLab(p.scenario).run();
+      benchmark::DoNotOptimize(r);
+    }
+    t_direct = std::min(t_direct, seconds_since(t0));
+    if (!engine_first) t_engine = std::min(t_engine, run_engine(c, 1));
+    engine_first = !engine_first;
+  }
+  state.counters["per_point_overhead_ratio"] = t_direct > 0 ? t_engine / t_direct : 1.0;
+  state.counters["points"] = static_cast<double>(c.spec().point_count() * state.iterations());
+}
+
+void BM_CampaignSpeedupJobs4(benchmark::State& state) {
+  const core::Campaign c = quick_campaign();
+  const bool can_measure = std::thread::hardware_concurrency() >= 4;
+  double t1 = 1e300;
+  double t4 = 1e300;
+  for (auto _ : state) {
+    if (!can_measure) continue;
+    t1 = std::min(t1, run_engine(c, 1));
+    t4 = std::min(t4, run_engine(c, 4));
+  }
+  // Only publish the guarded counter when the host can actually scale;
+  // perf_guard's step for this key is skipped on small runners.
+  if (can_measure && t1 < 1e299) state.counters["inv_speedup_jobs4"] = t4 / t1;
+}
+
+}  // namespace
+
+BENCHMARK(BM_CampaignPerPointOverhead)->Unit(benchmark::kMillisecond)->Iterations(8);
+BENCHMARK(BM_CampaignSpeedupJobs4)->Unit(benchmark::kMillisecond)->Iterations(8);
+
+BENCHMARK_MAIN();

@@ -1,63 +1,8 @@
-// Extension: node-count scaling of the distributed applications — how the
-// paper's 2-node interference picture extends to larger clusters.
-#include "bench/common.hpp"
-#include "runtime/apps.hpp"
+// Thin shim kept for script compatibility: the figure moved to the
+// campaign registry (bench/figures/node_scaling.cpp).  `cci_bench
+// node_scaling` is the primary entry point; this binary forwards there.
+#include "bench/registry.hpp"
 
-using namespace cci;
-
-int main() {
-  bench::banner("Scaling", "CG and GEMM across node counts (switched fabric)");
-  // Count solver work across the whole sweep so the incremental engine's
-  // partial/full re-solve split is visible alongside the scaling numbers.
-  obs::Registry::global().set_enabled(true);
-
-  auto machine = hw::MachineConfig::henri();
-  auto np = net::NetworkParams::ib_edr();
-  auto cfg = runtime::RuntimeConfig::for_machine("henri");
-
-  trace::Table t({"app", "size", "ranks", "makespan_ms", "send_bw_GBps", "stall_pct"});
-  for (int ranks : {2, 4, 8}) {
-    runtime::CgAppOptions cg;
-    cg.n = 32768;
-    cg.iterations = 3;
-    cg.workers = 16;
-    cg.ranks = ranks;
-    auto rc = runtime::run_cg_app(machine, np, cfg, cg);
-    t.add_text_row({"CG", "n=32768", std::to_string(ranks),
-                    trace::fmt(rc.makespan * 1e3, 3),
-                    trace::fmt(rc.sending_bw / 1e9, 2),
-                    trace::fmt(100 * rc.stall_fraction, 1)});
-
-    // GEMM in both regimes: broadcast-bound (small m) and compute-bound.
-    for (std::size_t m : {2048u, 8192u}) {
-      runtime::GemmAppOptions gm;
-      gm.m = m;
-      gm.tile = 512;
-      gm.workers = 16;
-      gm.ranks = ranks;
-      auto rg = runtime::run_gemm_app(machine, np, cfg, gm);
-      t.add_text_row({"GEMM", "m=" + std::to_string(m), std::to_string(ranks),
-                      trace::fmt(rg.makespan * 1e3, 3),
-                      trace::fmt(rg.sending_bw / 1e9, 2),
-                      trace::fmt(100 * rg.stall_fraction, 1)});
-    }
-  }
-  t.print(std::cout);
-
-  const obs::Snapshot snap = obs::Registry::global().snapshot();
-  const double resolves = snap.value_of("sim.flow.resolves");
-  const double partial = snap.value_of("sim.flow.resolves_partial");
-  const double visits = snap.value_of("sim.flow.solver_flow_visits");
-  std::cout << "\nSolver work across the sweep (incremental max-min engine):\n";
-  trace::Table s({"re-solves", "full", "partial", "flow visits", "visits/re-solve"});
-  s.add_text_row({trace::fmt(resolves, 0), trace::fmt(snap.value_of("sim.flow.resolves_full"), 0),
-                  trace::fmt(partial, 0), trace::fmt(visits, 0),
-                  trace::fmt(resolves > 0 ? visits / resolves : 0.0, 2)});
-  s.print(std::cout);
-
-  std::cout << "\nTwo regimes: at m=8192 computation dominates and GEMM strong-scales;\n"
-               "at m=2048 the panel broadcasts dominate and adding nodes *hurts* —\n"
-               "the communication/computation granularity crossover.  CG scales its\n"
-               "GEMV but rides an ever-longer ring of latency-bound block exchanges.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cci::bench::run_cli("node_scaling", argc - 1, argv + 1);
 }

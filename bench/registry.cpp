@@ -1,0 +1,190 @@
+#include "bench/registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+namespace cci::bench {
+
+void FigureContext::print(const core::Campaign& campaign, const core::CampaignRun& run) {
+  trace::Table table = run.table(campaign);
+  table.print(out_);
+  if (csv_ != nullptr) {
+    *csv_ << "# campaign: " << campaign.name() << '\n';
+    table.print_csv(*csv_);
+  }
+}
+
+FigureRegistry& FigureRegistry::instance() {
+  static FigureRegistry reg;
+  return reg;
+}
+
+void FigureRegistry::add(FigureDef def) { defs_.push_back(std::move(def)); }
+
+const FigureDef* FigureRegistry::find(const std::string& name) const {
+  for (const FigureDef& d : defs_)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+std::vector<const FigureDef*> FigureRegistry::all() const {
+  std::vector<const FigureDef*> out;
+  out.reserve(defs_.size());
+  for (const FigureDef& d : defs_) out.push_back(&d);
+  std::sort(out.begin(), out.end(),
+            [](const FigureDef* a, const FigureDef* b) { return a->name < b->name; });
+  return out;
+}
+
+FigureRegistrar::FigureRegistrar(std::string name, std::string title, std::string what,
+                                 FigureFn fn, std::string obs_name) {
+  FigureRegistry::instance().add({std::move(name), std::move(title), std::move(what),
+                                  std::move(fn), std::move(obs_name)});
+}
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: cci_bench <figure> [--jobs N] [--csv out.csv] [--cache dir]\n"
+        "                 [--shard i/n] [--seed S]\n"
+        "       cci_bench --list\n"
+        "\n"
+        "  --jobs N     run campaign points on N worker threads (default 1);\n"
+        "               any N produces bitwise-identical tables\n"
+        "  --csv PATH   append every campaign table to PATH as CSV\n"
+        "  --cache DIR  content-addressed result cache: re-runs and other\n"
+        "               shards skip already-solved points\n"
+        "  --shard i/n  run only points with index %% n == i (0-based)\n"
+        "  --seed S     override the base seed campaigns mix per-point seeds from\n";
+}
+
+bool parse_int(const char* s, long long& out) {
+  char* end = nullptr;
+  out = std::strtoll(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+/// Parse the campaign flags; returns false (after printing a message) on
+/// malformed input.  Unrecognised arguments are rejected so typos do not
+/// silently run a full-size campaign.
+bool parse_flags(int argc, char** argv, core::CampaignOptions& options,
+                 std::string& csv_path) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "cci_bench: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      const char* v = value("--jobs");
+      long long n = 0;
+      if (v == nullptr || !parse_int(v, n) || n < 1) {
+        std::cerr << "cci_bench: --jobs wants a positive integer\n";
+        return false;
+      }
+      options.jobs = static_cast<int>(n);
+    } else if (arg == "--csv") {
+      const char* v = value("--csv");
+      if (v == nullptr) return false;
+      csv_path = v;
+    } else if (arg == "--cache") {
+      const char* v = value("--cache");
+      if (v == nullptr) return false;
+      options.cache_dir = v;
+    } else if (arg == "--shard") {
+      const char* v = value("--shard");
+      if (v == nullptr) return false;
+      const char* slash = std::strchr(v, '/');
+      long long idx = 0;
+      long long count = 0;
+      if (slash == nullptr || !parse_int(std::string(v, slash).c_str(), idx) ||
+          !parse_int(slash + 1, count) || count < 1 || idx < 0 || idx >= count) {
+        std::cerr << "cci_bench: --shard wants i/n with 0 <= i < n\n";
+        return false;
+      }
+      options.shard_index = static_cast<int>(idx);
+      options.shard_count = static_cast<int>(count);
+    } else if (arg == "--seed") {
+      const char* v = value("--seed");
+      long long s = 0;
+      if (v == nullptr || !parse_int(v, s)) {
+        std::cerr << "cci_bench: --seed wants an integer\n";
+        return false;
+      }
+      options.override_base_seed = true;
+      options.base_seed = static_cast<std::uint64_t>(s);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return false;
+    } else {
+      std::cerr << "cci_bench: unknown argument '" << arg << "'\n";
+      usage(std::cerr);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int run_cli(const std::string& figure, int argc, char** argv) {
+  const FigureDef* def = FigureRegistry::instance().find(figure);
+  if (def == nullptr) {
+    std::cerr << "cci_bench: unknown figure '" << figure << "' (try --list)\n";
+    return 2;
+  }
+  core::CampaignOptions options;
+  std::string csv_path;
+  if (!parse_flags(argc, argv, options, csv_path)) return 2;
+
+  std::ofstream csv_file;
+  std::ostream* csv = nullptr;
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path, std::ios::app);
+    if (!csv_file) {
+      std::cerr << "cci_bench: cannot open --csv path " << csv_path << '\n';
+      return 2;
+    }
+    csv = &csv_file;
+  }
+
+  BenchObs obs(def->obs_name.empty() ? def->name : def->obs_name);
+  banner(def->title, def->what);
+  core::CampaignEngine engine(options);
+  FigureContext ctx(engine, obs, std::cout, csv);
+  const int rc = def->fn(ctx);
+
+  std::cout << "\n[campaign] " << def->name << ": points total=" << engine.points_total()
+            << " executed=" << engine.points_executed()
+            << " cached=" << engine.points_cached() << " (jobs=" << options.jobs;
+  if (options.shard_count > 1)
+    std::cout << ", shard " << options.shard_index << "/" << options.shard_count;
+  std::cout << ")\n";
+  return rc;
+}
+
+int main_cli(int argc, char** argv) {
+  if (argc < 2) {
+    usage(std::cerr);
+    return 2;
+  }
+  const std::string first = argv[1];
+  if (first == "--list") {
+    for (const FigureDef* d : FigureRegistry::instance().all())
+      std::cout << d->name << "\t" << d->title << " — " << d->what << '\n';
+    return 0;
+  }
+  if (first == "--help" || first == "-h") {
+    usage(std::cout);
+    return 0;
+  }
+  return run_cli(first, argc - 2, argv + 2);
+}
+
+}  // namespace cci::bench

@@ -1,0 +1,87 @@
+// Figure registry for the cci_bench multi-tool.
+//
+// Each paper figure registers one FigureDef: a name, banner metadata, and
+// a run function written against the campaign API.  One binary
+// (`cci_bench <figure> [--jobs N] [--csv out.csv] [--cache dir]
+// [--shard i/n] [--seed S]`) drives them all; the historical per-figure
+// binaries survive as thin shims that forward here (run_cli with a fixed
+// figure name), so existing scripts keep working.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/campaign.hpp"
+
+namespace cci::bench {
+
+/// Everything a figure definition needs: the campaign engine (carrying
+/// the CLI's jobs/cache/shard options), stdout, the optional CSV sink,
+/// and the per-bench observability hookup.
+class FigureContext {
+ public:
+  FigureContext(core::CampaignEngine& engine, BenchObs& obs, std::ostream& out,
+                std::ostream* csv)
+      : engine_(engine), obs_(obs), out_(out), csv_(csv) {}
+
+  /// Run (the local shard of) a campaign through the engine.
+  core::CampaignRun run(const core::Campaign& campaign) { return engine_.run(campaign); }
+
+  /// Print a finished campaign's table to stdout and, when --csv was
+  /// given, append the same table as CSV (prefixed by the campaign name).
+  void print(const core::Campaign& campaign, const core::CampaignRun& run);
+
+  core::CampaignEngine& engine() { return engine_; }
+  BenchObs& obs() { return obs_; }
+  std::ostream& out() { return out_; }
+
+ private:
+  core::CampaignEngine& engine_;
+  BenchObs& obs_;
+  std::ostream& out_;
+  std::ostream* csv_;
+};
+
+using FigureFn = std::function<int(FigureContext&)>;
+
+struct FigureDef {
+  std::string name;      ///< CLI name: "fig04", "arch_sweep", ...
+  std::string title;     ///< banner, e.g. "Fig. 4"
+  std::string what;      ///< banner subtitle
+  FigureFn fn;
+  std::string obs_name;  ///< bench name in CCI_RESULTS records (default: name)
+};
+
+class FigureRegistry {
+ public:
+  static FigureRegistry& instance();
+  void add(FigureDef def);
+  [[nodiscard]] const FigureDef* find(const std::string& name) const;
+  /// All registered figures, name-sorted.
+  [[nodiscard]] std::vector<const FigureDef*> all() const;
+
+ private:
+  std::vector<FigureDef> defs_;
+};
+
+/// Static registrar: each bench/figures/*.cpp defines one at file scope.
+/// obs_name keeps the historical bench name on CCI_RESULTS records for
+/// figures whose shim binary had a different name than the CLI figure.
+struct FigureRegistrar {
+  FigureRegistrar(std::string name, std::string title, std::string what, FigureFn fn,
+                  std::string obs_name = "");
+};
+
+/// Entry point shared by cci_bench (figure name from argv) and the
+/// per-figure shims (fixed figure name): parses the campaign flags, sets
+/// up BenchObs + engine, prints the banner, runs the figure, and reports
+/// the campaign point totals.
+int run_cli(const std::string& figure, int argc, char** argv);
+
+/// cci_bench main: `cci_bench <figure> [flags]`, `cci_bench --list`.
+int main_cli(int argc, char** argv);
+
+}  // namespace cci::bench

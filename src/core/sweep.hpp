@@ -1,20 +1,37 @@
-// Declarative parameter sweeps over scenarios.
+// DEPRECATED single-axis sweeps — superseded by the typed, parallel
+// campaign API in core/campaign.hpp.
 //
-// The figure benches loop over core counts / message sizes / placements by
-// hand; Sweep packages that pattern for downstream users: declare the axis
-// and the metrics, get a Table (text or CSV) back.
+// Sweep's one axis is `double`-typed, which silently truncates the values
+// it was most used for: 64 MB message sizes and core counts round-tripped
+// through double before landing back in `size_t`/`int` scenario fields.
+// SweepSpec keeps axis values in their native types, sweeps several axes
+// at once, and its CampaignEngine adds parallel execution, caching and
+// sharding on top.
+//
+// Migration: replace
+//     Sweep(base).axis("cores", {0, 5}, Sweep::cores_axis())
+//                .metric("bw", Sweep::bandwidth_ratio()).run()
+// with
+//     Campaign("my_sweep", SweepSpec(base)
+//                  .seed_policy(SeedPolicy::kFixed)   // Sweep never re-seeded
+//                  .cores("cores", {0, 5}))
+//         .column("bw", Campaign::bandwidth_ratio());
+//     CampaignEngine().run(campaign).table(campaign)
+// (see docs/CAMPAIGNS.md).  This wrapper keeps the historical behaviour —
+// fixed seed, serial execution, no cache — bit-for-bit.
 #pragma once
 
 #include <functional>
 #include <string>
 #include <vector>
 
-#include "core/interference_lab.hpp"
-#include "trace/table.hpp"
+#include "core/campaign.hpp"
 
 namespace cci::core {
 
-class Sweep {
+class [[deprecated(
+    "core::Sweep's double axis truncates sizes/cores; use core::SweepSpec + "
+    "core::Campaign (docs/CAMPAIGNS.md)")]] Sweep {
  public:
   using Mutator = std::function<void(Scenario&, double)>;
   using Metric = std::function<double(const SideBySideResult&)>;
@@ -37,21 +54,21 @@ class Sweep {
     return *this;
   }
 
-  /// Run every point (a fresh lab per point) and build the table.
+  /// Run every point (a fresh lab per point, serial, fixed seed — the
+  /// historical behaviour) and build the table.
   trace::Table run() const {
-    std::vector<std::string> headers{axis_label_};
-    for (const auto& l : metric_labels_) headers.push_back(l);
-    trace::Table table(std::move(headers));
-    for (double v : values_) {
-      Scenario s = base_;
-      mutator_(s, v);
-      InterferenceLab lab(s);
-      SideBySideResult r = lab.run();
-      std::vector<double> row{v};
-      for (const auto& m : metrics_) row.push_back(m(r));
-      table.add_row(row);
+    Campaign campaign("sweep:" + axis_label_,
+                      SweepSpec(base_)
+                          .seed_policy(SeedPolicy::kFixed)
+                          .values(axis_label_, values_, mutator_));
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      Metric m = metrics_[i];
+      campaign.column(metric_labels_[i],
+                      [m](const SweepPoint&, const SideBySideResult& r) { return m(r); });
     }
-    return table;
+    CampaignEngine engine;
+    CampaignRun run = engine.run(campaign);
+    return run.table(campaign);
   }
 
   // ---- prebuilt metrics ----------------------------------------------------

@@ -60,9 +60,42 @@ double Snapshot::value_of(const std::string& name) const {
 Registry::Registry() : tracer_(std::make_unique<Tracer>()) {}
 Registry::~Registry() = default;
 
-Registry& Registry::global() {
+namespace {
+thread_local Registry* tls_registry = nullptr;
+}  // namespace
+
+Registry& Registry::process() {
   static Registry instance;
   return instance;
+}
+
+Registry& Registry::global() {
+  return tls_registry != nullptr ? *tls_registry : process();
+}
+
+Registry::ScopedThreadLocal::ScopedThreadLocal(Registry& r) : previous_(tls_registry) {
+  tls_registry = &r;
+}
+
+Registry::ScopedThreadLocal::~ScopedThreadLocal() { tls_registry = previous_; }
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_)
+    if (c->value_ != 0.0) counter(name).value_ += c->value_;
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge& mine = gauge(name);
+    if (g->max_ > mine.max_) mine.max_ = g->max_;
+    if (mine.value_ < mine.max_) mine.value_ = mine.max_;
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    if (h->count_ == 0) continue;
+    Histogram& mine = histogram(name);
+    for (const auto& [index, n] : h->buckets_) mine.buckets_[index] += n;
+    if (mine.count_ == 0 || h->min_ < mine.min_) mine.min_ = h->min_;
+    if (mine.count_ == 0 || h->max_ > mine.max_) mine.max_ = h->max_;
+    mine.count_ += h->count_;
+    mine.sum_ += h->sum_;
+  }
 }
 
 Counter& Registry::counter(const std::string& name) {

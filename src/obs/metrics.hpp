@@ -170,9 +170,36 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  /// The process-wide registry used by all instrumented layers.  Disabled
-  /// at startup; benches/tests flip it on.
+  /// The registry used by all instrumented layers: the thread's scoped
+  /// override when one is installed (see ScopedThreadLocal), otherwise the
+  /// process-wide instance.  Disabled at startup; benches/tests flip it on.
   static Registry& global();
+
+  /// The process-wide registry, bypassing any thread-local override.
+  static Registry& process();
+
+  /// Install `r` as this thread's Registry::global() for the scope's
+  /// lifetime.  The campaign engine gives each worker thread a private
+  /// scratch registry this way, so concurrent simulation points never
+  /// touch the (lock-free by design) process registry; the coordinator
+  /// merges the scratches back deterministically with merge_from().
+  class ScopedThreadLocal {
+   public:
+    explicit ScopedThreadLocal(Registry& r);
+    ~ScopedThreadLocal();
+    ScopedThreadLocal(const ScopedThreadLocal&) = delete;
+    ScopedThreadLocal& operator=(const ScopedThreadLocal&) = delete;
+
+   private:
+    Registry* previous_;
+  };
+
+  /// Fold another registry's metrics into this one with commutative,
+  /// order-independent semantics: counters add, gauges keep the maximum
+  /// (value and max both become the max), histograms add bucket-wise.
+  /// Integer-valued metrics therefore merge bit-exactly regardless of how
+  /// points were partitioned across worker threads.
+  void merge_from(const Registry& other);
 
   [[nodiscard]] bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }

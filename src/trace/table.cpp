@@ -7,13 +7,11 @@ namespace cci::trace {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 
-namespace {
-std::string fmt_sig(double v) {
+std::string fmt_g(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.4g", v);
   return buf;
 }
-}  // namespace
 
 std::string fmt(double value, int digits) {
   if (digits < 0) digits = 0;
@@ -25,7 +23,7 @@ std::string fmt(double value, int digits) {
 void Table::add_row(const std::vector<double>& values) {
   std::vector<std::string> cells;
   cells.reserve(values.size());
-  for (double v : values) cells.push_back(fmt_sig(v));
+  for (double v : values) cells.push_back(fmt_g(v));
   rows_.push_back(std::move(cells));
 }
 

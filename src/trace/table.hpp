@@ -36,6 +36,10 @@ class Table {
 /// instead of chopping and never emits a dangling '.'.
 std::string fmt(double value, int digits = 4);
 
+/// The Table's default numeric cell rendering (%.4g), exposed so layers
+/// that build text rows (the campaign engine) match add_row() exactly.
+std::string fmt_g(double value);
+
 /// Format seconds as the most readable unit (ns/us/ms/s).
 std::string format_time(double seconds);
 /// Format bytes/s as MB/s or GB/s.

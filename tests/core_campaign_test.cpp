@@ -1,0 +1,236 @@
+// Campaign engine: typed multi-axis expansion, deterministic seeding,
+// parallel == serial bitwise, content-addressed caching, sharding.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "core/campaign.hpp"
+#include "kernels/stream.hpp"
+#include "obs/metrics.hpp"
+
+namespace cci::core {
+namespace {
+
+Scenario quick_base() {
+  Scenario s;
+  s.kernel = kernels::triad_traits();
+  s.message_bytes = 4;
+  s.pingpong_iterations = 2;
+  s.pingpong_warmup = 0;
+  s.compute_repetitions = 1;
+  s.target_pass_seconds = 0.002;
+  return s;
+}
+
+Campaign quick_campaign(SeedPolicy policy = SeedPolicy::kPerPoint) {
+  Campaign c("test_campaign", SweepSpec(quick_base())
+                                  .seed_policy(policy)
+                                  .cores("cores", {0, 2, 4})
+                                  .message_bytes("msg_bytes", {4, 65536}));
+  c.column("lat_us", Campaign::latency_together_us())
+      .column("bw_ratio", Campaign::bandwidth_ratio());
+  return c;
+}
+
+CampaignOptions opts(int jobs, std::string cache_dir = "", int shard_index = 0,
+                     int shard_count = 1) {
+  CampaignOptions o;
+  o.jobs = jobs;
+  o.cache_dir = std::move(cache_dir);
+  o.shard_index = shard_index;
+  o.shard_count = shard_count;
+  return o;
+}
+
+/// Unique per-test scratch directory under the system tmp dir.
+std::string scratch_dir(const char* tag) {
+  auto dir = std::filesystem::temp_directory_path() /
+             (std::string("cci_campaign_test_") + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(SweepSpec, ExpandsRowMajorWithTypedLabels) {
+  auto points = quick_campaign().spec().expand();
+  ASSERT_EQ(points.size(), 6u);
+  // First axis (cores) slowest, second (msg_bytes) fastest.
+  EXPECT_EQ(points[0].labels, (std::vector<std::string>{"0", "4"}));
+  EXPECT_EQ(points[1].labels, (std::vector<std::string>{"0", "65536"}));
+  EXPECT_EQ(points[2].labels, (std::vector<std::string>{"2", "4"}));
+  EXPECT_EQ(points[5].labels, (std::vector<std::string>{"4", "65536"}));
+  // Native types survive: no double round-trip on the size_t axis.
+  EXPECT_EQ(points[1].scenario.message_bytes, 65536u);
+  EXPECT_EQ(points[5].scenario.computing_cores, 4);
+  for (std::size_t i = 0; i < points.size(); ++i) EXPECT_EQ(points[i].index, i);
+}
+
+TEST(SweepSpec, LargeSizesDoNotTruncate) {
+  // The old double-typed Sweep axis could not represent every size_t; the
+  // typed axis must hand back exactly what was declared.
+  const std::size_t big = (1ull << 53) + 1;  // not representable in double
+  SweepSpec spec(quick_base());
+  spec.message_bytes("msg_bytes", {big});
+  auto points = spec.expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].scenario.message_bytes, big);
+}
+
+TEST(SweepSpec, PerPointSeedsAreStableAndDistinct) {
+  auto points = quick_campaign(SeedPolicy::kPerPoint).spec().expand();
+  std::set<std::uint64_t> seeds;
+  for (const auto& p : points) {
+    EXPECT_EQ(p.scenario.seed, mix_seed(quick_base().seed, p.index));
+    seeds.insert(p.scenario.seed);
+  }
+  EXPECT_EQ(seeds.size(), points.size());  // no collisions on this grid
+
+  auto fixed = quick_campaign(SeedPolicy::kFixed).spec().expand();
+  for (const auto& p : fixed) EXPECT_EQ(p.scenario.seed, quick_base().seed);
+}
+
+TEST(Campaign, ParallelRunIsBitwiseIdenticalToSerial) {
+  Campaign c = quick_campaign();
+  CampaignEngine serial(opts(1));
+  CampaignEngine parallel(opts(8));
+  CampaignRun a = serial.run(c);
+  CampaignRun b = parallel.run(c);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t i = 0; i < a.values.size(); ++i)
+    for (std::size_t j = 0; j < a.values[i].size(); ++j)
+      EXPECT_EQ(a.values[i][j], b.values[i][j]) << "point " << i << " col " << j;
+
+  std::ostringstream ta, tb;
+  a.table(c).print(ta);
+  b.table(c).print(tb);
+  EXPECT_EQ(ta.str(), tb.str());
+}
+
+TEST(Campaign, ParallelRunMergesWorkerMetricsDeterministically) {
+  obs::Registry& reg = obs::Registry::process();
+  reg.set_enabled(true);
+  Campaign c = quick_campaign();
+
+  reg.reset();
+  CampaignEngine(opts(1)).run(c);
+  const double serial_events = reg.counter("sim.engine.events_dispatched").value();
+
+  reg.reset();
+  CampaignEngine(opts(8)).run(c);
+  const double parallel_events = reg.counter("sim.engine.events_dispatched").value();
+
+  EXPECT_GT(serial_events, 0.0);
+  EXPECT_EQ(serial_events, parallel_events);
+  reg.set_enabled(false);
+  reg.reset();
+}
+
+TEST(Campaign, WarmCacheExecutesZeroPointsWithIdenticalTable) {
+  const std::string dir = scratch_dir("warm");
+  Campaign c = quick_campaign();
+
+  CampaignEngine cold(opts(2, dir));
+  CampaignRun first = cold.run(c);
+  EXPECT_EQ(first.executed, 6u);
+  EXPECT_EQ(first.cached, 0u);
+
+  CampaignEngine warm(opts(2, dir));
+  CampaignRun second = warm.run(c);
+  EXPECT_EQ(second.executed, 0u);
+  EXPECT_EQ(second.cached, 6u);
+  EXPECT_EQ(warm.points_executed(), 0u);
+
+  std::ostringstream ta, tb;
+  first.table(c).print(ta);
+  second.table(c).print(tb);
+  EXPECT_EQ(ta.str(), tb.str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, ShardsPartitionTheGridAndUnionToTheFullRun) {
+  Campaign c = quick_campaign();
+  CampaignRun full = CampaignEngine(opts(1)).run(c);
+
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (int shard = 0; shard < 3; ++shard) {
+    CampaignEngine engine(opts(1, "", shard, 3));
+    CampaignRun run = engine.run(c);
+    EXPECT_EQ(run.grid_total, full.points.size());
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+      auto [it, inserted] = seen.insert(run.points[i].index);
+      EXPECT_TRUE(inserted) << "point " << run.points[i].index << " in two shards";
+      // Shard values match the full run bitwise.
+      EXPECT_EQ(run.values[i], full.values[run.points[i].index]);
+    }
+    total += run.points.size();
+  }
+  EXPECT_EQ(total, full.points.size());
+  EXPECT_EQ(seen.size(), full.points.size());
+}
+
+TEST(Campaign, ShardedCacheWarmsTheUnsharededRun) {
+  const std::string dir = scratch_dir("shards");
+  Campaign c = quick_campaign();
+  for (int shard = 0; shard < 2; ++shard) {
+    CampaignEngine engine(opts(2, dir, shard, 2));
+    CampaignRun run = engine.run(c);
+    EXPECT_EQ(run.cached, 0u);
+  }
+  CampaignEngine merged(opts(1, dir));
+  CampaignRun run = merged.run(c);
+  EXPECT_EQ(run.executed, 0u);
+  EXPECT_EQ(run.cached, 6u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, CacheKeySeparatesScenariosColumnsAndEvaluators) {
+  Campaign c = quick_campaign();
+  auto points = c.spec().expand();
+  std::set<std::uint64_t> keys;
+  for (const auto& p : points) keys.insert(cache_key(c, p));
+  EXPECT_EQ(keys.size(), points.size());  // distinct scenarios -> distinct keys
+
+  // Same grid, different column set -> different keys.
+  Campaign other("test_campaign", SweepSpec(quick_base())
+                                      .cores("cores", {0, 2, 4})
+                                      .message_bytes("msg_bytes", {4, 65536}));
+  other.column("stall", Campaign::stall_fraction());
+  EXPECT_NE(cache_key(c, points[0]), cache_key(other, other.spec().expand()[0]));
+
+  // Same grid and columns, custom evaluator -> different keys.
+  Campaign custom = quick_campaign();
+  custom.evaluator("custom.v1",
+                   [](const SweepPoint&) { return std::vector<double>{0.0, 0.0}; });
+  EXPECT_NE(cache_key(c, points[0]), cache_key(custom, points[0]));
+}
+
+TEST(Campaign, CustomEvaluatorRunsInsteadOfTheLab) {
+  Campaign c("custom", SweepSpec(quick_base()).cores("cores", {1, 2, 3}));
+  c.column("double_cores", Campaign::Metric{});
+  c.evaluator("doubler.v1", [](const SweepPoint& p) {
+    return std::vector<double>{2.0 * p.numeric[0]};
+  });
+  CampaignRun run = CampaignEngine(opts(2)).run(c);
+  ASSERT_EQ(run.values.size(), 3u);
+  EXPECT_EQ(run.values[0][0], 2.0);
+  EXPECT_EQ(run.values[1][0], 4.0);
+  EXPECT_EQ(run.values[2][0], 6.0);
+}
+
+TEST(Campaign, SeedOverrideChangesTheMixBase) {
+  SweepSpec spec(quick_base());
+  spec.cores("cores", {0, 1});
+  const std::uint64_t other = 1234;
+  auto def = spec.expand();
+  auto ovr = spec.expand(&other);
+  ASSERT_EQ(def.size(), ovr.size());
+  EXPECT_NE(def[0].scenario.seed, ovr[0].scenario.seed);
+  EXPECT_EQ(ovr[0].scenario.seed, mix_seed(other, 0));
+}
+
+}  // namespace
+}  // namespace cci::core
