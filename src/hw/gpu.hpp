@@ -33,7 +33,9 @@ class GpuDevice {
   GpuDevice(Machine& machine, GpuConfig config)
       : machine_(machine),
         config_(std::move(config)),
-        pcie_(machine.model().add_resource(config_.name + ".pcie", config_.pcie_bw)) {}
+        pcie_(machine.model().add_resource(config_.name + ".pcie", config_.pcie_bw)),
+        label_h2d_(machine.engine().intern(config_.name + ".h2d")),
+        label_d2h_(machine.engine().intern(config_.name + ".d2h")) {}
 
   [[nodiscard]] const GpuConfig& config() const { return config_; }
   sim::Resource* pcie() { return pcie_; }
@@ -45,7 +47,7 @@ class GpuDevice {
   /// and the device.  Returns the flow activity; co_await it to "sync".
   sim::ActivityPtr copy_async(Direction dir, std::size_t bytes, int host_numa) {
     sim::ActivitySpec spec;
-    spec.label = config_.name + (dir == Direction::kHostToDevice ? ".h2d" : ".d2h");
+    spec.label = dir == Direction::kHostToDevice ? label_h2d_ : label_d2h_;
     spec.work = static_cast<double>(bytes);
     spec.weight = config_.dma_weight;
     for (sim::Resource* r : machine_.mem_path(config_.numa, host_numa))
@@ -66,6 +68,8 @@ class GpuDevice {
   Machine& machine_;
   GpuConfig config_;
   sim::Resource* pcie_;
+  sim::LabelId label_h2d_;  ///< interned once; copies are hot
+  sim::LabelId label_d2h_;
 };
 
 }  // namespace cci::hw

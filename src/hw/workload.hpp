@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <string>
 
@@ -58,7 +59,9 @@ inline sim::ActivitySpec make_compute_spec(Machine& machine, int core, int data_
                                            const KernelTraits& k, double iters) {
   const MachineConfig& cfg = machine.config();
   sim::ActivitySpec spec;
-  spec.label = k.name + "@core" + std::to_string(core);
+  char label[96];
+  std::snprintf(label, sizeof label, "%s@core%d", k.name.c_str(), core);
+  spec.label = machine.engine().intern(label);
   spec.work = iters;
   spec.demands.push_back({machine.core(core), cycles_per_iter(cfg, k)});
   const double dram_bytes = k.bytes_per_iter * k.dram_fraction(cfg.llc_bytes_per_socket);

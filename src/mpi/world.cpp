@@ -42,6 +42,8 @@ World::World(net::Cluster& cluster, std::vector<RankConfig> ranks) : cluster_(cl
   obs_rank_tracks_.reserve(ranks_.size());
   for (int r = 0; r < size(); ++r)
     obs_rank_tracks_.push_back(obs_reg_->tracer().track("mpi.rank" + std::to_string(r)));
+  label_pio_copy_ = engine().intern("pio-copy");
+  label_dma_ = engine().intern("dma");
 
   faults_ = &cluster_.faults();
   // A NIC blackout kills every rendezvous DMA touching the node: cancel the
@@ -220,7 +222,7 @@ sim::Coro World::send_process(int src_rank, int dst_rank, int tag, MsgView msg,
       // CPU-driven pipelined copy: consumes memory bandwidth on the data
       // path and PCIe on the way out, capped by the core's copy speed.
       sim::ActivitySpec copy;
-      copy.label = "pio-copy";
+      copy.label = label_pio_copy_;
       copy.work = static_cast<double>(msg.bytes);
       for (sim::Resource* r : M.mem_path(comm_numa(src_rank), msg.data_numa))
         copy.demands.push_back({r, 1.0});
@@ -282,7 +284,7 @@ sim::Coro World::send_process(int src_rank, int dst_rank, int tag, MsgView msg,
 
   hw::Machine& D = machine_of(dst_rank);
   sim::ActivitySpec dma;
-  dma.label = "dma";
+  dma.label = label_dma_;
   dma.work = static_cast<double>(msg.bytes);
   dma.weight = M.config().nic_dma_weight;
   for (sim::Resource* r : M.mem_path(snic.numa(), msg.data_numa)) dma.demands.push_back({r, 1.0});
@@ -395,7 +397,7 @@ sim::Coro World::reliable_eager_send(int src_rank, int dst_rank, int tag, MsgVie
       co_await engine().sleep(pio_latency(src_rank, msg.bytes));
     } else {
       sim::ActivitySpec copy;
-      copy.label = "pio-copy";
+      copy.label = label_pio_copy_;
       copy.work = static_cast<double>(msg.bytes);
       for (sim::Resource* r : M.mem_path(comm_numa(src_rank), msg.data_numa))
         copy.demands.push_back({r, 1.0});
@@ -562,7 +564,7 @@ sim::Coro World::reliable_rndv_send(int src_rank, int dst_rank, int tag, MsgView
       continue;
     }
     sim::ActivitySpec dma;
-    dma.label = "dma";
+    dma.label = label_dma_;
     dma.work = static_cast<double>(msg.bytes);
     dma.weight = M.config().nic_dma_weight;
     for (sim::Resource* r : M.mem_path(snic.numa(), msg.data_numa))

@@ -206,6 +206,9 @@ class World {
   obs::Counter* obs_retransmits_ = nullptr;
   obs::Counter* obs_timeouts_ = nullptr;
   std::vector<obs::TrackId> obs_rank_tracks_;
+  // Transfer labels interned once at construction; specs carry the 4-byte id.
+  sim::LabelId label_pio_copy_ = sim::kNoLabel;
+  sim::LabelId label_dma_ = sim::kNoLabel;
 };
 
 }  // namespace cci::mpi

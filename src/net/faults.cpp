@@ -207,7 +207,7 @@ void FaultInjector::schedule(sim::Resource* r, sim::Time at, double factor,
   // Delta tracking: remember how much capacity this fault removed and give
   // exactly that back.  `capacity / factor` restores double-count when a
   // second fault or an absolute capacity write lands inside the window.
-  auto delta = std::make_shared<double>(0.0);
+  double* delta = &capacity_deltas_.emplace_back(0.0);
   cluster_.engine().call_at(at, [r, factor, delta] {
     *delta = r->capacity() * (1.0 - factor);
     r->set_capacity(r->capacity() - *delta);

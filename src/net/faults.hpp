@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -232,6 +233,12 @@ class FaultInjector {
     double pinned_hz = 0.0;
   };
   std::map<int, SavedClocks> saved_clocks_;
+  /// Removed-capacity records for delta-tracked restores.  A deque keeps
+  /// element addresses stable, so the onset/recovery events capture a raw
+  /// pointer instead of a shared_ptr control block per fault.  The injector
+  /// already must outlive its scheduled events (they capture `this` in the
+  /// NIC/clock paths), so the storage lives exactly long enough.
+  std::deque<double> capacity_deltas_;
 };
 
 }  // namespace cci::net

@@ -37,7 +37,7 @@ double Histogram::quantile(double q) const {
     seen += n;
     if (seen >= target) return bucket_value(index);
   }
-  return max_;
+  return max_;  // buckets_ is index-sorted, so this walk matches the old map
 }
 
 // ---- Snapshot --------------------------------------------------------------
@@ -90,7 +90,7 @@ void Registry::merge_from(const Registry& other) {
   for (const auto& [name, h] : other.histograms_) {
     if (h->count_ == 0) continue;
     Histogram& mine = histogram(name);
-    for (const auto& [index, n] : h->buckets_) mine.buckets_[index] += n;
+    for (const auto& [index, n] : h->buckets_) mine.bump_bucket(index, n);
     if (mine.count_ == 0 || h->min_ < mine.min_) mine.min_ = h->min_;
     if (mine.count_ == 0 || h->max_ > mine.max_) mine.max_ = h->max_;
     mine.count_ += h->count_;
@@ -98,22 +98,33 @@ void Registry::merge_from(const Registry& other) {
   }
 }
 
-Counter& Registry::counter(const std::string& name) {
-  auto& slot = counters_[name];
-  if (!slot) slot.reset(new Counter(&enabled_));
-  return *slot;
+namespace {
+/// Heterogeneous find-or-create shared by the three metric kinds: the
+/// string_view key is materialized only when a new slot is inserted.
+template <class Map, class Make>
+auto& find_or_create(Map& map, std::string_view name, Make make) {
+  auto it = map.find(name);
+  if (it == map.end()) it = map.emplace(std::string(name), make()).first;
+  return *it->second;
+}
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create(counters_, name, [this] {
+    return std::unique_ptr<Counter>(new Counter(&enabled_));
+  });
 }
 
-Gauge& Registry::gauge(const std::string& name) {
-  auto& slot = gauges_[name];
-  if (!slot) slot.reset(new Gauge(&enabled_));
-  return *slot;
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create(gauges_, name, [this] {
+    return std::unique_ptr<Gauge>(new Gauge(&enabled_));
+  });
 }
 
-Histogram& Registry::histogram(const std::string& name) {
-  auto& slot = histograms_[name];
-  if (!slot) slot.reset(new Histogram(&enabled_));
-  return *slot;
+Histogram& Registry::histogram(std::string_view name) {
+  return find_or_create(histograms_, name, [this] {
+    return std::unique_ptr<Histogram>(new Histogram(&enabled_));
+  });
 }
 
 void Registry::reset() {

@@ -19,10 +19,13 @@
 // so the registry performs no locking.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 // Compile-time kill switch: with -DCCI_OBS_DISABLE all mutations become
@@ -92,7 +95,7 @@ class Histogram {
   void record(double v) {
 #if CCI_OBS_COMPILED_IN
     if (!*enabled_) return;
-    ++buckets_[bucket_index(v)];
+    bump_bucket(bucket_index(v), 1);
     ++count_;
     sum_ += v;
     if (count_ == 1 || v < min_) min_ = v;
@@ -121,14 +124,29 @@ class Histogram {
 
   static constexpr int kUnderflow = INT32_MIN;
 
-  /// Sparse bucket map, index -> count, for tests and exporters.
-  [[nodiscard]] const std::map<int, std::uint64_t>& buckets() const { return buckets_; }
+  /// Sparse buckets as (index, count) pairs sorted by index — same iteration
+  /// order as the std::map this replaces, but contiguous: record() is a
+  /// binary search plus increment, with an insertion only the first time a
+  /// bucket is hit (allocation-free at steady state).
+  using BucketVec = std::vector<std::pair<int, std::uint64_t>>;
+  [[nodiscard]] const BucketVec& buckets() const { return buckets_; }
 
  private:
   friend class Registry;
   explicit Histogram(const bool* enabled) : enabled_(enabled) {}
+
+  void bump_bucket(int index, std::uint64_t n) {
+    auto it = std::lower_bound(
+        buckets_.begin(), buckets_.end(), index,
+        [](const std::pair<int, std::uint64_t>& b, int i) { return b.first < i; });
+    if (it != buckets_.end() && it->first == index)
+      it->second += n;
+    else
+      buckets_.insert(it, {index, n});
+  }
+
   const bool* enabled_;
-  std::map<int, std::uint64_t> buckets_;
+  BucketVec buckets_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
@@ -206,9 +224,12 @@ class Registry {
 
   /// Find-or-create.  Returned references stay valid for the registry's
   /// lifetime; reset() zeroes values but never destroys metric objects.
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  /// Lookup is heterogeneous (std::less<>): a string_view key only becomes
+  /// a std::string on first registration, so re-registration paths that
+  /// assemble names in stack buffers never touch the heap.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// Zero every metric and drop all trace events.  Handles stay valid, the
   /// enabled flag is unchanged.
@@ -221,9 +242,9 @@ class Registry {
 
  private:
   bool enabled_ = false;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::unique_ptr<Tracer> tracer_;
 };
 

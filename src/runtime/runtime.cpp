@@ -174,7 +174,9 @@ void Runtime::update_polling_pressure() {
     double period = poll_period();
     double rate = static_cast<double>(polling_workers_) * config_.poll_dram_bytes / period;
     sim::ActivitySpec spec;
-    spec.label = "worker-polling";
+    // Interning is a heterogeneous map hit after the first call — no
+    // allocation on this (worker-count-change) path.
+    spec.label = machine_.engine().intern("worker-polling");
     spec.work = kForeverWork;
     spec.rate_cap = rate;
     spec.demands = {{machine_.mem_ctrl(config_.list_numa), 1.0}};

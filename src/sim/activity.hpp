@@ -4,15 +4,20 @@
 // DMA transfer crossing memory controllers and the wire, or a compute chunk
 // coupling a core's flop throughput with its memory traffic (the roofline).
 // Activities are created from a spec and driven by the FlowModel.
+//
+// Hot-path memory: the spec carries a 4-byte interned LabelId (intern via
+// Engine::intern, read back with Engine::label_str) instead of a string, and
+// its demand list has 4 inline slots; Activity objects themselves come from
+// the FlowModel's slab pool behind an intrusive RcPtr, so starting and
+// completing an activity touches no allocator at steady state.
 #pragma once
 
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
-#include <string>
-#include <vector>
 
+#include "sim/label.hpp"
+#include "sim/pool.hpp"
 #include "sim/sync.hpp"
 #include "sim/time.hpp"
 
@@ -23,7 +28,7 @@ class Resource;
 
 /// Declarative description of an activity, filled by the caller.
 struct ActivitySpec {
-  std::string label;  ///< for traces and debugging
+  LabelId label = kNoLabel;  ///< for traces and debugging (Engine::intern)
   /// Total work in abstract units (bytes for transfers, iterations for
   /// compute chunks).  Must be >= 0; zero-work activities complete at once.
   double work = 0.0;
@@ -33,10 +38,10 @@ struct ActivitySpec {
     Resource* resource;
     double amount;  ///< resource units consumed per unit of rate
   };
-  std::vector<Demand> demands;
+  SmallVec<Demand, 4> demands;
 };
 
-class Activity {
+class Activity : public RcPooled<Activity> {
  public:
   Activity(Engine& engine, ActivitySpec spec)
       : spec_(std::move(spec)),
@@ -86,6 +91,7 @@ class Activity {
   Time predicted_finish_ = kNever;      ///< completion-heap key
 };
 
-using ActivityPtr = std::shared_ptr<Activity>;
+/// Intrusive, pool-recycling shared pointer to an Activity.
+using ActivityPtr = RcPtr<Activity>;
 
 }  // namespace cci::sim

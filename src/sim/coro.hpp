@@ -7,6 +7,16 @@
 // mailbox receive, ...) and terminates by returning; the engine destroys the
 // frame at final suspension and wakes any joiner.
 //
+// Hot-path memory (see docs/PERFORMANCE.md):
+//  * coroutine frames come from the thread-local FrameArena via the custom
+//    operator new/delete on promise_type — recycled, not malloc'd;
+//  * the ProcessState completion record is slab-pooled and intrusively
+//    refcounted (RcPtr); it is created lazily at spawn time, because the
+//    promise is constructed before any engine is known and unspawned
+//    coroutines never need one;
+//  * live processes form an intrusive doubly-linked list through their
+//    promises, so the engine tracks them without a hash set.
+//
 // Exceptions must not escape a process: the simulation models hardware, and
 // an escaped exception is a bug in the model, so we terminate loudly.
 #pragma once
@@ -15,9 +25,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
-#include <memory>
 #include <utility>
-#include <vector>
+
+#include "sim/pool.hpp"
 
 namespace cci::sim {
 
@@ -25,16 +35,33 @@ class Engine;
 
 /// Shared completion record that outlives the coroutine frame, so joiners
 /// holding a ProcessRef can still observe completion after frame destruction.
-struct ProcessState {
+/// Pooled by the engine; 2 inline joiner slots cover the common 0–1 case.
+struct ProcessState : RcPooled<ProcessState> {
   bool done = false;
-  std::vector<std::coroutine_handle<>> joiners;
+  SmallVec<std::coroutine_handle<>, 2> joiners;
 };
 
 class Coro {
  public:
   struct promise_type {
     Engine* engine = nullptr;
-    std::shared_ptr<ProcessState> state = std::make_shared<ProcessState>();
+    /// Created by Engine::spawn from its state pool; empty until then.
+    RcPtr<ProcessState> state;
+    /// Intrusive links in the engine's live-process list (valid once
+    /// spawned; the engine destroys still-live frames at teardown).
+    promise_type* live_prev = nullptr;
+    promise_type* live_next = nullptr;
+
+    /// Frames recycle through the per-thread arena instead of malloc.
+    static void* operator new(std::size_t size) {
+      return FrameArena::local().allocate(size);
+    }
+    static void operator delete(void* p, std::size_t) noexcept {
+      FrameArena::local().deallocate(p);
+    }
+    static void operator delete(void* p) noexcept {
+      FrameArena::local().deallocate(p);
+    }
 
     Coro get_return_object() {
       return Coro(std::coroutine_handle<promise_type>::from_promise(*this));
@@ -91,7 +118,7 @@ class ProcessRef {
   [[nodiscard]] bool done() const { return !state_ || state_->done; }
 
   struct JoinAwaiter {
-    std::shared_ptr<ProcessState> state;
+    RcPtr<ProcessState> state;
     bool await_ready() const noexcept { return !state || state->done; }
     void await_suspend(std::coroutine_handle<> h) { state->joiners.push_back(h); }
     void await_resume() const noexcept {}
@@ -100,8 +127,8 @@ class ProcessRef {
 
  private:
   friend class Engine;
-  explicit ProcessRef(std::shared_ptr<ProcessState> s) : state_(std::move(s)) {}
-  std::shared_ptr<ProcessState> state_;
+  explicit ProcessRef(RcPtr<ProcessState> s) : state_(std::move(s)) {}
+  RcPtr<ProcessState> state_;
 };
 
 }  // namespace cci::sim

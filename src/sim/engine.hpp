@@ -5,19 +5,27 @@
 // suspends coroutine processes on it.  Determinism: events at equal times
 // run in scheduling order, and nothing in the engine consults wall-clock
 // time or global RNG state.
+//
+// Memory: the engine also owns the slab pools behind the hot path —
+// process-completion records, combinator wait nodes — plus the symbol table
+// that interns activity/resource labels to 4-byte ids.  Pool stats are
+// published through obs as `sim.pool.*` when a run() drains.
 #pragma once
 
 #include <cassert>
 #include <coroutine>
+#include <cstdio>
 #include <functional>
 #include <string>
-#include <unordered_set>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "sim/coro.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/label.hpp"
+#include "sim/pool.hpp"
 #include "sim/stall.hpp"
 #include "sim/time.hpp"
 
@@ -25,20 +33,28 @@ namespace cci::sim {
 
 class Engine {
  public:
-  Engine() {
+  Engine()
+      : state_pool_("process_state"), wait_pool_("wait_node") {
     obs::Registry& reg = obs::Registry::global();
     obs_events_ = &reg.counter("sim.engine.events_dispatched");
     obs_spawns_ = &reg.counter("sim.engine.processes_spawned");
     obs_heap_depth_ = &reg.histogram("sim.engine.heap_depth");
     obs_watchdog_trips_ = &reg.counter("sim.watchdog_trips");
+    register_pool(&state_pool_);
+    register_pool(&wait_pool_);
+    register_pool(&FrameArena::local());
   }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine() {
     // Destroy frames of processes that never ran to completion (e.g. servers
-    // still blocked on a mailbox when the simulation ended).
-    for (void* addr : live_handles_)
-      std::coroutine_handle<Coro::promise_type>::from_address(addr).destroy();
+    // still blocked on a mailbox when the simulation ended).  The list is
+    // intrusive through the promises, so destruction unlinks as it goes.
+    while (live_head_ != nullptr) {
+      Coro::promise_type* p = live_head_;
+      live_head_ = p->live_next;
+      std::coroutine_handle<Coro::promise_type>::from_promise(*p).destroy();
+    }
   }
 
   /// Current simulated time in seconds.
@@ -67,13 +83,17 @@ class Engine {
   /// current time (or at `start_at` if given).  Returns a joinable ref.
   ProcessRef spawn(Coro coro, Time start_at = -1.0) {
     auto h = coro.release();
-    h.promise().engine = this;
-    auto state = h.promise().state;
+    Coro::promise_type& p = h.promise();
+    p.engine = this;
+    p.state = state_pool_.make();
     call_at(start_at < 0 ? now_ : start_at, [h] { h.resume(); });
     obs_spawns_->add(1);
     ++live_processes_;
-    live_handles_.insert(h.address());
-    return ProcessRef(state);
+    p.live_prev = nullptr;
+    p.live_next = live_head_;
+    if (live_head_ != nullptr) live_head_->live_prev = &p;
+    live_head_ = &p;
+    return ProcessRef(p.state);
   }
 
   /// Opt into watchdog limits for subsequent run() calls.  When a limit is
@@ -102,6 +122,7 @@ class Engine {
       Time t = queue_.next_time();
       if (t > until) {
         now_ = until;
+        publish_pool_stats();
         return now_;
       }
       if (guarded) {
@@ -124,17 +145,65 @@ class Engine {
       auto [time, fn] = queue_.pop();
       assert(time >= now_ - kTimeEpsilon);
       now_ = std::max(now_, time);
+      ++events_dispatched_;
       obs_events_->add(1);
       obs_heap_depth_->record(static_cast<double>(queue_.size_estimate()));
       fn();
     }
     if (guarded && watchdog_.report_blocked_on_drain && live_processes_ > 0)
       trip(StallReason::kBlockedProcesses, run_events);
+    publish_pool_stats();
     return now_;
   }
 
   /// Number of spawned processes that have not yet terminated.
   [[nodiscard]] int live_processes() const { return live_processes_; }
+
+  /// Raw events dispatched over this engine's lifetime (bench throughput
+  /// denominator; independent of the obs enabled flag).
+  [[nodiscard]] std::uint64_t events_dispatched() const { return events_dispatched_; }
+
+  // ---- labels -----------------------------------------------------------
+
+  /// Intern a label; ids are stable for the engine's lifetime.
+  LabelId intern(std::string_view text) { return symbols_.intern(text); }
+  /// Text of an interned label ("" for kNoLabel).
+  [[nodiscard]] const std::string& label_str(LabelId id) const {
+    return symbols_.str(id);
+  }
+
+  // ---- pools ------------------------------------------------------------
+
+  /// Pooled wait node for the when_any/when_all combinators.
+  RcPtr<WaitNode> make_wait_node() { return wait_pool_.make(); }
+
+  /// Track a pool's stats: published as `sim.pool.<name>.*` when run()
+  /// drains.  Registrants (e.g. a FlowModel's activity pool) must
+  /// unregister before they die.
+  void register_pool(PoolBase* pool) {
+    PoolChannel ch;
+    ch.pool = pool;
+    char name[96];
+    auto bind = [&](const char* field) -> obs::Counter* {
+      std::snprintf(name, sizeof name, "sim.pool.%s.%s", pool->name(), field);
+      return &obs::Registry::global().counter(name);
+    };
+    ch.allocated = bind("allocated");
+    ch.reused = bind("reused");
+    ch.slabs = bind("slabs");
+    ch.slab_bytes = bind("slab_bytes");
+    std::snprintf(name, sizeof name, "sim.pool.%s.live", pool->name());
+    ch.live = &obs::Registry::global().gauge(name);
+    pool_channels_.push_back(ch);
+  }
+  void unregister_pool(PoolBase* pool) {
+    for (std::size_t i = 0; i < pool_channels_.size(); ++i) {
+      if (pool_channels_[i].pool == pool) {
+        pool_channels_.erase(pool_channels_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
 
   // ---- awaitables -------------------------------------------------------
 
@@ -172,23 +241,57 @@ class Engine {
     throw SimStalled(reason, now_, run_events, live_processes_, std::move(blocked));
   }
 
+  /// Flush pool-stat deltas to obs.  Off the hot path: once per drained
+  /// run(), not per event.
+  void publish_pool_stats() {
+    for (PoolChannel& ch : pool_channels_) {
+      const PoolBase::Stats d = ch.pool->take_delta();
+      if (d.allocated != 0) ch.allocated->add(static_cast<double>(d.allocated));
+      if (d.reused != 0) ch.reused->add(static_cast<double>(d.reused));
+      if (d.slabs != 0) ch.slabs->add(static_cast<double>(d.slabs));
+      if (d.slab_bytes != 0) ch.slab_bytes->add(static_cast<double>(d.slab_bytes));
+      ch.live->set(static_cast<double>(d.live));
+    }
+  }
+
   friend struct Coro::promise_type::FinalAwaiter;
   void on_process_done(std::coroutine_handle<Coro::promise_type> h) {
-    auto state = h.promise().state;
+    Coro::promise_type& p = h.promise();
+    // Move the ref out so the state drops back to the pool with the last
+    // outside ProcessRef (or right here if nobody joined).
+    RcPtr<ProcessState> state = std::move(p.state);
     state->done = true;
     for (auto joiner : state->joiners) resume_soon(joiner);
     state->joiners.clear();
     --live_processes_;
-    live_handles_.erase(h.address());
+    if (p.live_prev != nullptr)
+      p.live_prev->live_next = p.live_next;
+    else
+      live_head_ = p.live_next;
+    if (p.live_next != nullptr) p.live_next->live_prev = p.live_prev;
     h.destroy();
   }
+
+  struct PoolChannel {
+    PoolBase* pool = nullptr;
+    obs::Counter* allocated = nullptr;
+    obs::Counter* reused = nullptr;
+    obs::Counter* slabs = nullptr;
+    obs::Counter* slab_bytes = nullptr;
+    obs::Gauge* live = nullptr;
+  };
 
   Time now_ = 0.0;
   EventQueue queue_;
   int live_processes_ = 0;
-  std::unordered_set<void*> live_handles_;
+  std::uint64_t events_dispatched_ = 0;
+  Coro::promise_type* live_head_ = nullptr;  ///< intrusive live-process list
   WatchdogConfig watchdog_;
   std::vector<StallInspector> stall_inspectors_;
+  SlabPool<ProcessState> state_pool_;
+  SlabPool<WaitNode> wait_pool_;
+  SymbolTable symbols_;
+  std::vector<PoolChannel> pool_channels_;
   obs::Counter* obs_events_ = nullptr;
   obs::Counter* obs_spawns_ = nullptr;
   obs::Histogram* obs_heap_depth_ = nullptr;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 
@@ -16,7 +17,8 @@ namespace {
 double completion_eps(double work) { return std::max(1.0, work) * 1e-9; }
 }  // namespace
 
-FlowModel::FlowModel(Engine& engine) : engine_(engine) {
+FlowModel::FlowModel(Engine& engine) : engine_(engine), activity_pool_("activity") {
+  engine_.register_pool(&activity_pool_);
   obs_reg_ = &obs::Registry::global();
   obs_resolves_ = &obs_reg_->counter("sim.flow.resolves");
   obs_resolves_full_ = &obs_reg_->counter("sim.flow.resolves_full");
@@ -35,7 +37,7 @@ FlowModel::FlowModel(Engine& engine) : engine_(engine) {
     for (const ActivityPtr& act : running_) {
       const double total = act->spec().work;
       const double done = act->work_done();
-      std::string desc = "activity '" + act->spec().label + "'";
+      std::string desc = "activity '" + engine_.label_str(act->spec().label) + "'";
       desc += act->rate() == 0.0 ? " STALLED (rate 0)"
                                  : " rate=" + std::to_string(act->rate());
       desc += ", work " + std::to_string(done) + "/" + std::to_string(total);
@@ -44,6 +46,13 @@ FlowModel::FlowModel(Engine& engine) : engine_(engine) {
       out.push_back(std::move(desc));
     }
   });
+}
+
+FlowModel::~FlowModel() {
+  // The engine keeps publishing registered pool stats at run() ends; drop
+  // ours before the pool dies.  (Activities still referenced elsewhere are
+  // handled by the pool's orphan-slab path.)
+  engine_.unregister_pool(&activity_pool_);
 }
 
 void Resource::set_capacity(double capacity) {
@@ -60,13 +69,18 @@ Resource* FlowModel::add_resource(std::string name, double capacity) {
   const std::size_t solver_index = solver_.add_resource(capacity);
   assert(solver_index == r->index_);
   (void)solver_index;
-  r->obs_work_ = &obs_reg_->counter("sim.resource." + r->name() + ".work_units");
+  // Metric names assembled in a stack buffer; the registry's heterogeneous
+  // string_view lookup means no temporary std::string on re-registration.
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "sim.resource.%s.work_units", r->name().c_str());
+  r->obs_work_ = &obs_reg_->counter(buf);
   r->obs_load_series_ = "sim.resource." + r->name() + ".load";
+  r->obs_track_series_ = "sim.res." + r->name();
   return r;
 }
 
 ActivityPtr FlowModel::start(ActivitySpec spec) {
-  auto act = std::make_shared<Activity>(engine_, std::move(spec));
+  ActivityPtr act = activity_pool_.make(engine_, std::move(spec));
   Activity* a = act.get();
   a->seq_ = next_activity_seq_++;
   a->run_slot_ = running_.size();
@@ -82,7 +96,8 @@ ActivityPtr FlowModel::start(ActivitySpec spec) {
     for (const auto& d : a->spec_.demands)
       entries_scratch_.push_back({d.resource->index_, d.amount});
     a->flow_id_ = solver_.add_flow(a->spec_.weight, a->spec_.rate_cap, entries_scratch_);
-    if (flow_act_.size() <= a->flow_id_) flow_act_.resize(a->flow_id_ + 1, nullptr);
+    if (flow_act_.size() <= a->flow_id_)
+      flow_act_.resize(std::max(flow_act_.size() * 2, a->flow_id_ + 1), nullptr);
     flow_act_[a->flow_id_] = a;
   }
   reallocate();
@@ -116,10 +131,13 @@ void FlowModel::trace_activity(const Activity& act, const char* suffix) {
   obs::Tracer& tracer = obs_reg_->tracer();
   if (!tracer.on()) return;
   const auto& spec = act.spec();
-  const std::string& where =
-      spec.demands.empty() ? "unbound" : spec.demands.front().resource->name();
-  obs::TrackId track = tracer.track("sim.res." + where);
-  std::string label = spec.label.empty() ? "activity" : spec.label;
+  static const std::string kUnbound = "sim.res.unbound";
+  const std::string& series = spec.demands.empty()
+                                  ? kUnbound
+                                  : spec.demands.front().resource->obs_track_series_;
+  obs::TrackId track = tracer.track(series);
+  const std::string& name = engine_.label_str(spec.label);
+  std::string label = name.empty() ? "activity" : name;
   tracer.span(track, label + suffix, act.started_at(), engine_.now());
 }
 

@@ -21,6 +21,7 @@
 #include "sim/activity.hpp"
 #include "sim/engine.hpp"
 #include "sim/maxmin.hpp"
+#include "sim/pool.hpp"
 #include "sim/resource.hpp"
 
 namespace cci::sim {
@@ -28,6 +29,7 @@ namespace cci::sim {
 class FlowModel {
  public:
   explicit FlowModel(Engine& engine);
+  ~FlowModel();
   FlowModel(const FlowModel&) = delete;
   FlowModel& operator=(const FlowModel&) = delete;
 
@@ -98,6 +100,7 @@ class FlowModel {
 
   Engine& engine_;
   MaxMinSolver solver_;
+  SlabPool<Activity> activity_pool_;  ///< stats: sim.pool.activity.*
   std::vector<std::unique_ptr<Resource>> resources_;
   std::vector<ActivityPtr> running_;       ///< unordered; slot in Activity
   std::vector<Activity*> flow_act_;        ///< solver FlowId -> activity

@@ -1,0 +1,51 @@
+// Interned activity/resource labels.
+//
+// Hot-path structs (ActivitySpec, spans) carry a 4-byte LabelId instead of a
+// std::string; the Engine owns a SymbolTable mapping ids back to text for
+// traces, stall reports, and assertions.  Interning the same text twice
+// returns the same id, and lookup is heterogeneous (std::string_view keys,
+// no temporary std::string).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cci::sim {
+
+/// Index into a SymbolTable.  Id 0 is always the empty string, so a
+/// value-initialized LabelId means "unlabelled".
+using LabelId = std::uint32_t;
+inline constexpr LabelId kNoLabel = 0;
+
+class SymbolTable {
+ public:
+  SymbolTable() { strings_.emplace_back(); }  // id 0 = ""
+
+  /// Intern `text`, returning its stable id (existing id if seen before).
+  LabelId intern(std::string_view text) {
+    if (text.empty()) return kNoLabel;
+    auto it = ids_.find(text);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<LabelId>(strings_.size());
+    strings_.emplace_back(text);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Text for an id.  Ids come only from intern(), so this never fails.
+  [[nodiscard]] const std::string& str(LabelId id) const { return strings_[id]; }
+
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  // Interning is cold (labels are cached as ids at call sites), so the
+  // duplicate key storage is irrelevant; std::less<> gives string_view
+  // lookups without a temporary std::string.
+  std::map<std::string, LabelId, std::less<>> ids_;
+};
+
+}  // namespace cci::sim

@@ -26,6 +26,7 @@ std::size_t MaxMinSolver::add_resource(double capacity) {
   parent_.push_back(r);
   comp_size_.push_back(1);
   comp_flows_.emplace_back();
+  comp_unsorted_.push_back(0);
   comp_res_.push_back({r});
   dirty_.push_back(0);
   return r;
@@ -34,7 +35,12 @@ std::size_t MaxMinSolver::add_resource(double capacity) {
 void MaxMinSolver::set_capacity(std::size_t resource, double capacity) {
   assert(capacity >= 0.0);
   capacity_[resource] = capacity;
-  mark_dirty(find_root(resource));
+  const std::size_t root = find_root(resource);
+  // Cached pressure contributions reference this capacity; every flow that
+  // can touch the resource lives in its component (a superset after
+  // removals, which only over-invalidates).
+  for (FlowId id : comp_flows_[root]) flows_[id].pressure_valid = false;
+  mark_dirty(root);
 }
 
 std::size_t MaxMinSolver::find_root(std::size_t r) {
@@ -60,6 +66,14 @@ std::size_t MaxMinSolver::unite(std::size_t a, std::size_t b) {
   if (comp_size_[a] < comp_size_[b]) std::swap(a, b);
   parent_[b] = a;
   comp_size_[a] += comp_size_[b];
+  // Concatenation only keeps the seq order when every flow of b registered
+  // after every flow of a; otherwise flag the merged list for a lazy
+  // re-sort at the next solve.
+  if (comp_unsorted_[b] ||
+      (!comp_flows_[a].empty() && !comp_flows_[b].empty() &&
+       flows_[comp_flows_[b].front()].seq < flows_[comp_flows_[a].back()].seq))
+    comp_unsorted_[a] = 1;
+  comp_unsorted_[b] = 0;
   for (FlowId id : comp_flows_[b]) {
     flows_[id].comp_pos = comp_flows_[a].size();
     comp_flows_[a].push_back(id);
@@ -91,10 +105,12 @@ MaxMinSolver::FlowId MaxMinSolver::add_flow(double weight, double rate_cap,
   rec.weight = weight;
   rec.rate_cap = rate_cap;
   rec.rate = 0.0;
+  rec.cap_lambda = rate_cap > 0.0 ? rate_cap / weight : kInf;
   rec.seq = next_seq_++;
   rec.entries = entries;
   rec.live = true;
   rec.comp_pos = kNoPos;
+  rec.pressure_valid = false;
   if (entries.empty()) {
     // No shared resource: the flow is only limited by its own cap.  Solved
     // eagerly; it never joins (or dirties) a component.
@@ -121,9 +137,10 @@ void MaxMinSolver::remove_flow(FlowId id) {
     const std::size_t root = find_root(rec.entries.front().resource);
     auto& list = comp_flows_[root];
     const std::size_t pos = rec.comp_pos;
-    list[pos] = list.back();
-    flows_[list[pos]].comp_pos = pos;
-    list.pop_back();
+    // Ordered erase (not swap-with-back): keeps the list seq-sorted so the
+    // solve that follows every removal can skip its sort.
+    list.erase(list.begin() + static_cast<std::ptrdiff_t>(pos));
+    for (std::size_t i = pos; i < list.size(); ++i) flows_[list[i]].comp_pos = i;
     mark_dirty(root);
     --live_flows_;
     ++removals_since_rebuild_;
@@ -141,12 +158,14 @@ void MaxMinSolver::rebuild_partition() {
   ++stats_.partition_rebuilds;
   removals_since_rebuild_ = 0;
   const std::size_t n_res = capacity_.size();
-  std::vector<char> res_dirty(n_res, 0);
+  std::vector<char>& res_dirty = rebuild_res_dirty_;  // reused scratch, no alloc
+  res_dirty.assign(n_res, 0);
   for (std::size_t r = 0; r < n_res; ++r) res_dirty[r] = dirty_[find_root(r)];
   for (std::size_t r = 0; r < n_res; ++r) {
     parent_[r] = r;
     comp_size_[r] = 1;
     comp_flows_[r].clear();
+    comp_unsorted_[r] = 0;
     comp_res_[r].clear();
     comp_res_[r].push_back(r);
     dirty_[r] = 0;
@@ -158,8 +177,12 @@ void MaxMinSolver::rebuild_partition() {
     std::size_t root = find_root(rec.entries.front().resource);
     for (std::size_t i = 1; i < rec.entries.size(); ++i)
       root = unite(root, find_root(rec.entries[i].resource));
-    rec.comp_pos = comp_flows_[root].size();
-    comp_flows_[root].push_back(id);
+    auto& list = comp_flows_[root];
+    // Iteration is in slot order, which differs from seq order once slots
+    // have been recycled; flag any inversion for the lazy re-sort.
+    if (!list.empty() && flows_[list.back()].seq > rec.seq) comp_unsorted_[root] = 1;
+    rec.comp_pos = list.size();
+    list.push_back(id);
   }
   for (std::size_t r = 0; r < n_res; ++r)
     if (res_dirty[r]) mark_dirty(find_root(r));
@@ -203,11 +226,18 @@ void MaxMinSolver::solve_component(std::size_t root) {
 
   // Solve order is registration order (seq), independent of how the
   // component was assembled — this keeps floating-point accumulation order
-  // identical between a partial re-solve and a from-scratch solve.
-  scratch_flows_.assign(comp_flows_[root].begin(), comp_flows_[root].end());
-  std::sort(scratch_flows_.begin(), scratch_flows_.end(),
-            [this](FlowId a, FlowId b) { return flows_[a].seq < flows_[b].seq; });
-  const std::size_t n_flows = scratch_flows_.size();
+  // identical between a partial re-solve and a from-scratch solve.  The
+  // list is seq-sorted by invariant; only a merge or a partition rebuild
+  // leaves it unsorted, so the steady-state solve skips the sort entirely.
+  if (comp_unsorted_[root]) {
+    auto& list = comp_flows_[root];
+    std::sort(list.begin(), list.end(),
+              [this](FlowId a, FlowId b) { return flows_[a].seq < flows_[b].seq; });
+    for (std::size_t i = 0; i < list.size(); ++i) flows_[list[i]].comp_pos = i;
+    comp_unsorted_[root] = 0;
+  }
+  const std::vector<FlowId>& comp_flow_list = comp_flows_[root];
+  const std::size_t n_flows = comp_flow_list.size();
 
   // Dense local resource indices.
   if (res_local_.size() < capacity_.size()) res_local_.resize(capacity_.size());
@@ -219,13 +249,55 @@ void MaxMinSolver::solve_component(std::size_t root) {
   sc_pressure_.assign(n_res, 0.0);
   for (std::size_t i = 0; i < n_res; ++i) sc_cap_left_[i] = capacity_[res_list[i]];
 
-  sc_cap_lambda_.assign(n_flows, kInf);
+  // Gather the per-flow hot data into dense scratch, flattening the demand
+  // entries (with pre-resolved local resource indices and pre-multiplied
+  // weighted demands — the same products the rounds used to recompute).
+  // FlowRecs are scattered through flows_, so this is the one
+  // latency-bound pass: prefetch ahead, then the filling rounds below run
+  // on contiguous arrays and never touch a FlowRec again until publish.
+  for (std::size_t f = 0; f < n_flows; ++f)
+    __builtin_prefetch(&flows_[comp_flow_list[f]]);
+  sc_cap_lambda_.resize(n_flows);
+  sc_weight_.resize(n_flows);
   sc_fixed_.assign(n_flows, 0);
+  sc_ent_begin_.resize(n_flows + 1);
+  sc_ent_local_.clear();
+  sc_ent_demand_.clear();
+  sc_ent_wdem_.clear();
+  sc_ent_press_.clear();
   std::size_t n_fixed = 0;
   for (std::size_t f = 0; f < n_flows; ++f) {
-    const FlowRec& rec = flows_[scratch_flows_[f]];
-    if (rec.rate_cap > 0.0) sc_cap_lambda_[f] = rec.rate_cap / rec.weight;
+    FlowRec& rec = flows_[comp_flow_list[f]];
+    sc_cap_lambda_[f] = rec.cap_lambda;
+    sc_weight_[f] = rec.weight;
+    sc_ent_begin_[f] = static_cast<std::uint32_t>(sc_ent_local_.size());
+    if (!rec.pressure_valid) {
+      // Demand pressure: what the flow would push if it ran alone.  Cached
+      // per entry (same expressions, same order, so the accumulation below
+      // is bitwise identical to a fresh computation); zero-capacity entries
+      // cache 0.0, which adds exactly nothing to a non-negative accumulator.
+      double solo = rec.rate_cap > 0.0 ? rec.rate_cap : kInf;
+      for (const auto& e : rec.entries) {
+        if (e.demand <= 0.0) continue;
+        solo = std::min(solo, capacity_[e.resource] / e.demand);
+      }
+      rec.pressure_contrib.clear();
+      if (std::isfinite(solo))
+        for (const auto& e : rec.entries)
+          rec.pressure_contrib.push_back(
+              capacity_[e.resource] > 0.0 ? solo * e.demand / capacity_[e.resource] : 0.0);
+      rec.pressure_valid = true;
+    }
+    const bool has_press = !rec.pressure_contrib.empty();
+    for (std::size_t i = 0; i < rec.entries.size(); ++i) {
+      const MaxMinFlow::Entry& e = rec.entries[i];
+      sc_ent_local_.push_back(res_local_[e.resource]);
+      sc_ent_demand_.push_back(e.demand);
+      sc_ent_wdem_.push_back(rec.weight * e.demand);
+      sc_ent_press_.push_back(has_press ? rec.pressure_contrib[i] : 0.0);
+    }
   }
+  sc_ent_begin_[n_flows] = static_cast<std::uint32_t>(sc_ent_local_.size());
 
   sc_weighted_demand_.resize(std::max(sc_weighted_demand_.size(), n_res));
   sc_bottleneck_.resize(std::max(sc_bottleneck_.size(), n_res));
@@ -238,9 +310,8 @@ void MaxMinSolver::solve_component(std::size_t root) {
     for (std::size_t f = 0; f < n_flows; ++f) {
       if (sc_fixed_[f]) continue;
       ++stats_.flow_visits;
-      const FlowRec& rec = flows_[scratch_flows_[f]];
-      for (const auto& e : rec.entries)
-        sc_weighted_demand_[res_local_[e.resource]] += rec.weight * e.demand;
+      for (std::size_t k = sc_ent_begin_[f]; k < sc_ent_begin_[f + 1]; ++k)
+        sc_weighted_demand_[sc_ent_local_[k]] += sc_ent_wdem_[k];
     }
 
     // Candidate lambda: tightest resource or tightest flow cap.
@@ -274,20 +345,20 @@ void MaxMinSolver::solve_component(std::size_t root) {
     }
     for (std::size_t f = 0; f < n_flows; ++f) {
       if (sc_fixed_[f]) continue;
-      const FlowRec& rec = flows_[scratch_flows_[f]];
       bool saturated = sc_cap_lambda_[f] <= lambda * (1.0 + kSlack);
       if (!saturated)
-        for (const auto& e : rec.entries)
-          if (sc_bottleneck_[res_local_[e.resource]] && e.demand > 0.0) {
+        for (std::size_t k = sc_ent_begin_[f]; k < sc_ent_begin_[f + 1]; ++k)
+          if (sc_bottleneck_[sc_ent_local_[k]] && sc_ent_demand_[k] > 0.0) {
             saturated = true;
             break;
           }
       if (!saturated) continue;
-      double rate = rec.weight * std::min(lambda, sc_cap_lambda_[f]);
+      double rate = sc_weight_[f] * std::min(lambda, sc_cap_lambda_[f]);
       rate_out[f] = rate;
-      for (const auto& e : rec.entries) {
-        sc_cap_left_[res_local_[e.resource]] -= rate * e.demand;
-        sc_load_[res_local_[e.resource]] += rate * e.demand;
+      for (std::size_t k = sc_ent_begin_[f]; k < sc_ent_begin_[f + 1]; ++k) {
+        const double used = rate * sc_ent_demand_[k];
+        sc_cap_left_[sc_ent_local_[k]] -= used;
+        sc_load_[sc_ent_local_[k]] += used;
       }
       sc_fixed_[f] = 1;
       ++n_fixed;
@@ -298,12 +369,12 @@ void MaxMinSolver::solve_component(std::size_t root) {
     if (!froze_any) {
       for (std::size_t f = 0; f < n_flows; ++f) {
         if (sc_fixed_[f]) continue;
-        const FlowRec& rec = flows_[scratch_flows_[f]];
-        double rate = rec.weight * std::min(lambda, sc_cap_lambda_[f]);
+        double rate = sc_weight_[f] * std::min(lambda, sc_cap_lambda_[f]);
         rate_out[f] = rate;
-        for (const auto& e : rec.entries) {
-          sc_cap_left_[res_local_[e.resource]] -= rate * e.demand;
-          sc_load_[res_local_[e.resource]] += rate * e.demand;
+        for (std::size_t k = sc_ent_begin_[f]; k < sc_ent_begin_[f + 1]; ++k) {
+          const double used = rate * sc_ent_demand_[k];
+          sc_cap_left_[sc_ent_local_[k]] -= used;
+          sc_load_[sc_ent_local_[k]] += used;
         }
         sc_fixed_[f] = 1;
         ++n_fixed;
@@ -311,28 +382,20 @@ void MaxMinSolver::solve_component(std::size_t root) {
     }
   }
 
-  // Demand pressure: what each flow would push if it ran alone.
-  for (std::size_t f = 0; f < n_flows; ++f) {
-    const FlowRec& rec = flows_[scratch_flows_[f]];
-    double solo = rec.rate_cap > 0.0 ? rec.rate_cap : kInf;
-    for (const auto& e : rec.entries) {
-      if (e.demand <= 0.0) continue;
-      solo = std::min(solo, capacity_[e.resource] / e.demand);
-    }
-    if (!std::isfinite(solo)) continue;
-    for (const auto& e : rec.entries) {
-      if (capacity_[e.resource] > 0.0)
-        sc_pressure_[res_local_[e.resource]] += solo * e.demand / capacity_[e.resource];
-    }
-  }
+  // Demand pressure: one dense pass over the flattened per-entry
+  // contributions gathered above (flow order, then entry order — the same
+  // accumulation order as the per-flow loop it replaces).
+  const std::size_t n_entries = sc_ent_local_.size();
+  for (std::size_t k = 0; k < n_entries; ++k)
+    sc_pressure_[sc_ent_local_[k]] += sc_ent_press_[k];
 
   // Publish: rates that actually changed (bitwise), loads/pressures of all
   // member resources.
   for (std::size_t f = 0; f < n_flows; ++f) {
-    FlowRec& rec = flows_[scratch_flows_[f]];
+    FlowRec& rec = flows_[comp_flow_list[f]];
     if (rate_out[f] != rec.rate) {
       rec.rate = rate_out[f];
-      changed_flows_.push_back(scratch_flows_[f]);
+      changed_flows_.push_back(comp_flow_list[f]);
     }
   }
   for (std::size_t i = 0; i < n_res; ++i) {

@@ -122,10 +122,19 @@ class MaxMinSolver {
     double weight = 1.0;
     double rate_cap = 0.0;
     double rate = 0.0;
+    /// rate_cap / weight (+inf when uncapped), precomputed at registration —
+    /// weight and cap are immutable, so the filling rounds never divide.
+    double cap_lambda = 0.0;
     std::uint64_t seq = 0;    ///< registration order; solve order within a component
     std::vector<MaxMinFlow::Entry> entries;
+    /// Per-entry demand-pressure contribution (solo-rate * demand / capacity),
+    /// cached because it only depends on this flow and the capacities it
+    /// touches: recomputed lazily after a set_capacity() on the component.
+    /// Empty with pressure_valid set means the solo rate is unbounded.
+    std::vector<double> pressure_contrib;
     std::size_t comp_pos = 0; ///< position inside its component's flow list
     bool live = false;
+    bool pressure_valid = false;
   };
 
   std::size_t find_root(std::size_t r);
@@ -145,7 +154,13 @@ class MaxMinSolver {
   // rebuild is scheduled once removals pile up).
   std::vector<std::size_t> parent_;
   std::vector<std::size_t> comp_size_;              ///< valid at roots
+  // comp_flows_ is kept sorted by FlowRec::seq (registration order) as an
+  // invariant: appends are monotone in seq and removals erase in place, so
+  // the common case needs no per-solve sort.  Merges and partition rebuilds
+  // may break the order; they set comp_unsorted_ and solve_component()
+  // restores it lazily.
   std::vector<std::vector<FlowId>> comp_flows_;     ///< valid at roots
+  std::vector<char> comp_unsorted_;                 ///< valid at roots
   std::vector<std::vector<std::size_t>> comp_res_;  ///< valid at roots
   std::vector<char> dirty_;                         ///< valid at roots
   std::vector<std::size_t> dirty_roots_;
@@ -162,9 +177,18 @@ class MaxMinSolver {
   // allocation on the hot path).
   std::vector<FlowId> changed_flows_;
   std::vector<std::size_t> touched_resources_;
-  std::vector<FlowId> scratch_flows_;          ///< component flows, seq-sorted
+  std::vector<char> rebuild_res_dirty_;        ///< rebuild_partition scratch
   std::vector<std::uint32_t> res_local_;       ///< global res -> local slot
   std::vector<std::size_t> scratch_res_;       ///< component resources
+  // Dense per-solve gather of the component's flows: per-flow weights plus
+  // flattened demand entries (local resource slot, raw and weighted demand,
+  // cached pressure contribution), indexed by sc_ent_begin_[f]..[f+1].
+  std::vector<double> sc_weight_;
+  std::vector<std::uint32_t> sc_ent_begin_;
+  std::vector<std::uint32_t> sc_ent_local_;
+  std::vector<double> sc_ent_demand_;
+  std::vector<double> sc_ent_wdem_;
+  std::vector<double> sc_ent_press_;
   std::vector<double> sc_cap_left_;
   std::vector<double> sc_weighted_demand_;
   std::vector<char> sc_bottleneck_;

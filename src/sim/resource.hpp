@@ -45,9 +45,12 @@ class Resource {
   double load_ = 0.0;
   double pressure_ = 0.0;
   // Observability: work-unit integral (bytes for links/controllers, cycles
-  // for cores) and the cached name of the load counter-sample series.
+  // for cores) plus the cached names of the load counter-sample series and
+  // the span track activities are traced on (built once at add_resource, so
+  // tracing never concatenates on the hot path).
   obs::Counter* obs_work_ = nullptr;
   std::string obs_load_series_;
+  std::string obs_track_series_;
   double obs_last_sampled_load_ = -1.0;
 };
 

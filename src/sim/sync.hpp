@@ -2,17 +2,25 @@
 //
 // All wake-ups are funneled through Engine::resume_soon so resumption order
 // is serialized by the event queue (deterministic, no nested resumes).
+//
+// Hot-path memory: waiter lists live in inline small-vectors (0–1 waiters is
+// the overwhelmingly common case) and the when_any/when_all combinators park
+// a pooled, intrusively refcounted WaitNode on each event instead of a
+// heap-allocated std::function closure — libstdc++'s std::function small-
+// object optimisation only inlines trivially-copyable callables, so any
+// refcounting capture would defeat it.
 #pragma once
 
 #include <coroutine>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <memory>
+#include <initializer_list>
 #include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/pool.hpp"
 
 namespace cci::sim {
 
@@ -27,19 +35,34 @@ class OneShotEvent {
     set_ = true;
     for (auto h : waiters_) engine_->resume_soon(h);
     waiters_.clear();
-    auto callbacks = std::move(callbacks_);
-    callbacks_.clear();
-    for (auto& fn : callbacks) fn();
+    for (auto& node : watchers_) notify(std::move(node));
+    watchers_.clear();
+    if (!callbacks_.empty()) {
+      auto callbacks = std::move(callbacks_);
+      callbacks_.clear();
+      for (auto& fn : callbacks) fn();
+    }
   }
   [[nodiscard]] bool is_set() const { return set_; }
 
-  /// Invoke `fn` when the event fires (immediately if already set).  Used
-  /// by the when_any/when_all combinators.
+  /// Invoke `fn` when the event fires (immediately if already set).
   void on_set(std::function<void()> fn) {
     if (set_) {
       fn();
     } else {
       callbacks_.push_back(std::move(fn));
+    }
+  }
+
+  /// Park a combinator wait node on this event (notified immediately if
+  /// already set).  The event keeps a reference until it fires or dies, so
+  /// a node whose combinator already resumed (when_any's losers) is simply
+  /// released when its last event goes away.
+  void add_watcher(RcPtr<WaitNode> node) {
+    if (set_) {
+      notify(std::move(node));
+    } else {
+      watchers_.push_back(std::move(node));
     }
   }
 
@@ -53,9 +76,17 @@ class OneShotEvent {
   Awaiter operator co_await() { return Awaiter{this}; }
 
  private:
+  /// The notification that drives `remaining` to zero resumes the waiting
+  /// coroutine; later ones (when_any has exactly one winner) are no-ops.
+  void notify(RcPtr<WaitNode> node) {
+    if (node->remaining != 0 && --node->remaining == 0)
+      engine_->resume_soon(node->h);
+  }
+
   Engine* engine_;
   bool set_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  SmallVec<std::coroutine_handle<>, 2> waiters_;
+  SmallVec<RcPtr<WaitNode>, 2> watchers_;
   std::vector<std::function<void()>> callbacks_;
 };
 
@@ -63,7 +94,7 @@ class OneShotEvent {
 /// must keep the events alive until resumption.
 struct WhenAny {
   Engine* engine;
-  std::vector<OneShotEvent*> events;
+  SmallVec<OneShotEvent*, 4> events;
 
   bool await_ready() const noexcept {
     for (auto* e : events)
@@ -71,27 +102,29 @@ struct WhenAny {
     return false;
   }
   void await_suspend(std::coroutine_handle<> h) {
-    auto fired = std::make_shared<bool>(false);
-    Engine* eng = engine;
-    for (auto* e : events) {
-      e->on_set([fired, h, eng] {
-        if (*fired) return;
-        *fired = true;
-        eng->resume_soon(h);
-      });
-    }
+    RcPtr<WaitNode> node = engine->make_wait_node();
+    node->remaining = 1;  // first event to fire wins, the rest are no-ops
+    node->h = h;
+    for (auto* e : events) e->add_watcher(node);
   }
   void await_resume() const noexcept {}
 };
 
-inline WhenAny when_any(Engine& engine, std::vector<OneShotEvent*> events) {
-  return WhenAny{&engine, std::move(events)};
+inline WhenAny when_any(Engine& engine, std::initializer_list<OneShotEvent*> events) {
+  WhenAny w{&engine, {}};
+  for (auto* e : events) w.events.push_back(e);
+  return w;
+}
+inline WhenAny when_any(Engine& engine, const std::vector<OneShotEvent*>& events) {
+  WhenAny w{&engine, {}};
+  for (auto* e : events) w.events.push_back(e);
+  return w;
 }
 
 /// Awaitable that resumes when ALL of the given events are set.
 struct WhenAll {
   Engine* engine;
-  std::vector<OneShotEvent*> events;
+  SmallVec<OneShotEvent*, 4> events;
 
   bool await_ready() const noexcept {
     for (auto* e : events)
@@ -99,26 +132,31 @@ struct WhenAll {
     return true;
   }
   void await_suspend(std::coroutine_handle<> h) {
-    auto remaining = std::make_shared<std::size_t>(0);
+    std::uint32_t remaining = 0;
     for (auto* e : events)
-      if (!e->is_set()) ++*remaining;
-    if (*remaining == 0) {  // raced: everything fired since await_ready
+      if (!e->is_set()) ++remaining;
+    if (remaining == 0) {  // raced: everything fired since await_ready
       engine->resume_soon(h);
       return;
     }
-    Engine* eng = engine;
-    for (auto* e : events) {
-      if (e->is_set()) continue;
-      e->on_set([remaining, h, eng] {
-        if (--*remaining == 0) eng->resume_soon(h);
-      });
-    }
+    RcPtr<WaitNode> node = engine->make_wait_node();
+    node->remaining = remaining;
+    node->h = h;
+    for (auto* e : events)
+      if (!e->is_set()) e->add_watcher(node);
   }
   void await_resume() const noexcept {}
 };
 
-inline WhenAll when_all(Engine& engine, std::vector<OneShotEvent*> events) {
-  return WhenAll{&engine, std::move(events)};
+inline WhenAll when_all(Engine& engine, std::initializer_list<OneShotEvent*> events) {
+  WhenAll w{&engine, {}};
+  for (auto* e : events) w.events.push_back(e);
+  return w;
+}
+inline WhenAll when_all(Engine& engine, const std::vector<OneShotEvent*>& events) {
+  WhenAll w{&engine, {}};
+  for (auto* e : events) w.events.push_back(e);
+  return w;
 }
 
 /// Unbounded FIFO channel between processes.  Multiple producers and

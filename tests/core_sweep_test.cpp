@@ -1,16 +1,17 @@
-// Sweep framework: axes, metrics, table assembly.
+// Single-axis sweep behaviour, expressed on the campaign API.
 //
-// core::Sweep is deprecated (it survives as a thin wrapper over the typed
-// campaign API); this suite pins the wrapper's behaviour until the last
-// callers migrate.  See tests/core_campaign_test.cpp for the replacement.
+// These cases originally pinned the deprecated core::Sweep wrapper; they now
+// exercise the same behaviour (fixed seed, serial engine, one axis) through
+// SweepSpec/Campaign directly, keeping the historical expectations — one row
+// per axis value, bandwidth decline along the cores axis, custom axes — as
+// regression anchors.  See tests/core_campaign_test.cpp for the full
+// multi-axis/parallel/cache coverage.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
-#include "core/sweep.hpp"
+#include "core/campaign.hpp"
 #include "kernels/stream.hpp"
-
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace cci::core {
 namespace {
@@ -26,12 +27,19 @@ Scenario quick_base() {
   return s;
 }
 
+trace::Table run_serial(Campaign& campaign) {
+  CampaignEngine engine;
+  CampaignRun run = engine.run(campaign);
+  return run.table(campaign);
+}
+
 TEST(Sweep, ProducesOneRowPerAxisValue) {
-  auto table = Sweep(quick_base())
-                   .axis("cores", {0, 5, 20}, Sweep::cores_axis())
-                   .metric("bw_ratio", Sweep::bandwidth_ratio())
-                   .metric("stream", Sweep::stream_per_core_gbps())
-                   .run();
+  Campaign campaign("sweep:cores", SweepSpec(quick_base())
+                                       .seed_policy(SeedPolicy::kFixed)
+                                       .cores("cores", {0, 5, 20}));
+  campaign.column("bw_ratio", Campaign::bandwidth_ratio())
+      .column("stream", Campaign::stream_per_core_gbps());
+  trace::Table table = run_serial(campaign);
   EXPECT_EQ(table.rows(), 3u);
   std::ostringstream os;
   table.print_csv(os);
@@ -39,10 +47,11 @@ TEST(Sweep, ProducesOneRowPerAxisValue) {
 }
 
 TEST(Sweep, BandwidthRatioDeclinesAlongTheCoresAxis) {
-  auto table = Sweep(quick_base())
-                   .axis("cores", {0, 20}, Sweep::cores_axis())
-                   .metric("bw_ratio", Sweep::bandwidth_ratio())
-                   .run();
+  Campaign campaign("sweep:cores", SweepSpec(quick_base())
+                                       .seed_policy(SeedPolicy::kFixed)
+                                       .cores("cores", {0, 20}));
+  campaign.column("bw_ratio", Campaign::bandwidth_ratio());
+  trace::Table table = run_serial(campaign);
   std::ostringstream os;
   table.print_csv(os);
   // Parse the two data rows.
@@ -58,10 +67,15 @@ TEST(Sweep, BandwidthRatioDeclinesAlongTheCoresAxis) {
 TEST(Sweep, CustomAxisMutatesScenario) {
   // Sweep the message size with a latency metric; small sizes must have
   // lower latency than the 16 MB point.
-  auto table = Sweep(quick_base())
-                   .axis("bytes", {4.0, 16.0 * (1 << 20)}, Sweep::message_bytes_axis())
-                   .metric("lat_us", Sweep::latency_together_us())
-                   .run();
+  Campaign campaign(
+      "sweep:bytes",
+      SweepSpec(quick_base())
+          .seed_policy(SeedPolicy::kFixed)
+          .values("bytes", {4.0, 16.0 * (1 << 20)}, [](Scenario& s, double v) {
+            s.message_bytes = static_cast<std::size_t>(v);
+          }));
+  campaign.column("lat_us", Campaign::latency_together_us());
+  trace::Table table = run_serial(campaign);
   EXPECT_EQ(table.rows(), 2u);
 }
 

@@ -109,7 +109,7 @@ TEST_P(FlowConservation, CompletedWorkEqualsSpecifiedWork) {
     double at = rng.uniform(0.0, 5.0);
     engine.call_at(at, [&, i] {
       ActivitySpec spec;
-      spec.label = "a" + std::to_string(i);
+      spec.label = engine.intern("a" + std::to_string(i));
       spec.work = rng.uniform(0.5, 30.0);
       int hops = 1 + static_cast<int>(rng.below(3));
       for (int h = 0; h < hops; ++h)
@@ -125,7 +125,7 @@ TEST_P(FlowConservation, CompletedWorkEqualsSpecifiedWork) {
   engine.run();
 
   for (const auto& a : acts) {
-    ASSERT_TRUE(a->finished()) << a->spec().label;
+    ASSERT_TRUE(a->finished()) << engine.label_str(a->spec().label);
     EXPECT_NEAR(a->work_done(), a->spec().work, 1e-6 * a->spec().work);
     EXPECT_GE(a->duration(), 0.0);
   }

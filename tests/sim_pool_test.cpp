@@ -1,0 +1,281 @@
+// Hot-path memory pools: slab recycling, intrusive refcounts, frame arena,
+// label interning, and the headline property — a steady-state event loop
+// that performs zero heap allocations.
+//
+// This binary replaces the global operator new/delete with counting
+// versions (tests are one binary per file, so the override is private to
+// this suite); the steady-state test measures the delta across a warmed
+// engine.run() and requires it to be exactly zero.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "sim/flow_model.hpp"
+#include "sim/pool.hpp"
+#include "sim/sync.hpp"
+
+// GCC cannot see that the counting operator new below is malloc-backed, so
+// it flags the matching std::free() — and with the replacement visible it
+// also trips a known vector::resize -Warray-bounds false positive.  Both are
+// artifacts of the counting shim, not real bugs.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
+
+namespace {
+std::uint64_t g_allocs = 0;  // bumped by every global operator new below
+}  // namespace
+
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  ++g_allocs;
+  const auto align = static_cast<std::size_t>(a);
+  const std::size_t size = (n + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, size != 0 ? size : align)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace cci::sim {
+namespace {
+
+struct Obj : RcPooled<Obj> {
+  explicit Obj(int x) : v(x) {}
+  int v;
+};
+
+// ---- SlabPool / RcPtr -------------------------------------------------------
+
+TEST(SlabPool, RecyclesFreedObjects) {
+  SlabPool<Obj> pool("test");
+  void* first = nullptr;
+  {
+    RcPtr<Obj> a = pool.make(1);
+    first = a.get();
+  }
+  RcPtr<Obj> b = pool.make(2);
+  EXPECT_EQ(static_cast<void*>(b.get()), first);  // free list handed it back
+  EXPECT_EQ(pool.stats().allocated, 2u);
+  EXPECT_EQ(pool.stats().reused, 1u);
+  EXPECT_EQ(pool.stats().live, 1u);
+  EXPECT_EQ(pool.stats().slabs, 1u);
+}
+
+TEST(SlabPool, RefcountKeepsObjectsAliveAcrossCopies) {
+  SlabPool<Obj> pool("test");
+  RcPtr<Obj> a = pool.make(7);
+  RcPtr<Obj> b = a;           // copy bumps
+  RcPtr<Obj> c = std::move(a);  // move transfers
+  EXPECT_FALSE(a);
+  a = b;
+  b.reset();
+  c.reset();
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->v, 7);
+  EXPECT_EQ(pool.stats().live, 1u);
+  a.reset();
+  EXPECT_EQ(pool.stats().live, 0u);
+}
+
+TEST(SlabPool, ObjectsMayOutliveThePool) {
+  // The blackout-cancel path can leave an ActivityPtr alive after its
+  // FlowModel (and pool) died; orphaned slabs are freed by the last release.
+  RcPtr<Obj> survivor;
+  {
+    SlabPool<Obj> pool("test");
+    survivor = pool.make(42);
+    RcPtr<Obj> dies_with_pool = pool.make(43);
+  }
+  ASSERT_TRUE(survivor);
+  EXPECT_EQ(survivor->v, 42);  // ASan: the slab must still be live memory
+  survivor.reset();            // last ref frees the orphaned slab
+}
+
+TEST(SlabPool, DisabledPoolsFallBackToHeap) {
+  const bool was = pools_enabled();
+  set_pools_enabled(false);
+  SlabPool<Obj> pool("test");
+  RcPtr<Obj> heap_obj = pool.make(1);
+  set_pools_enabled(true);
+  RcPtr<Obj> pooled_obj = pool.make(2);
+  // Provenance is per object: the heap one is plain-deleted, the pooled one
+  // recycles, regardless of the flag's current value.
+  set_pools_enabled(false);
+  heap_obj.reset();
+  pooled_obj.reset();
+  set_pools_enabled(was);
+  EXPECT_EQ(pool.stats().allocated, 2u);
+  EXPECT_EQ(pool.stats().live, 0u);
+}
+
+// ---- SmallVec ---------------------------------------------------------------
+
+TEST(SmallVec, InlineThenSpill) {
+  SmallVec<int, 2> v;
+  v.push_back(1);
+  v.push_back(2);
+  const std::uint64_t before = g_allocs;
+  EXPECT_EQ(v.capacity(), 2u);
+  v.push_back(3);  // spills to the heap
+  EXPECT_GT(g_allocs, before);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVec, CopyMoveAndInitList) {
+  SmallVec<std::string, 2> v = {"a", "b", "c"};
+  SmallVec<std::string, 2> copy(v);
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy[2], "c");
+  SmallVec<std::string, 2> moved(std::move(copy));
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[0], "a");
+  v = {"x"};
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "x");
+  v = moved;  // copy-assign over spilled storage
+  EXPECT_EQ(v.size(), 3u);
+  v.pop_back();
+  EXPECT_EQ(v.back(), "b");
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+// ---- label interning --------------------------------------------------------
+
+TEST(SimLabel, InternRoundTrip) {
+  Engine engine;
+  const LabelId a = engine.intern("alpha");
+  const LabelId b = engine.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(engine.intern("alpha"), a);  // stable id for the same text
+  EXPECT_EQ(engine.label_str(a), "alpha");
+  EXPECT_EQ(engine.label_str(b), "beta");
+  EXPECT_EQ(engine.intern(""), kNoLabel);
+  EXPECT_EQ(engine.label_str(kNoLabel), "");
+}
+
+// ---- recycling through the engine ------------------------------------------
+
+Coro churn(Engine& engine, FlowModel& model, Resource* r, LabelId label, int iters) {
+  for (int i = 0; i < iters; ++i) {
+    ActivitySpec spec;
+    spec.label = label;
+    spec.work = 1.0;
+    spec.demands.push_back({r, 1.0});
+    co_await *model.start(spec);
+  }
+  (void)engine;
+}
+
+TEST(SimPool, ActivitiesStatesAndFramesRecycleAcrossRuns) {
+  obs::Registry::global().set_enabled(true);
+  obs::Registry::global().reset();
+  {
+    Engine engine;
+    FlowModel model(engine);
+    Resource* pipe = model.add_resource("pipe", 4.0);
+    const LabelId label = engine.intern("churn");
+    engine.spawn(churn(engine, model, pipe, label, 50));
+    engine.run();
+    engine.spawn(churn(engine, model, pipe, label, 50));
+    engine.run();
+  }
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  obs::Registry::global().set_enabled(false);
+  // 100 sequential activities: the first bump-allocates slab space, every
+  // later one is served from the free list.
+  EXPECT_EQ(snap.value_of("sim.pool.activity.allocated"), 100.0);
+  EXPECT_GE(snap.value_of("sim.pool.activity.reused"), 99.0);
+  EXPECT_EQ(snap.value_of("sim.pool.activity.slabs"), 1.0);
+  EXPECT_EQ(snap.value_of("sim.pool.activity.live"), 0.0);
+  // The second spawn reuses the first run's completion record and frame.
+  EXPECT_EQ(snap.value_of("sim.pool.process_state.allocated"), 2.0);
+  EXPECT_GE(snap.value_of("sim.pool.process_state.reused"), 1.0);
+  EXPECT_EQ(snap.value_of("sim.pool.process_state.live"), 0.0);
+  EXPECT_GE(snap.value_of("sim.pool.frames.reused"), 1.0);
+}
+
+TEST(SimPool, WhenAnyAbandonmentReleasesEverything) {
+  // The PR 3 blackout-cancel shape: a process waits on when_any(done,
+  // abort), the abort fires first, the activity is cancelled (done never
+  // set) and dropped.  The wait node parked on the never-fired event and
+  // the activity itself must both return to their pools.
+  obs::Registry::global().set_enabled(true);
+  obs::Registry::global().reset();
+  bool resumed = false;
+  {
+    Engine engine;
+    FlowModel model(engine);
+    Resource* pipe = model.add_resource("pipe", 1.0);
+    ActivityPtr act;
+    OneShotEvent abort(engine);
+    struct Body {
+      static Coro run(Engine& e, FlowModel& m, Resource* pipe, ActivityPtr& act,
+                      OneShotEvent& abort, bool& resumed) {
+        ActivitySpec spec;
+        spec.work = 1000.0;  // would finish at t=1000; abort wins at t=0.5
+        spec.demands.push_back({pipe, 1.0});
+        act = m.start(spec);
+        WhenAny done_or_abort = when_any(e, {&act->done(), &abort});
+        co_await done_or_abort;
+        resumed = true;
+      }
+    };
+    engine.spawn(Body::run(engine, model, pipe, act, abort, resumed));
+    engine.call_at(0.5, [&] { abort.set(); });
+    engine.call_at(0.6, [&] {
+      model.cancel(act);
+      act.reset();  // last reference: activity (and its watcher) released
+    });
+    engine.run();
+    EXPECT_TRUE(resumed);
+    EXPECT_EQ(engine.live_processes(), 0);
+  }
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  obs::Registry::global().set_enabled(false);
+  EXPECT_EQ(snap.value_of("sim.pool.activity.live"), 0.0);
+  EXPECT_EQ(snap.value_of("sim.pool.wait_node.live"), 0.0);
+  EXPECT_EQ(snap.value_of("sim.pool.process_state.live"), 0.0);
+}
+
+TEST(SimPool, SteadyStateEventLoopIsAllocationFree) {
+  Engine engine;
+  FlowModel model(engine);
+  Resource* pipe = model.add_resource("pipe", 8.0);
+  const LabelId label = engine.intern("steady");
+  // Warm-up: create the frame bucket, slab space, solver scratch, event-
+  // queue nodes, and heat every vector to its steady-state capacity.  128
+  // iterations crosses the solver's partition-rebuild threshold, so even
+  // the rebuild scratch is warm before we start counting.
+  engine.spawn(churn(engine, model, pipe, label, 128));
+  engine.run();
+  const std::uint64_t events_before = engine.events_dispatched();
+  engine.spawn(churn(engine, model, pipe, label, 512));
+  const std::uint64_t allocs_before = g_allocs;
+  engine.run();
+  const std::uint64_t allocs = g_allocs - allocs_before;
+  const std::uint64_t events = engine.events_dispatched() - events_before;
+  EXPECT_GT(events, 500u);
+  EXPECT_EQ(allocs, 0u) << "steady-state loop allocated " << allocs << " times over "
+                        << events << " events";
+}
+
+}  // namespace
+}  // namespace cci::sim

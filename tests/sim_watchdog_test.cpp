@@ -57,7 +57,7 @@ TEST(Watchdog, DrainWithBlockedProcessNamesTheStalledActivity) {
   cfg.report_blocked_on_drain = true;
   engine.set_watchdog(cfg);
   ActivitySpec spec;
-  spec.label = "doomed-transfer";
+  spec.label = engine.intern("doomed-transfer");
   spec.work = 100.0;
   spec.demands = {{pipe, 1.0}};
   auto act = model.start(spec);
@@ -91,7 +91,7 @@ TEST(Watchdog, HealthyRunUnderFullGuardsDoesNotTrip) {
   cfg.report_blocked_on_drain = true;
   engine.set_watchdog(cfg);
   ActivitySpec spec;
-  spec.label = "fine";
+  spec.label = engine.intern("fine");
   spec.work = 50.0;
   spec.demands = {{pipe, 1.0}};
   auto act = model.start(spec);
