@@ -1,0 +1,61 @@
+// Interference-attribution matrix: decompose each side-by-side run's
+// busy time into isolated-capacity time vs contention delay, charged to
+// the workload class holding the bottleneck (sim/attribution.hpp).  The
+// table sweeps computing cores for a small and a large message, printing
+// the victim/aggressor slowdown matrix entries the paper's Figs. 4/6
+// explain qualitatively: communication slowed by compute's memory
+// traffic, computation slowed by NIC DMA.
+#include "bench/registry.hpp"
+#include "kernels/stream.hpp"
+
+namespace cci::bench {
+namespace {
+
+core::Scenario matrix_base() {
+  core::Scenario base;
+  base.kernel = kernels::triad_traits();
+  base.comm_thread = core::Placement::kFarFromNic;
+  base.data = core::Placement::kNearNic;
+  base.pingpong_iterations = 10;
+  base.compute_repetitions = 3;
+  base.target_pass_seconds = 0.01;
+  return base;
+}
+
+int run(FigureContext& ctx) {
+  using core::SideBySideResult;
+  using core::SweepPoint;
+
+  ctx.out() << "--- Interference attribution: victim/aggressor slowdown matrix ---\n";
+  core::Campaign c("interference_matrix",
+                   core::SweepSpec(matrix_base())
+                       .seed_policy(core::SeedPolicy::kFixed)
+                       .cores("cores", {1, 4, 16, 35})
+                       .message_bytes("msg_bytes", {4, 1 << 20, 64 << 20}));
+  c.with_attribution();
+  c.column("comm_slow_by_compute", core::Campaign::comm_slowdown_from_compute())
+      .column("compute_slow_by_comm", core::Campaign::compute_slowdown_from_comm())
+      .column("comm_contended_frac", core::Campaign::comm_contended_fraction())
+      .column("compute_contended_frac", core::Campaign::compute_contended_fraction())
+      .column("lat_together_us", core::Campaign::latency_together_us())
+      .column("stream_GBps", core::Campaign::stream_per_core_gbps());
+  core::CampaignRun run = ctx.run(c);
+  ctx.print(c, run);
+  for (std::size_t i = 0; i < run.points.size(); ++i)
+    ctx.obs().write_record({{"cores", run.points[i].numeric[0]},
+                            {"msg_bytes", run.points[i].numeric[1]},
+                            {"comm_slow_by_compute", run.values[i][0]},
+                            {"compute_slow_by_comm", run.values[i][1]}});
+  ctx.out() << "\nslowdown(v,a) = contention delay of class v charged to class a,\n"
+               "as a fraction of v's isolated-capacity time; contended_frac is\n"
+               "the share of v's busy time lost to any contention.\n";
+  return 0;
+}
+
+const FigureRegistrar reg("interference_matrix", "Attribution matrix",
+                          "victim/aggressor contention decomposition of the "
+                          "side-by-side phase",
+                          run);
+
+}  // namespace
+}  // namespace cci::bench

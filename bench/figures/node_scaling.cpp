@@ -4,6 +4,8 @@
 // This campaign uses a custom evaluator (the runtime apps, not the
 // InterferenceLab protocol); its id is part of every cache key, and the
 // axes only label/number the points — ranks and app live outside Scenario.
+#include <optional>
+
 #include "bench/registry.hpp"
 #include "runtime/apps.hpp"
 
@@ -79,16 +81,23 @@ int run(FigureContext& ctx) {
   }
   t.print(ctx.out());
 
+  // try_value_of: under a warm cache (zero points executed in-process) the
+  // solver counters were never registered — report them as absent rather
+  // than as a table of fake zeros.
   const obs::Snapshot snap = obs::Registry::global().snapshot();
-  const double resolves = snap.value_of("sim.flow.resolves");
-  const double partial = snap.value_of("sim.flow.resolves_partial");
-  const double visits = snap.value_of("sim.flow.solver_flow_visits");
+  const std::optional<double> resolves = snap.try_value_of("sim.flow.resolves");
+  const std::optional<double> partial = snap.try_value_of("sim.flow.resolves_partial");
+  const std::optional<double> visits = snap.try_value_of("sim.flow.solver_flow_visits");
+  auto cell = [](const std::optional<double>& v, int prec) {
+    return v ? trace::fmt(*v, prec) : std::string("n/a");
+  };
   ctx.out() << "\nSolver work across the sweep (incremental max-min engine):\n";
   trace::Table s({"re-solves", "full", "partial", "flow visits", "visits/re-solve"});
-  s.add_text_row({trace::fmt(resolves, 0),
-                  trace::fmt(snap.value_of("sim.flow.resolves_full"), 0),
-                  trace::fmt(partial, 0), trace::fmt(visits, 0),
-                  trace::fmt(resolves > 0 ? visits / resolves : 0.0, 2)});
+  s.add_text_row({cell(resolves, 0), cell(snap.try_value_of("sim.flow.resolves_full"), 0),
+                  cell(partial, 0), cell(visits, 0),
+                  resolves && visits && *resolves > 0
+                      ? trace::fmt(*visits / *resolves, 2)
+                      : std::string("n/a")});
   s.print(ctx.out());
 
   ctx.out() << "\nTwo regimes: at m=8192 computation dominates and GEMM strong-scales;\n"

@@ -15,6 +15,10 @@ void FigureContext::print(const core::Campaign& campaign, const core::CampaignRu
     *csv_ << "# campaign: " << campaign.name() << '\n';
     table.print_csv(*csv_);
   }
+  if (timeline_ != nullptr && !run.timelines.empty()) {
+    run.write_timeline_csv(*timeline_, campaign.name(), !timeline_header_written_);
+    timeline_header_written_ = true;
+  }
 }
 
 FigureRegistry& FigureRegistry::instance() {
@@ -49,7 +53,8 @@ namespace {
 
 void usage(std::ostream& os) {
   os << "usage: cci_bench <figure> [--jobs N] [--csv out.csv] [--cache dir]\n"
-        "                 [--shard i/n] [--seed S]\n"
+        "                 [--shard i/n] [--seed S] [--timeline out.csv]\n"
+        "                 [--timeline-period S]\n"
         "       cci_bench --list\n"
         "\n"
         "  --jobs N     run campaign points on N worker threads (default 1);\n"
@@ -58,7 +63,12 @@ void usage(std::ostream& os) {
         "  --cache DIR  content-addressed result cache: re-runs and other\n"
         "               shards skip already-solved points\n"
         "  --shard i/n  run only points with index %% n == i (0-based)\n"
-        "  --seed S     override the base seed campaigns mix per-point seeds from\n";
+        "  --seed S     override the base seed campaigns mix per-point seeds from\n"
+        "  --timeline PATH        sample metrics on a simulated-time grid and\n"
+        "                         append tidy CSV (campaign,point,time,series,value);\n"
+        "                         deterministic for any --jobs/--shard split\n"
+        "  --timeline-period SEC  sampling period in simulated seconds\n"
+        "                         (default 1e-3; implies nothing without --timeline)\n";
 }
 
 bool parse_int(const char* s, long long& out) {
@@ -71,7 +81,8 @@ bool parse_int(const char* s, long long& out) {
 /// malformed input.  Unrecognised arguments are rejected so typos do not
 /// silently run a full-size campaign.
 bool parse_flags(int argc, char** argv, core::CampaignOptions& options,
-                 std::string& csv_path) {
+                 std::string& csv_path, std::string& timeline_path) {
+  double timeline_period = 1e-3;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
@@ -119,6 +130,20 @@ bool parse_flags(int argc, char** argv, core::CampaignOptions& options,
       }
       options.override_base_seed = true;
       options.base_seed = static_cast<std::uint64_t>(s);
+    } else if (arg == "--timeline") {
+      const char* v = value("--timeline");
+      if (v == nullptr) return false;
+      timeline_path = v;
+    } else if (arg == "--timeline-period") {
+      const char* v = value("--timeline-period");
+      char* end = nullptr;
+      const double p = v != nullptr ? std::strtod(v, &end) : 0.0;
+      if (v == nullptr || end == v || *end != '\0' || !(p > 0.0)) {
+        std::cerr << "cci_bench: --timeline-period wants a positive number of "
+                     "simulated seconds\n";
+        return false;
+      }
+      timeline_period = p;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return false;
@@ -128,6 +153,9 @@ bool parse_flags(int argc, char** argv, core::CampaignOptions& options,
       return false;
     }
   }
+  // The period only takes effect alongside --timeline: a period with no
+  // sink would silently change campaign execution for nothing.
+  if (!timeline_path.empty()) options.timeline_period = timeline_period;
   return true;
 }
 
@@ -141,7 +169,8 @@ int run_cli(const std::string& figure, int argc, char** argv) {
   }
   core::CampaignOptions options;
   std::string csv_path;
-  if (!parse_flags(argc, argv, options, csv_path)) return 2;
+  std::string timeline_path;
+  if (!parse_flags(argc, argv, options, csv_path, timeline_path)) return 2;
 
   std::ofstream csv_file;
   std::ostream* csv = nullptr;
@@ -153,11 +182,25 @@ int run_cli(const std::string& figure, int argc, char** argv) {
     }
     csv = &csv_file;
   }
+  std::ofstream timeline_file;
+  std::ostream* timeline = nullptr;
+  if (!timeline_path.empty()) {
+    // Truncate rather than append: a timeline file is a single dataset with
+    // one header, not a log; shard outputs are meant to be concatenated by
+    // the caller after stripping the extra headers (or by using one file
+    // per shard).
+    timeline_file.open(timeline_path, std::ios::trunc);
+    if (!timeline_file) {
+      std::cerr << "cci_bench: cannot open --timeline path " << timeline_path << '\n';
+      return 2;
+    }
+    timeline = &timeline_file;
+  }
 
   BenchObs obs(def->obs_name.empty() ? def->name : def->obs_name);
   banner(def->title, def->what);
   core::CampaignEngine engine(options);
-  FigureContext ctx(engine, obs, std::cout, csv);
+  FigureContext ctx(engine, obs, std::cout, csv, timeline);
   const int rc = def->fn(ctx);
 
   std::cout << "\n[campaign] " << def->name << ": points total=" << engine.points_total()

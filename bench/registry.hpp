@@ -24,14 +24,16 @@ namespace cci::bench {
 class FigureContext {
  public:
   FigureContext(core::CampaignEngine& engine, BenchObs& obs, std::ostream& out,
-                std::ostream* csv)
-      : engine_(engine), obs_(obs), out_(out), csv_(csv) {}
+                std::ostream* csv, std::ostream* timeline = nullptr)
+      : engine_(engine), obs_(obs), out_(out), csv_(csv), timeline_(timeline) {}
 
   /// Run (the local shard of) a campaign through the engine.
   core::CampaignRun run(const core::Campaign& campaign) { return engine_.run(campaign); }
 
   /// Print a finished campaign's table to stdout and, when --csv was
   /// given, append the same table as CSV (prefixed by the campaign name).
+  /// When --timeline was given, also appends the run's time-resolved
+  /// samples (`campaign,point,time,series,value`; header once per file).
   void print(const core::Campaign& campaign, const core::CampaignRun& run);
 
   core::CampaignEngine& engine() { return engine_; }
@@ -43,6 +45,8 @@ class FigureContext {
   BenchObs& obs_;
   std::ostream& out_;
   std::ostream* csv_;
+  std::ostream* timeline_ = nullptr;
+  bool timeline_header_written_ = false;
 };
 
 using FigureFn = std::function<int(FigureContext&)>;

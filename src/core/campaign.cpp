@@ -163,6 +163,14 @@ Campaign& Campaign::evaluator(std::string id, Evaluator fn) {
   return *this;
 }
 
+Campaign& Campaign::with_attribution() {
+  if (!attribution_) {
+    attribution_ = true;
+    evaluator_id_ += "+attrib";
+  }
+  return *this;
+}
+
 std::vector<std::string> Campaign::column_labels() const {
   std::vector<std::string> out;
   out.reserve(columns_.size());
@@ -181,6 +189,7 @@ std::vector<double> Campaign::evaluate(const SweepPoint& point, double* sim_seco
     return out;
   }
   InterferenceLab lab(point.scenario);
+  if (attribution_) lab.set_attribution(true);
   SideBySideResult r = lab.run();
   if (sim_seconds != nullptr) *sim_seconds = lab.cluster().engine().now();
   std::vector<double> out;
@@ -227,6 +236,26 @@ Campaign::Metric Campaign::stream_per_core_gbps() {
 Campaign::Metric Campaign::stall_fraction() {
   return [](const SweepPoint&, const SideBySideResult& r) {
     return r.compute_together.mem_stall_fraction;
+  };
+}
+Campaign::Metric Campaign::comm_slowdown_from_compute() {
+  return [](const SweepPoint&, const SideBySideResult& r) {
+    return r.attribution.slowdown(sim::kClassComm, sim::kClassCompute);
+  };
+}
+Campaign::Metric Campaign::compute_slowdown_from_comm() {
+  return [](const SweepPoint&, const SideBySideResult& r) {
+    return r.attribution.slowdown(sim::kClassCompute, sim::kClassComm);
+  };
+}
+Campaign::Metric Campaign::comm_contended_fraction() {
+  return [](const SweepPoint&, const SideBySideResult& r) {
+    return r.attribution.contended_fraction(sim::kClassComm);
+  };
+}
+Campaign::Metric Campaign::compute_contended_fraction() {
+  return [](const SweepPoint&, const SideBySideResult& r) {
+    return r.attribution.contended_fraction(sim::kClassCompute);
   };
 }
 
@@ -426,6 +455,19 @@ trace::Table CampaignRun::table(const Campaign& campaign) const {
   return t;
 }
 
+void CampaignRun::write_timeline_csv(std::ostream& os, const std::string& campaign_name,
+                                     bool with_header) const {
+  bool header = with_header;
+  for (std::size_t i = 0; i < timelines.size() && i < points.size(); ++i) {
+    // The prefix carries the run identity so shard/figure outputs simply
+    // concatenate; %zu keeps the grid index format locale-free.
+    char idx[32];
+    std::snprintf(idx, sizeof idx, "%zu", points[i].index);
+    timelines[i].write_csv(os, "campaign,point", campaign_name + "," + idx, header);
+    header = false;
+  }
+}
+
 namespace {
 
 /// Minimal work-stealing deques: each worker pops from the front of its
@@ -516,13 +558,42 @@ CampaignRun CampaignEngine::run(const Campaign& campaign) {
     misses.push_back(i);
   }
 
+  // Time-resolved mode: every executed point gets a fresh, enabled scratch
+  // registry plus an ambient RunSampling naming its private TimelineStore.
+  // Fresh-per-point registries are what make the timeline deterministic:
+  // no gauge state or sampler channel survives from a neighbouring point,
+  // so the bytes depend only on the point itself — not on jobs, sharding,
+  // or execution order.  The scratch is folded into `merge_into` afterwards
+  // (only if that registry is enabled: merge_from writes raw values, and a
+  // disabled process registry must stay bitwise-identical to a pre-timeline
+  // run).
+  const bool timeline_on = options_.timeline_period > 0.0;
+  if (timeline_on) run.timelines.resize(n);
+  auto evaluate_point = [&](std::size_t i, obs::Registry* merge_into) {
+    if (!timeline_on) {
+      run.values[i] = campaign.evaluate(run.points[i], &sim_secs[i]);
+      return;
+    }
+    obs::Registry point_reg;
+    point_reg.set_enabled(true);
+    obs::RunSampling rs;
+    rs.timeline_period = options_.timeline_period;
+    rs.timeline = &run.timelines[i];
+    rs.attribution = campaign.attribution();
+    {
+      obs::Registry::ScopedThreadLocal tls(point_reg);
+      obs::ScopedRunSampling ambient(rs);
+      run.values[i] = campaign.evaluate(run.points[i], &sim_secs[i]);
+    }
+    if (merge_into != nullptr && merge_into->enabled()) merge_into->merge_from(point_reg);
+  };
+
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(options_.jobs), misses.size());
   if (workers <= 1) {
     // Inline execution feeds the process-wide obs registry directly —
     // byte-identical side effects to the historical hand-written loops.
-    for (std::size_t i : misses)
-      run.values[i] = campaign.evaluate(run.points[i], &sim_secs[i]);
+    for (std::size_t i : misses) evaluate_point(i, &obs::Registry::process());
   } else {
     StealingQueues queues(workers, misses);
     std::vector<std::unique_ptr<obs::Registry>> scratch(workers);
@@ -541,7 +612,7 @@ CampaignRun CampaignEngine::run(const Campaign& campaign) {
         std::size_t idx = 0;
         while (queues.next(w, idx)) {
           try {
-            run.values[idx] = campaign.evaluate(run.points[idx], &sim_secs[idx]);
+            evaluate_point(idx, scratch[w].get());
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mutex);
             if (!first_error) first_error = std::current_exception();

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/interference_lab.hpp"
+#include "obs/timeline.hpp"
 #include "trace/table.hpp"
 
 namespace cci::core {
@@ -172,6 +173,15 @@ class Campaign {
   /// carry identical scenarios but different evaluators never collide.
   Campaign& evaluator(std::string id, Evaluator fn);
 
+  /// Enable the interference-attribution profiler for every point (default
+  /// protocol only): SideBySideResult.attribution is filled, so columns may
+  /// consult the victim/aggressor matrix.  Folds "+attrib" into the
+  /// evaluator id — attribution changes no stored value today, but keeping
+  /// the cache keys distinct means later attribution-derived columns can
+  /// never be served from a matrix-less entry.
+  Campaign& with_attribution();
+  [[nodiscard]] bool attribution() const { return attribution_; }
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const SweepSpec& spec() const { return spec_; }
   [[nodiscard]] const std::string& evaluator_id() const { return evaluator_id_; }
@@ -196,6 +206,16 @@ class Campaign {
   static Metric bandwidth_ratio();
   static Metric stream_per_core_gbps();
   static Metric stall_fraction();
+  // Attribution-derived columns (require with_attribution()):
+  /// contended[comm][compute] / isolated[comm] — how much the computation
+  /// stretched communication in the side-by-side phase.
+  static Metric comm_slowdown_from_compute();
+  /// contended[compute][comm] / isolated[compute] — the reverse direction.
+  static Metric compute_slowdown_from_comm();
+  /// Fraction of comm busy time lost to any contention.
+  static Metric comm_contended_fraction();
+  /// Fraction of compute busy time lost to any contention.
+  static Metric compute_contended_fraction();
 
  private:
   struct Column {
@@ -209,6 +229,7 @@ class Campaign {
   std::vector<Column> columns_;
   std::string evaluator_id_ = "interference_lab.v1";
   Evaluator evaluator_;
+  bool attribution_ = false;
 };
 
 // ---- cache ------------------------------------------------------------------
@@ -243,6 +264,13 @@ struct CampaignOptions {
   /// When set, replaces the base scenario's seed as the mix base.
   bool override_base_seed = false;
   std::uint64_t base_seed = 0;
+  /// > 0 enables time-resolved sampling: every *executed* point runs with a
+  /// fresh, enabled scratch registry and an obs::Sampler at this period,
+  /// filling CampaignRun::timelines[i].  Per-point registries make the
+  /// timeline bytes independent of jobs/sharding; cached points keep an
+  /// empty timeline.  0 (default) leaves every pre-existing code path —
+  /// including the process registry's contents — bitwise untouched.
+  double timeline_period = 0.0;
 };
 
 /// One executed (sharded) campaign: the point list, the value matrix, and
@@ -252,11 +280,20 @@ struct CampaignRun {
   std::vector<SweepPoint> points;           ///< this shard's points, grid order
   std::vector<std::vector<double>> values;  ///< [point][column]
   std::vector<bool> from_cache;             ///< per point
+  std::vector<obs::TimelineStore> timelines;  ///< per point; empty unless
+                                              ///< timeline_period > 0
   std::size_t grid_total = 0;               ///< full grid size (all shards)
   std::size_t executed = 0;                 ///< points actually simulated here
   std::size_t cached = 0;                   ///< points served from the cache
 
   [[nodiscard]] trace::Table table(const Campaign& campaign) const;
+
+  /// Tidy timeline CSV: `campaign,point,time,series,value`, one row per
+  /// sample, points in grid order (`point` is the global grid index, so
+  /// shard outputs concatenate into the jobs=1 whole-grid file).  Pass
+  /// with_header=false when appending to a file that already has one.
+  void write_timeline_csv(std::ostream& os, const std::string& campaign_name,
+                          bool with_header = true) const;
 };
 
 class CampaignEngine {

@@ -1,11 +1,16 @@
 #include "core/interference_lab.hpp"
 
+#include <optional>
+#include <utility>
+
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/tracer.hpp"
 
 namespace cci::core {
 
-InterferenceLab::InterferenceLab(Scenario scenario) : scenario_(std::move(scenario)) {
+InterferenceLab::InterferenceLab(Scenario scenario)
+    : scenario_(std::move(scenario)), attribution_(obs::run_sampling().attribution) {
   cluster_ = std::make_unique<net::Cluster>(scenario_.machine, scenario_.network,
                                             /*nodes=*/2, scenario_.seed);
   int comm = scenario_.comm_core();
@@ -115,6 +120,18 @@ SideBySideResult InterferenceLab::run() {
     if (tracer.on()) tracer.span(track, name, t0, engine.now());
   };
 
+  // Ambient time-resolved sampling (campaign --timeline): the sampler rides
+  // the engine across all three phases so the resulting timeline covers the
+  // whole protocol on one simulated-time axis.
+  const obs::RunSampling& rs = obs::run_sampling();
+  std::optional<obs::Sampler> sampler;
+  if (rs.sampling_on()) {
+    obs::SamplerConfig sc;
+    sc.period = rs.timeline_period;
+    sampler.emplace(reg, *rs.timeline, std::move(sc));
+    engine.set_sampler(&*sampler);
+  }
+
   SideBySideResult result;
   sim::Time t0 = engine.now();
   result.compute_alone = run_compute_alone();
@@ -123,8 +140,18 @@ SideBySideResult InterferenceLab::run() {
   result.comm_alone = run_comm_alone(1000);
   phase_span("comm_alone", t0);
   t0 = engine.now();
+  // The attribution profiler observes only the side-by-side phase: the
+  // alone phases are contention-free by construction, so their inclusion
+  // would just dilute the matrix with isolated time.
+  sim::InterferenceProfiler profiler;
+  if (attribution_) cluster_->model().set_profiler(&profiler);
   run_together(result.compute_together, result.comm_together, 2000);
+  if (attribution_) {
+    cluster_->model().set_profiler(nullptr);
+    result.attribution = profiler.report();
+  }
   phase_span("side_by_side", t0);
+  if (sampler) engine.set_sampler(nullptr);
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "core/scenario.hpp"
 #include "mpi/pingpong.hpp"
 #include "mpi/world.hpp"
+#include "sim/attribution.hpp"
 #include "trace/stats.hpp"
 
 namespace cci::core {
@@ -35,6 +36,9 @@ struct SideBySideResult {
   CommPhase comm_alone;
   ComputePhase compute_together;
   CommPhase comm_together;
+  /// Victim/aggressor decomposition of the side-by-side phase (filled only
+  /// when attribution is enabled — see InterferenceLab::set_attribution).
+  sim::AttributionReport attribution;
 };
 
 class InterferenceLab {
@@ -55,6 +59,14 @@ class InterferenceLab {
   net::Cluster& cluster() { return *cluster_; }
   mpi::World& world() { return *world_; }
 
+  /// Decompose the side-by-side phase into isolated time vs contention
+  /// delay per workload class (exact, from the flow model's rate history).
+  /// Defaults to the ambient obs::run_sampling().attribution flag so
+  /// campaign-driven runs opt in without a Scenario field (Scenario feeds
+  /// the content-addressed cache key, which must stay stable).
+  void set_attribution(bool on) { attribution_ = on; }
+  [[nodiscard]] bool attribution() const { return attribution_; }
+
  private:
   std::unique_ptr<ComputeTeam> make_team(int node);
   static ComputePhase summarize(const ComputeTeam& team);
@@ -63,6 +75,7 @@ class InterferenceLab {
   Scenario scenario_;
   std::unique_ptr<net::Cluster> cluster_;
   std::unique_ptr<mpi::World> world_;
+  bool attribution_ = false;
 };
 
 }  // namespace cci::core

@@ -1,6 +1,7 @@
 #include "core/result_io.hpp"
 
 #include <cmath>
+#include <optional>
 #include <ostream>
 
 namespace cci::core {
@@ -169,7 +170,20 @@ void write_result_json(std::ostream& os, const Scenario& scenario,
   write_compute(w, "compute_together", result.compute_together);
   write_comm(w, "comm_together", result.comm_together);
   if (obs::Registry::global().enabled()) {
-    write_metrics_json(w, obs::Registry::global().snapshot());
+    const obs::Snapshot snapshot = obs::Registry::global().snapshot();
+    // Fault-layer telemetry exists only when a FaultModel was installed:
+    // try_value_of distinguishes "no fault layer" (object omitted entirely)
+    // from a faulted run that happened to lose nothing (explicit zeros).
+    const std::optional<double> lost = snapshot.try_value_of("net.messages_lost");
+    const std::optional<double> corrupted =
+        snapshot.try_value_of("net.messages_corrupted");
+    if (lost || corrupted) {
+      w.object_field("faults");
+      if (lost) w.field("messages_lost", *lost);
+      if (corrupted) w.field("messages_corrupted", *corrupted);
+      w.end_object();
+    }
+    write_metrics_json(w, snapshot);
   }
   w.end_object();
   os << "\n";

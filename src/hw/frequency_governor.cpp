@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "hw/machine.hpp"
 
@@ -14,6 +15,18 @@ FrequencyGovernor::FrequencyGovernor(Machine& machine)
       freq_(static_cast<std::size_t>(machine.config().total_cores()), 0.0),
       uncore_freq_(static_cast<std::size_t>(machine.config().sockets), 0.0),
       transition_gen_(static_cast<std::size_t>(machine.config().total_cores()), 0) {
+  obs::Registry& reg = obs::Registry::global();
+  char buf[128];
+  obs_core_hz_.reserve(freq_.size());
+  for (int c = 0; c < machine.config().total_cores(); ++c) {
+    std::snprintf(buf, sizeof buf, "hw.freq.%score%d_hz", machine.prefix_.c_str(), c);
+    obs_core_hz_.push_back(&reg.gauge(buf));
+  }
+  obs_uncore_hz_.reserve(uncore_freq_.size());
+  for (int s = 0; s < machine.config().sockets; ++s) {
+    std::snprintf(buf, sizeof buf, "hw.freq.%suncore%d_hz", machine.prefix_.c_str(), s);
+    obs_uncore_hz_.push_back(&reg.gauge(buf));
+  }
   recompute_all();
 }
 
@@ -122,6 +135,7 @@ void FrequencyGovernor::apply_core_freq(int core, double hz) {
   if (ramp <= 0.0 || freq_[idx] == 0.0) {
     freq_[idx] = hz;
     machine_.core(core)->set_capacity(hz);
+    obs_core_hz_[idx]->set(hz);
     if (trace_) trace_(core, hz);
     return;
   }
@@ -132,6 +146,7 @@ void FrequencyGovernor::apply_core_freq(int core, double hz) {
     if (transition_gen_[idx] != gen) return;  // superseded
     freq_[idx] = hz;
     machine_.core(core)->set_capacity(hz);
+    obs_core_hz_[idx]->set(hz);
     if (trace_) trace_(core, hz);
   });
 }
@@ -140,6 +155,7 @@ void FrequencyGovernor::apply_uncore(int socket, double hz) {
   auto idx = static_cast<std::size_t>(socket);
   if (uncore_freq_[idx] == hz) return;
   uncore_freq_[idx] = hz;
+  obs_uncore_hz_[idx]->set(hz);
   const auto& cfg = machine_.config();
   // Memory-controller capacity scales with uncore frequency.
   double span = cfg.uncore_freq_max_hz - cfg.uncore_freq_min_hz;

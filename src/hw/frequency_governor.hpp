@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "hw/machine_config.hpp"
+#include "obs/metrics.hpp"
 
 namespace cci::hw {
 
@@ -84,6 +85,11 @@ class FrequencyGovernor {
   std::vector<double> freq_;
   std::vector<double> uncore_freq_;
   std::vector<std::uint64_t> transition_gen_;  ///< per-core DVFS ramp epoch
+  // Frequency timelines (`hw.freq.<prefix>core<N>_hz` / `...uncore<S>_hz`):
+  // the machine prefix keeps multi-node clusters collision-free.  Updated at
+  // the instant a transition *lands*, so the sampler sees the ramp latency.
+  std::vector<obs::Gauge*> obs_core_hz_;
+  std::vector<obs::Gauge*> obs_uncore_hz_;
   TraceFn trace_;
 };
 

@@ -48,6 +48,9 @@ class GpuDevice {
   sim::ActivityPtr copy_async(Direction dir, std::size_t bytes, int host_numa) {
     sim::ActivitySpec spec;
     spec.label = dir == Direction::kHostToDevice ? label_h2d_ : label_d2h_;
+    // Staging copies belong to the accelerator's compute pipeline, not the
+    // network: "comm" in the attribution matrix means MPI/NIC traffic.
+    spec.profile_class = sim::kClassCompute;
     spec.work = static_cast<double>(bytes);
     spec.weight = config_.dma_weight;
     for (sim::Resource* r : machine_.mem_path(config_.numa, host_numa))

@@ -63,6 +63,7 @@ inline sim::ActivitySpec make_compute_spec(Machine& machine, int core, int data_
   std::snprintf(label, sizeof label, "%s@core%d", k.name.c_str(), core);
   spec.label = machine.engine().intern(label);
   spec.work = iters;
+  spec.profile_class = sim::kClassCompute;
   spec.demands.push_back({machine.core(core), cycles_per_iter(cfg, k)});
   const double dram_bytes = k.bytes_per_iter * k.dram_fraction(cfg.llc_bytes_per_socket);
   if (dram_bytes > 0.0) {

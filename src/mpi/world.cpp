@@ -223,13 +223,16 @@ sim::Coro World::send_process(int src_rank, int dst_rank, int tag, MsgView msg,
       // path and PCIe on the way out, capped by the core's copy speed.
       sim::ActivitySpec copy;
       copy.label = label_pio_copy_;
+      copy.profile_class = sim::kClassComm;
       copy.work = static_cast<double>(msg.bytes);
       for (sim::Resource* r : M.mem_path(comm_numa(src_rank), msg.data_numa))
         copy.demands.push_back({r, 1.0});
       copy.demands.push_back({snic.dma_engine(), 1.0});
       double f = M.governor().core_freq(comm_core(src_rank));
       copy.rate_cap = f / np.pio_cycles_per_byte;
+      snic.dma_begin();
       co_await *M.model().start(copy);
+      snic.dma_end();
       co_await engine().sleep(pio_latency(src_rank, np.pio_chunk));  // doorbell
     }
     // Local completion: buffer reusable once handed to the NIC.
@@ -285,6 +288,7 @@ sim::Coro World::send_process(int src_rank, int dst_rank, int tag, MsgView msg,
   hw::Machine& D = machine_of(dst_rank);
   sim::ActivitySpec dma;
   dma.label = label_dma_;
+  dma.profile_class = sim::kClassComm;
   dma.work = static_cast<double>(msg.bytes);
   dma.weight = M.config().nic_dma_weight;
   for (sim::Resource* r : M.mem_path(snic.numa(), msg.data_numa)) dma.demands.push_back({r, 1.0});
@@ -294,7 +298,11 @@ sim::Coro World::send_process(int src_rank, int dst_rank, int tag, MsgView msg,
   dma.demands.push_back({dnic.dma_engine(), 1.0});
   for (sim::Resource* r : D.mem_path(dnic.numa(), arrival->recv_msg.data_numa))
     dma.demands.push_back({r, 1.0});
+  snic.dma_begin();
+  dnic.dma_begin();
   co_await *M.model().start(dma);
+  snic.dma_end();
+  dnic.dma_end();
 
   S.stats.bytes += static_cast<double>(msg.bytes);
   S.stats.busy_time += engine().now() - transfer_start;
@@ -398,13 +406,16 @@ sim::Coro World::reliable_eager_send(int src_rank, int dst_rank, int tag, MsgVie
     } else {
       sim::ActivitySpec copy;
       copy.label = label_pio_copy_;
+      copy.profile_class = sim::kClassComm;
       copy.work = static_cast<double>(msg.bytes);
       for (sim::Resource* r : M.mem_path(comm_numa(src_rank), msg.data_numa))
         copy.demands.push_back({r, 1.0});
       copy.demands.push_back({snic.dma_engine(), 1.0});
       double f = M.governor().core_freq(comm_core(src_rank));
       copy.rate_cap = f / np.pio_cycles_per_byte;
+      snic.dma_begin();
       co_await *M.model().start(copy);
+      snic.dma_end();
       co_await engine().sleep(pio_latency(src_rank, np.pio_chunk));  // doorbell
     }
 
@@ -565,6 +576,7 @@ sim::Coro World::reliable_rndv_send(int src_rank, int dst_rank, int tag, MsgView
     }
     sim::ActivitySpec dma;
     dma.label = label_dma_;
+    dma.profile_class = sim::kClassComm;
     dma.work = static_cast<double>(msg.bytes);
     dma.weight = M.config().nic_dma_weight;
     for (sim::Resource* r : M.mem_path(snic.numa(), msg.data_numa))
@@ -577,12 +589,16 @@ sim::Coro World::reliable_rndv_send(int src_rank, int dst_rank, int tag, MsgView
       dma.demands.push_back({r, 1.0});
     sim::ActivityPtr act = M.model().start(dma);
     sim::OneShotEvent abort(engine());
+    snic.dma_begin();
+    dnic.dma_begin();
     register_dma(act, &abort, src_node, dst_node);
     // Named awaitable: an initializer_list inside the co_await expression
     // trips a GCC coroutine-frame bug ("array used as initializer").
     sim::WhenAny done_or_abort = sim::when_any(engine(), {&act->done(), &abort});
     co_await done_or_abort;
     unregister_dma(&abort);
+    snic.dma_end();
+    dnic.dma_end();
     if (!act->finished()) {
       // Cancelled by a blackout: back off, then restart from scratch.
       fail_status = MpiStatus::kTimedOut;

@@ -14,7 +14,9 @@ class Nic {
   Nic(hw::Machine& machine, const NetworkParams& params, const std::string& prefix)
       : machine_(machine),
         params_(params),
-        dma_engine_(machine.model().add_resource(prefix + "nic-dma", params.dma_bw_max_uncore)) {}
+        dma_engine_(machine.model().add_resource(prefix + "nic-dma", params.dma_bw_max_uncore)),
+        obs_queue_depth_(
+            &obs::Registry::global().gauge("net." + prefix + "nic-dma.queue_depth")) {}
 
   hw::Machine& machine() { return machine_; }
   const NetworkParams& params() const { return params_; }
@@ -24,6 +26,13 @@ class Nic {
 
   /// The PCIe/uncore-limited DMA path; shared by all transfers of this NIC.
   sim::Resource* dma_engine() { return dma_engine_; }
+
+  /// Transfer bracketing for the `net.<prefix>nic-dma.queue_depth` gauge:
+  /// number of copies/DMAs concurrently in flight on this engine, sampled
+  /// into per-resource timelines by the obs::Sampler.
+  void dma_begin() { obs_queue_depth_->set(static_cast<double>(++dma_inflight_)); }
+  void dma_end() { obs_queue_depth_->set(static_cast<double>(--dma_inflight_)); }
+  [[nodiscard]] int dma_inflight() const { return dma_inflight_; }
 
   /// Re-derive DMA capacity from the current uncore frequency of the NIC's
   /// socket.  Called lazily at transfer start: uncore settings change only
@@ -54,6 +63,8 @@ class Nic {
   hw::Machine& machine_;
   NetworkParams params_;
   sim::Resource* dma_engine_;
+  obs::Gauge* obs_queue_depth_;
+  int dma_inflight_ = 0;
   double degradation_ = 1.0;
   std::unordered_set<std::uint64_t> reg_cache_;
 };

@@ -27,12 +27,14 @@ double Histogram::bucket_value(int index) {
   return std::ldexp(mant, exp);
 }
 
-double Histogram::quantile(double q) const {
+double Histogram::value_at_quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
   if (target == 0) target = 1;
   std::uint64_t seen = 0;
+  // Index-sorted walk; `seen >= target` makes the lower-indexed bucket win
+  // exact boundary ranks (the tie-break documented in the header).
   for (const auto& [index, n] : buckets_) {
     seen += n;
     if (seen >= target) return bucket_value(index);
@@ -42,17 +44,23 @@ double Histogram::quantile(double q) const {
 
 // ---- Snapshot --------------------------------------------------------------
 
-const Snapshot::Entry* Snapshot::find(const std::string& name) const {
+const Snapshot::Entry* Snapshot::find(std::string_view name) const {
   auto it = std::lower_bound(
       entries.begin(), entries.end(), name,
-      [](const Entry& e, const std::string& n) { return e.name < n; });
+      [](const Entry& e, std::string_view n) { return e.name < n; });
   if (it == entries.end() || it->name != name) return nullptr;
   return &*it;
 }
 
-double Snapshot::value_of(const std::string& name) const {
+double Snapshot::value_of(std::string_view name) const {
   const Entry* e = find(name);
   return e != nullptr ? e->value : 0.0;
+}
+
+std::optional<double> Snapshot::try_value_of(std::string_view name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) return std::nullopt;
+  return e->value;
 }
 
 // ---- Registry --------------------------------------------------------------
@@ -168,9 +176,9 @@ Snapshot Registry::snapshot() const {
     e.value = h->mean();
     e.min = h->min();
     e.max = h->max();
-    e.p50 = h->quantile(0.5);
-    e.p90 = h->quantile(0.9);
-    e.p99 = h->quantile(0.99);
+    e.p50 = h->value_at_quantile(0.5);
+    e.p90 = h->value_at_quantile(0.9);
+    e.p99 = h->value_at_quantile(0.99);
     snap.entries.push_back(std::move(e));
   }
   std::sort(snap.entries.begin(), snap.entries.end(),

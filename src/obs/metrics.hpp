@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -113,9 +114,16 @@ class Histogram {
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
 
-  /// Quantile estimate (q in [0,1]): the representative value of the bucket
-  /// holding the q-th recorded sample.  Exact to bucket resolution.
-  [[nodiscard]] double quantile(double q) const;
+  /// Value at quantile `q` (clamped to [0,1]): the representative value of
+  /// the bucket containing the ceil(q * count)-th recorded sample (1-based;
+  /// q = 0 maps to the first sample).  Exact to bucket resolution, with
+  /// deterministic tie-breaking: when the target rank lands exactly on a
+  /// bucket boundary the lower-indexed bucket wins, so two histograms with
+  /// identical buckets always report identical quantiles.  Shared by the
+  /// snapshot summary, trace::metrics_table and the obs::Sampler.
+  [[nodiscard]] double value_at_quantile(double q) const;
+  /// Alias for value_at_quantile() (historical name).
+  [[nodiscard]] double quantile(double q) const { return value_at_quantile(q); }
 
   /// Deterministic bucket index for a value (kUnderflow for v <= 0).
   static int bucket_index(double v);
@@ -171,10 +179,16 @@ struct Snapshot {
   };
   std::vector<Entry> entries;
 
-  /// nullptr when no metric of that name exists.
-  [[nodiscard]] const Entry* find(const std::string& name) const;
-  /// Counter/gauge value by name; 0 when absent.
-  [[nodiscard]] double value_of(const std::string& name) const;
+  /// nullptr when no metric of that name exists.  string_view key: callers
+  /// assembling names in stack buffers never materialize a std::string.
+  [[nodiscard]] const Entry* find(std::string_view name) const;
+  /// Counter/gauge value by name; 0 when absent — indistinguishable from a
+  /// true zero, so prefer try_value_of() wherever absence matters.
+  [[nodiscard]] double value_of(std::string_view name) const;
+  /// Counter/gauge value by name, or nullopt when no such metric exists
+  /// (result-JSON and perf-guard paths report absent metrics as absent
+  /// instead of a fake 0).
+  [[nodiscard]] std::optional<double> try_value_of(std::string_view name) const;
 };
 
 class Tracer;
@@ -236,6 +250,21 @@ class Registry {
   void reset();
 
   [[nodiscard]] Snapshot snapshot() const;
+
+  /// Name-ordered metric iteration, one kind at a time (the sampler and
+  /// exporters walk these; `fn(name, metric)` with const references).
+  template <typename Fn>
+  void visit_counters(Fn&& fn) const {
+    for (const auto& [name, c] : counters_) fn(name, *c);
+  }
+  template <typename Fn>
+  void visit_gauges(Fn&& fn) const {
+    for (const auto& [name, g] : gauges_) fn(name, *g);
+  }
+  template <typename Fn>
+  void visit_histograms(Fn&& fn) const {
+    for (const auto& [name, h] : histograms_) fn(name, *h);
+  }
 
   Tracer& tracer() { return *tracer_; }
   [[nodiscard]] const Tracer& tracer() const { return *tracer_; }

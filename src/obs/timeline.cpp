@@ -1,0 +1,65 @@
+#include "obs/timeline.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace cci::obs {
+
+sim::SlabPool<TimelineStore::RowBlock>& TimelineStore::block_pool() {
+  // One pool per thread, like FrameArena: campaign workers never contend,
+  // and blocks recycle across the per-point stores a worker churns through.
+  thread_local sim::SlabPool<RowBlock> pool("timeline_block", /*objs_per_slab=*/8);
+  return pool;
+}
+
+TimelineStore::TimelineStore(std::size_t max_rows) {
+  if (max_rows < kBlockRows) max_rows = kBlockRows;
+  // Whole-block bound: eviction drops the oldest (always full) block.
+  max_rows_ = (max_rows + kBlockRows - 1) / kBlockRows * kBlockRows;
+}
+
+std::uint32_t TimelineStore::series(std::string_view name) {
+  auto it = series_ids_.find(name);
+  if (it != series_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(series_names_.size());
+  series_ids_.emplace(std::string(name), id);
+  series_names_.emplace_back(name);
+  return id;
+}
+
+void TimelineStore::append(double time, std::uint32_t series, double value) {
+  if (size_ == max_rows_) {
+    // Ring bound reached: every block is full; recycle the oldest.
+    blocks_.erase(blocks_.begin());
+    size_ -= kBlockRows;
+    dropped_ += kBlockRows;
+  }
+  if (size_ == blocks_.size() * kBlockRows) blocks_.push_back(block_pool().make());
+  blocks_[size_ / kBlockRows]->rows[size_ % kBlockRows] = {time, series, value};
+  ++size_;
+}
+
+void TimelineStore::clear() {
+  blocks_.clear();
+  size_ = 0;
+  dropped_ = 0;
+}
+
+void TimelineStore::write_csv(std::ostream& os, std::string_view prefix_header,
+                              std::string_view prefix, bool with_header) const {
+  if (with_header) {
+    if (!prefix_header.empty()) os << prefix_header << ',';
+    os << "time,series,value\n";
+  }
+  char buf[64];
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TimelineRow& r = row(i);
+    if (!prefix.empty()) os << prefix << ',';
+    std::snprintf(buf, sizeof buf, "%.17g", r.time);
+    os << buf << ',' << series_names_[r.series] << ',';
+    std::snprintf(buf, sizeof buf, "%.17g", r.value);
+    os << buf << '\n';
+  }
+}
+
+}  // namespace cci::obs

@@ -177,6 +177,7 @@ void Runtime::update_polling_pressure() {
     // Interning is a heterogeneous map hit after the first call — no
     // allocation on this (worker-count-change) path.
     spec.label = machine_.engine().intern("worker-polling");
+    spec.profile_class = sim::kClassCompute;
     spec.work = kForeverWork;
     spec.rate_cap = rate;
     spec.demands = {{machine_.mem_ctrl(config_.list_numa), 1.0}};

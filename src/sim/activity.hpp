@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sim/attribution.hpp"
 #include "sim/label.hpp"
 #include "sim/pool.hpp"
 #include "sim/sync.hpp"
@@ -34,6 +35,9 @@ struct ActivitySpec {
   double work = 0.0;
   double weight = 1.0;    ///< sharing weight (see solve_max_min)
   double rate_cap = 0.0;  ///< intrinsic rate limit; <= 0 means none
+  /// Workload class for the interference profiler (sim/attribution.hpp).
+  /// Purely diagnostic: never consulted by the solver or the scheduler.
+  ProfileClass profile_class = kClassOther;
   struct Demand {
     Resource* resource;
     double amount;  ///< resource units consumed per unit of rate
@@ -81,6 +85,7 @@ class Activity : public RcPooled<Activity> {
   double work_base_ = 0.0;  ///< work done as of base_time_
   Time base_time_ = 0.0;    ///< last rate change (progress materialization)
   double rate_ = 0.0;
+  double solo_rate_ = 0.0;  ///< isolated rate (profiler only; 0 when detached)
   Time started_at_ = 0.0;
   Time finished_at_ = kNever;
   // FlowModel bookkeeping: O(1) cancel and incremental re-solves.

@@ -1,0 +1,100 @@
+// Interference attribution: who slowed whom down, and by how much.
+//
+// The fluid model makes this exact rather than statistical.  Between change
+// points every activity advances at a constant granted rate r, while its
+// *isolated* rate r_solo — the rate it would sustain with the machine to
+// itself — is fixed by its rate cap and the capacities of the resources it
+// demands: r_solo = min(rate_cap, min_j capacity_j / demand_j).  Over an
+// interval dt the activity therefore makes r * dt units of progress that
+// would have taken (r / r_solo) * dt seconds in isolation; the difference
+//
+//   contended_dt = dt * (1 - r / r_solo)
+//
+// is contention delay, attributable at the activity's bottleneck resource
+// (the demanded resource with the highest load/capacity; ties break to the
+// first demand in spec order) to the other activities loading it, in
+// proportion to their share of that load.  Summing per profile class gives
+// the victim/aggressor matrix: contended[v][a] is the simulated seconds
+// class v lost to class a.  The identity
+//
+//   busy[v] = isolated[v] + sum_a contended[v][a]
+//
+// holds exactly (up to fp rounding), so slowdown factors decompose:
+// busy[v] / isolated[v] = 1 + sum_a contended[v][a] / isolated[v].
+//
+// The profiler is opt-in (FlowModel::set_profiler): attached, the model
+// closes the accumulation interval at every change point — O(running
+// activities) per event — so it stays off the default hot path and the
+// 0-allocs/event guard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cci::sim {
+
+/// Workload class carried by ActivitySpec::profile_class.  Small and fixed:
+/// the paper's protocol only ever opposes computation and communication,
+/// and a dense matrix keeps the profiler allocation- and hash-free.
+using ProfileClass = std::uint8_t;
+inline constexpr ProfileClass kClassOther = 0;    ///< untagged activities
+inline constexpr ProfileClass kClassCompute = 1;  ///< kernels, GPU, runtime tasks
+inline constexpr ProfileClass kClassComm = 2;     ///< MPI copies and DMA
+inline constexpr std::size_t kProfileClasses = 3;
+
+[[nodiscard]] inline const char* profile_class_name(ProfileClass c) {
+  switch (c) {
+    case kClassCompute: return "compute";
+    case kClassComm: return "comm";
+    default: return "other";
+  }
+}
+
+/// Aggregated decomposition, in activity-seconds per class.
+struct AttributionReport {
+  double busy[kProfileClasses] = {};      ///< running time (rate constant > 0 or stalled)
+  double isolated[kProfileClasses] = {};  ///< isolated-equivalent time
+  double contended[kProfileClasses][kProfileClasses] = {};  ///< [victim][aggressor]
+
+  /// Victim v's slowdown contribution from aggressor class a:
+  /// contended[v][a] / isolated[v] (0 when v never ran).
+  [[nodiscard]] double slowdown(ProfileClass v, ProfileClass a) const {
+    return isolated[v] > 0.0 ? contended[v][a] / isolated[v] : 0.0;
+  }
+  /// Victim v's total slowdown factor busy[v] / isolated[v] (1 when idle).
+  [[nodiscard]] double total_slowdown(ProfileClass v) const {
+    return isolated[v] > 0.0 ? busy[v] / isolated[v] : 1.0;
+  }
+  /// Fraction of v's busy time lost to contention (0 when idle).
+  [[nodiscard]] double contended_fraction(ProfileClass v) const {
+    return busy[v] > 0.0 ? (busy[v] - isolated[v]) / busy[v] : 0.0;
+  }
+
+  AttributionReport& operator+=(const AttributionReport& o) {
+    for (std::size_t v = 0; v < kProfileClasses; ++v) {
+      busy[v] += o.busy[v];
+      isolated[v] += o.isolated[v];
+      for (std::size_t a = 0; a < kProfileClasses; ++a)
+        contended[v][a] += o.contended[v][a];
+    }
+    return *this;
+  }
+};
+
+/// Attachment point for the FlowModel (set_profiler).  Owns the aggregated
+/// report plus the per-resource class-load scratch the model fills at each
+/// change point.  Plain data by design: all accumulation logic lives in
+/// FlowModel::profile_advance, next to the solver state it reads.
+class InterferenceProfiler {
+ public:
+  [[nodiscard]] const AttributionReport& report() const { return report_; }
+  void reset() { report_ = {}; }
+
+ private:
+  friend class FlowModel;
+  AttributionReport report_;
+  std::vector<double> class_load_;  ///< scratch: [resource * kProfileClasses]
+};
+
+}  // namespace cci::sim

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "sim/coro.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/label.hpp"
@@ -101,6 +102,15 @@ class Engine {
   void set_watchdog(WatchdogConfig config) { watchdog_ = config; }
   [[nodiscard]] const WatchdogConfig& watchdog() const { return watchdog_; }
 
+  /// Attach (or detach, with nullptr) a simulated-time metrics sampler.
+  /// run() then advances it *before* dispatching each event, so a sample at
+  /// tick T reflects exactly the events strictly before T — independent of
+  /// how events happen to batch within a run() call.  Detached, the cost is
+  /// one pointer test per event; no coroutine is involved, so the sampler
+  /// never keeps the queue alive and run() still drains naturally.
+  void set_sampler(obs::Sampler* sampler) { sampler_ = sampler; }
+  [[nodiscard]] obs::Sampler* sampler() const { return sampler_; }
+
   /// Register a callback that appends human-readable descriptions of
   /// currently-blocked work (stalled activities, pending receives, ...) to a
   /// SimStalled report.  The registrant must outlive every run() call — in
@@ -122,9 +132,11 @@ class Engine {
       Time t = queue_.next_time();
       if (t > until) {
         now_ = until;
+        if (sampler_ != nullptr) sampler_->advance_to(now_);
         publish_pool_stats();
         return now_;
       }
+      if (sampler_ != nullptr) sampler_->advance_to(t);
       if (guarded) {
         if (t > instant + kTimeEpsilon) {
           instant = t;
@@ -152,6 +164,7 @@ class Engine {
     }
     if (guarded && watchdog_.report_blocked_on_drain && live_processes_ > 0)
       trip(StallReason::kBlockedProcesses, run_events);
+    if (sampler_ != nullptr) sampler_->advance_to(now_);
     publish_pool_stats();
     return now_;
   }
@@ -287,6 +300,7 @@ class Engine {
   std::uint64_t events_dispatched_ = 0;
   Coro::promise_type* live_head_ = nullptr;  ///< intrusive live-process list
   WatchdogConfig watchdog_;
+  obs::Sampler* sampler_ = nullptr;
   std::vector<StallInspector> stall_inspectors_;
   SlabPool<ProcessState> state_pool_;
   SlabPool<WaitNode> wait_pool_;

@@ -58,6 +58,11 @@ FlowModel::~FlowModel() {
 void Resource::set_capacity(double capacity) {
   assert(capacity >= 0.0);
   if (capacity == capacity_) return;
+  // Close the work/attribution integrals under the *outgoing* capacity
+  // first: rates and loads stay those of the old allocation until the
+  // re-solve below, and advance() is idempotent (the one inside
+  // reallocate() then sees dt == 0).
+  model_->advance();
   capacity_ = capacity;
   model_->on_capacity_changed(this);
 }
@@ -74,6 +79,10 @@ Resource* FlowModel::add_resource(std::string name, double capacity) {
   char buf[192];
   std::snprintf(buf, sizeof buf, "sim.resource.%s.work_units", r->name().c_str());
   r->obs_work_ = &obs_reg_->counter(buf);
+  std::snprintf(buf, sizeof buf, "sim.resource.%s.utilization", r->name().c_str());
+  r->obs_util_ = &obs_reg_->gauge(buf);
+  std::snprintf(buf, sizeof buf, "sim.resource.%s.pressure", r->name().c_str());
+  r->obs_pressure_ = &obs_reg_->gauge(buf);
   r->obs_load_series_ = "sim.resource." + r->name() + ".load";
   r->obs_track_series_ = "sim.res." + r->name();
   return r;
@@ -100,6 +109,7 @@ ActivityPtr FlowModel::start(ActivitySpec spec) {
       flow_act_.resize(std::max(flow_act_.size() * 2, a->flow_id_ + 1), nullptr);
     flow_act_[a->flow_id_] = a;
   }
+  if (profiler_ != nullptr) refresh_solo_rate(*a);
   reallocate();
   return act;
 }
@@ -143,6 +153,12 @@ void FlowModel::trace_activity(const Activity& act, const char* suffix) {
 
 void FlowModel::on_capacity_changed(Resource* resource) {
   solver_.set_capacity(resource->index_, resource->capacity_);
+  // Isolated rates depend only on capacities and the activity's own spec,
+  // so a capacity change invalidates them all at once.  Capacity changes
+  // (DVFS transitions, failovers) are rare next to flow churn, so the
+  // O(running) sweep is off the hot path.
+  if (profiler_ != nullptr)
+    for (const ActivityPtr& act : running_) refresh_solo_rate(*act);
   reallocate();
 }
 
@@ -155,7 +171,101 @@ void FlowModel::advance() {
     for (auto& r : resources_)
       if (r->load_ > 0.0) r->obs_work_->add(r->load_ * dt);
   }
+  if (dt > 0.0 && profiler_ != nullptr) profile_advance(dt);
   last_advance_ = now;
+}
+
+void FlowModel::set_profiler(InterferenceProfiler* profiler) {
+  advance();  // close the open interval under the previous attachment state
+  profiler_ = profiler;
+  if (profiler_ != nullptr)
+    for (const ActivityPtr& act : running_) refresh_solo_rate(*act);
+}
+
+void FlowModel::refresh_solo_rate(Activity& act) const {
+  double solo = act.spec_.rate_cap > 0.0 ? act.spec_.rate_cap
+                                         : std::numeric_limits<double>::infinity();
+  for (const auto& d : act.spec_.demands)
+    if (d.amount > 0.0) solo = std::min(solo, d.resource->capacity_ / d.amount);
+  act.solo_rate_ = solo;
+}
+
+void FlowModel::profile_advance(Time dt) {
+  const Time now = engine_.now();
+  AttributionReport& rep = profiler_->report_;
+  std::vector<double>& cl = profiler_->class_load_;
+  cl.assign(resources_.size() * kProfileClasses, 0.0);
+  // Pass 1: decompose each resource's load by activity class.  rate x
+  // demand is exactly the usage the solver granted on that resource, so the
+  // class shares sum to the resource's load.
+  for (const ActivityPtr& act : running_) {
+    const Activity& a = *act;
+    if (!(a.rate_ > 0.0) || !std::isfinite(a.rate_)) continue;
+    for (const auto& d : a.spec_.demands)
+      cl[d.resource->index_ * kProfileClasses + a.spec_.profile_class] +=
+          a.rate_ * d.amount;
+  }
+  // Pass 2: split each activity's dt.  Activities started exactly at the
+  // interval's end (start() pushes to running_ before the reallocate that
+  // closes the interval) did not run during it and are skipped; everything
+  // older was running for the whole interval, because starting an activity
+  // is itself a change point.
+  for (const ActivityPtr& act : running_) {
+    const Activity& a = *act;
+    if (a.started_at_ >= now) continue;
+    const ProfileClass v = a.spec_.profile_class;
+    rep.busy[v] += dt;
+    double iso_dt = dt;
+    if (std::isfinite(a.rate_) && std::isfinite(a.solo_rate_) && a.solo_rate_ > 0.0 &&
+        a.rate_ < a.solo_rate_)
+      iso_dt = dt * (a.rate_ / a.solo_rate_);
+    rep.isolated[v] += iso_dt;
+    const double contended_dt = dt - iso_dt;
+    if (!(contended_dt > 0.0)) continue;
+    // Bottleneck: the demanded resource with the highest utilization (a
+    // zero-capacity resource carrying load counts as saturated); ties break
+    // to the first demand in spec order, deterministically.
+    const Resource* bottleneck = nullptr;
+    double worst = -1.0;
+    for (const auto& d : a.spec_.demands) {
+      if (d.amount <= 0.0) continue;
+      const Resource* r = d.resource;
+      const double u = r->capacity_ > 0.0
+                           ? r->load_ / r->capacity_
+                           : (r->load_ > 0.0 ? std::numeric_limits<double>::infinity() : 0.0);
+      if (u > worst) {
+        worst = u;
+        bottleneck = r;
+      }
+    }
+    if (bottleneck == nullptr) {
+      rep.contended[v][v] += contended_dt;  // rate-cap interactions only
+      continue;
+    }
+    // Charge the delay to the classes loading the bottleneck, minus the
+    // victim's own contribution, in proportion to their shares.
+    const double* shares = &cl[bottleneck->index_ * kProfileClasses];
+    double own = 0.0;
+    if (a.rate_ > 0.0 && std::isfinite(a.rate_))
+      for (const auto& d : a.spec_.demands)
+        if (d.resource == bottleneck) own += a.rate_ * d.amount;
+    double total = 0.0;
+    double others[kProfileClasses];
+    for (std::size_t c = 0; c < kProfileClasses; ++c) {
+      double s = shares[c];
+      if (c == v) s = std::max(0.0, s - own);
+      others[c] = s;
+      total += s;
+    }
+    if (total > 0.0) {
+      for (std::size_t c = 0; c < kProfileClasses; ++c)
+        if (others[c] > 0.0) rep.contended[v][c] += contended_dt * (others[c] / total);
+    } else {
+      // Nobody else loads the bottleneck (e.g. self-saturation of a
+      // degraded resource): the class keeps its own delay.
+      rep.contended[v][v] += contended_dt;
+    }
+  }
 }
 
 Time FlowModel::predicted_finish(const Activity& act) const {
@@ -239,10 +349,18 @@ void FlowModel::reallocate() {
   // (Perfetto renders these as step curves).
   obs::Tracer& tracer = obs_reg_->tracer();
   const bool tracing = tracer.on();
+  const bool obs_on = obs_reg_->enabled();
   for (std::size_t ridx : solver_.touched_resources()) {
     Resource* r = resources_[ridx].get();
     r->load_ = solver_.load(ridx);
     r->pressure_ = solver_.pressure(ridx);
+    if (obs_on) {
+      // Utilization/pressure gauges feed the time-resolved sampler; gated
+      // here (not just inside set()) so the disabled hot path skips the
+      // division too.
+      r->obs_util_->set(r->utilization());
+      r->obs_pressure_->set(r->pressure_);
+    }
     if (tracing && r->load_ != r->obs_last_sampled_load_) {
       tracer.counter_sample(r->obs_load_series_, now, r->load_);
       r->obs_last_sampled_load_ = r->load_;

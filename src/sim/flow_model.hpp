@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "sim/activity.hpp"
+#include "sim/attribution.hpp"
 #include "sim/engine.hpp"
 #include "sim/maxmin.hpp"
 #include "sim/pool.hpp"
@@ -57,6 +58,16 @@ class FlowModel {
   /// Read-only view of the underlying solver (perf counters for benches).
   [[nodiscard]] const MaxMinSolver& solver() const { return solver_; }
 
+  /// Attach (or detach, with nullptr) an interference profiler.  While
+  /// attached, every change-point interval is decomposed exactly into
+  /// isolated-equivalent time and contention delay per activity class (see
+  /// sim/attribution.hpp for the model).  Attaching mid-run is safe: the
+  /// open interval is closed under the previous attachment state first.
+  /// Costs O(running activities x demands) per change point when attached,
+  /// strictly zero extra work when detached.
+  void set_profiler(InterferenceProfiler* profiler);
+  [[nodiscard]] InterferenceProfiler* profiler() const { return profiler_; }
+
   /// Maximum utilization over a set of resources — the congestion signal
   /// used by the latency-inflation model for small messages.
   static double max_utilization(const std::vector<Resource*>& path) {
@@ -74,6 +85,15 @@ class FlowModel {
   void advance();
   /// Harvest due completions, re-solve dirty components, retime the timer.
   void reallocate();
+
+  /// Attribution bookkeeping for the closed interval [now - dt, now]
+  /// (profiler attached, dt > 0): split each running activity's dt into
+  /// isolated vs contended time and charge the contended share to the
+  /// classes loading its bottleneck resource.
+  void profile_advance(Time dt);
+  /// Recompute an activity's isolated rate min(rate_cap, cap_j / demand_j)
+  /// from current capacities (profiler attached only).
+  void refresh_solo_rate(Activity& act) const;
 
   /// Completion instant implied by the current rate; kNever while stalled.
   [[nodiscard]] Time predicted_finish(const Activity& act) const;
@@ -111,6 +131,7 @@ class FlowModel {
   Time last_advance_ = 0.0;
   std::uint64_t next_activity_seq_ = 0;
   bool incremental_ = true;
+  InterferenceProfiler* profiler_ = nullptr;
 
   obs::Registry* obs_reg_;
   obs::Counter* obs_resolves_;

@@ -49,6 +49,8 @@ class Resource {
   // the span track activities are traced on (built once at add_resource, so
   // tracing never concatenates on the hot path).
   obs::Counter* obs_work_ = nullptr;
+  obs::Gauge* obs_util_ = nullptr;      ///< sim.resource.<name>.utilization
+  obs::Gauge* obs_pressure_ = nullptr;  ///< sim.resource.<name>.pressure
   std::string obs_load_series_;
   std::string obs_track_series_;
   double obs_last_sampled_load_ = -1.0;

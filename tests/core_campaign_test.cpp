@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "core/campaign.hpp"
 #include "kernels/stream.hpp"
@@ -219,6 +220,114 @@ TEST(Campaign, CustomEvaluatorRunsInsteadOfTheLab) {
   EXPECT_EQ(run.values[0][0], 2.0);
   EXPECT_EQ(run.values[1][0], 4.0);
   EXPECT_EQ(run.values[2][0], 6.0);
+}
+
+TEST(Campaign, TimelineOffKeepsEveryRunTimelineFree) {
+  Campaign c = quick_campaign();
+  CampaignRun run = CampaignEngine(opts(2)).run(c);
+  EXPECT_TRUE(run.timelines.empty());
+  std::ostringstream os;
+  run.write_timeline_csv(os, "test_campaign");
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Campaign, TimelineCsvIsBitwiseIdenticalAcrossJobs) {
+  Campaign c = quick_campaign();
+  auto run_with_jobs = [&](int jobs) {
+    CampaignOptions o = opts(jobs);
+    o.timeline_period = 1e-4;
+    CampaignRun run = CampaignEngine(o).run(c);
+    std::ostringstream os;
+    run.write_timeline_csv(os, "test_campaign");
+    return std::pair<std::string, std::size_t>(os.str(), run.timelines.size());
+  };
+  auto [serial, n_serial] = run_with_jobs(1);
+  auto [parallel, n_parallel] = run_with_jobs(8);
+  EXPECT_EQ(n_serial, 6u);
+  EXPECT_EQ(n_parallel, 6u);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  // The header appears exactly once, up front.
+  EXPECT_EQ(serial.rfind("campaign,point,time,series,value\n", 0), 0u);
+  EXPECT_EQ(serial.find("campaign,point,time,series,value\n", 1), std::string::npos);
+}
+
+TEST(Campaign, ShardTimelinesMatchTheFullRunPerPoint) {
+  Campaign c = quick_campaign();
+  auto with_timeline = [&](int shard_index, int shard_count) {
+    CampaignOptions o = opts(1, "", shard_index, shard_count);
+    o.timeline_period = 1e-4;
+    return CampaignEngine(o).run(c);
+  };
+  CampaignRun full = with_timeline(0, 1);
+  ASSERT_EQ(full.timelines.size(), full.points.size());
+  std::size_t covered = 0;
+  for (int shard = 0; shard < 3; ++shard) {
+    CampaignRun run = with_timeline(shard, 3);
+    ASSERT_EQ(run.timelines.size(), run.points.size());
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+      std::ostringstream shard_csv, full_csv;
+      run.timelines[i].write_csv(shard_csv);
+      full.timelines[run.points[i].index].write_csv(full_csv);
+      EXPECT_EQ(shard_csv.str(), full_csv.str())
+          << "point " << run.points[i].index << " differs in shard " << shard;
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, full.points.size());
+}
+
+TEST(Campaign, TimelineRunsLeaveTheProcessRegistryAlone) {
+  // A disabled process registry must stay untouched even though timeline
+  // points run against enabled per-point registries (merge_from would
+  // otherwise leak raw values through the disabled switch).
+  obs::Registry& reg = obs::Registry::process();
+  reg.reset();
+  ASSERT_FALSE(reg.enabled());
+  Campaign c = quick_campaign();
+  CampaignOptions o = opts(2);
+  o.timeline_period = 1e-4;
+  CampaignEngine(o).run(c);
+  EXPECT_DOUBLE_EQ(reg.counter("sim.engine.events_dispatched").value(), 0.0);
+}
+
+Campaign attribution_campaign() {
+  Campaign c("attrib_campaign",
+             SweepSpec(quick_base()).cores("cores", {0, 2}));
+  c.with_attribution();
+  c.column("comm_slow_by_compute", Campaign::comm_slowdown_from_compute())
+      .column("compute_slow_by_comm", Campaign::compute_slowdown_from_comm())
+      .column("comm_frac", Campaign::comm_contended_fraction())
+      .column("compute_frac", Campaign::compute_contended_fraction());
+  return c;
+}
+
+TEST(Campaign, AttributionColumnsAreDeterministicAndSane) {
+  Campaign c = attribution_campaign();
+  CampaignRun a = CampaignEngine(opts(1)).run(c);
+  CampaignRun b = CampaignEngine(opts(8)).run(c);
+  ASSERT_EQ(a.values.size(), 2u);
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    ASSERT_EQ(a.values[i].size(), 4u);
+    for (std::size_t j = 0; j < a.values[i].size(); ++j) {
+      EXPECT_EQ(a.values[i][j], b.values[i][j]) << "point " << i << " col " << j;
+      EXPECT_GE(a.values[i][j], 0.0);
+    }
+  }
+  // cores=0: the side-by-side phase has no computation, so communication
+  // cannot be slowed by the compute class.
+  EXPECT_EQ(a.values[0][0], 0.0);
+  // contended fractions are fractions.
+  EXPECT_LE(a.values[1][2], 1.0);
+  EXPECT_LE(a.values[1][3], 1.0);
+}
+
+TEST(Campaign, AttributionFoldsIntoTheCacheKey) {
+  Campaign plain = quick_campaign();
+  Campaign attrib = quick_campaign();
+  attrib.with_attribution();
+  auto points = plain.spec().expand();
+  EXPECT_NE(cache_key(plain, points[0]), cache_key(attrib, points[0]));
 }
 
 TEST(Campaign, SeedOverrideChangesTheMixBase) {

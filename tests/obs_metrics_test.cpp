@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -70,6 +72,45 @@ TEST(Histogram, QuantilesAreBucketAccurate) {
   EXPECT_NEAR(h.quantile(0.9) / 90.0, 1.0, tol + 1.0 / 90.0);
   EXPECT_NEAR(h.quantile(1.0) / 100.0, 1.0, tol);
   EXPECT_NEAR(h.quantile(0.0) / 1.0, 1.0, tol);
+}
+
+TEST(Histogram, ValueAtQuantileTieBreaksToTheLowerBucket) {
+  Registry reg;
+  reg.set_enabled(true);
+  Histogram& h = reg.histogram("tie");
+  // Two samples per bucket: the median rank ceil(0.5 * 4) = 2 lands exactly
+  // on the boundary between the buckets — the lower-indexed bucket wins.
+  h.record(1.0);
+  h.record(1.0);
+  h.record(1000.0);
+  h.record(1000.0);
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.5),
+                   Histogram::bucket_value(Histogram::bucket_index(1.0)));
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.75),
+                   Histogram::bucket_value(Histogram::bucket_index(1000.0)));
+  // q = 0 maps to the first sample; q out of range clamps.
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(0.0), h.value_at_quantile(-1.0));
+  EXPECT_DOUBLE_EQ(h.value_at_quantile(1.0), h.value_at_quantile(2.0));
+  // The historical name stays an exact alias.
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), h.value_at_quantile(0.9));
+}
+
+TEST(Snapshot, TryValueOfDistinguishesAbsentFromZero) {
+  Registry reg;
+  reg.set_enabled(true);
+  reg.counter("present.zero");  // created but never incremented
+  reg.counter("present.nonzero").add(3.0);
+  Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.try_value_of("present.zero"), std::optional<double>(0.0));
+  EXPECT_EQ(s.try_value_of("present.nonzero"), std::optional<double>(3.0));
+  EXPECT_EQ(s.try_value_of("absent"), std::nullopt);
+  // value_of conflates the first and third cases — the documented trap.
+  EXPECT_DOUBLE_EQ(s.value_of("present.zero"), s.value_of("absent"));
+  // string_view find: no std::string materialization required of callers.
+  const std::string_view key = "present.nonzero";
+  const Snapshot::Entry* e = s.find(key);
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->value, 3.0);
 }
 
 // --- Registry / snapshot ---------------------------------------------------

@@ -1,0 +1,205 @@
+// InterferenceProfiler: exact victim/aggressor decomposition of flow-model
+// busy time (sim/attribution.hpp).  Every scenario is fluid-exact, so the
+// expectations are closed-form, and the identity
+//   busy[v] == isolated[v] + sum_a contended[v][a]
+// must hold to rounding.
+#include <gtest/gtest.h>
+
+#include "sim/flow_model.hpp"
+
+namespace cci::sim {
+namespace {
+
+ActivitySpec classed(Resource* r, double work, ProfileClass pc, double demand = 1.0) {
+  ActivitySpec spec;
+  spec.work = work;
+  spec.demands = {{r, demand}};
+  spec.profile_class = pc;
+  return spec;
+}
+
+void expect_identity(const AttributionReport& rep) {
+  for (std::size_t v = 0; v < kProfileClasses; ++v) {
+    double sum = rep.isolated[v];
+    for (std::size_t a = 0; a < kProfileClasses; ++a) sum += rep.contended[v][a];
+    EXPECT_NEAR(rep.busy[v], sum, 1e-9) << "class " << profile_class_name(
+        static_cast<ProfileClass>(v));
+  }
+}
+
+TEST(Attribution, LoneFlowIsFullyIsolated) {
+  Engine engine;
+  FlowModel model(engine);
+  InterferenceProfiler profiler;
+  model.set_profiler(&profiler);
+  Resource* pipe = model.add_resource("pipe", 10.0);
+  model.start(classed(pipe, 50.0, kClassComm));
+  engine.run();
+  const AttributionReport& rep = profiler.report();
+  EXPECT_NEAR(rep.busy[kClassComm], 5.0, 1e-9);
+  EXPECT_NEAR(rep.isolated[kClassComm], 5.0, 1e-9);
+  for (std::size_t a = 0; a < kProfileClasses; ++a)
+    EXPECT_NEAR(rep.contended[kClassComm][a], 0.0, 1e-12);
+  EXPECT_NEAR(rep.total_slowdown(kClassComm), 1.0, 1e-9);
+  EXPECT_NEAR(rep.contended_fraction(kClassComm), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rep.busy[kClassCompute], 0.0);
+  EXPECT_NEAR(rep.total_slowdown(kClassCompute), 1.0, 1e-12);  // idle: no slowdown
+  expect_identity(rep);
+}
+
+TEST(Attribution, EqualShareChargesTheOtherClass) {
+  Engine engine;
+  FlowModel model(engine);
+  InterferenceProfiler profiler;
+  model.set_profiler(&profiler);
+  Resource* pipe = model.add_resource("pipe", 10.0);
+  model.start(classed(pipe, 50.0, kClassComm));
+  model.start(classed(pipe, 50.0, kClassCompute));
+  engine.run();
+  // Both run [0,10] at rate 5 with solo rate 10: half the busy time is
+  // isolated-equivalent, half is contention charged entirely to the other
+  // class (the victim's own class holds nothing else on the bottleneck).
+  const AttributionReport& rep = profiler.report();
+  EXPECT_NEAR(rep.busy[kClassComm], 10.0, 1e-9);
+  EXPECT_NEAR(rep.isolated[kClassComm], 5.0, 1e-9);
+  EXPECT_NEAR(rep.contended[kClassComm][kClassCompute], 5.0, 1e-9);
+  EXPECT_NEAR(rep.contended[kClassComm][kClassComm], 0.0, 1e-12);
+  EXPECT_NEAR(rep.contended[kClassCompute][kClassComm], 5.0, 1e-9);
+  EXPECT_NEAR(rep.slowdown(kClassComm, kClassCompute), 1.0, 1e-9);
+  EXPECT_NEAR(rep.total_slowdown(kClassComm), 2.0, 1e-9);
+  EXPECT_NEAR(rep.contended_fraction(kClassComm), 0.5, 1e-9);
+  expect_identity(rep);
+}
+
+TEST(Attribution, SelfContentionStaysInClass) {
+  Engine engine;
+  FlowModel model(engine);
+  InterferenceProfiler profiler;
+  model.set_profiler(&profiler);
+  Resource* pipe = model.add_resource("pipe", 10.0);
+  model.start(classed(pipe, 50.0, kClassCompute));
+  model.start(classed(pipe, 50.0, kClassCompute));
+  engine.run();
+  const AttributionReport& rep = profiler.report();
+  // Two compute flows: each is slowed only by its own class.
+  EXPECT_NEAR(rep.busy[kClassCompute], 20.0, 1e-9);
+  EXPECT_NEAR(rep.isolated[kClassCompute], 10.0, 1e-9);
+  EXPECT_NEAR(rep.contended[kClassCompute][kClassCompute], 10.0, 1e-9);
+  EXPECT_NEAR(rep.contended[kClassCompute][kClassComm], 0.0, 1e-12);
+  expect_identity(rep);
+}
+
+TEST(Attribution, AsymmetricDemandsWeightTheCharge) {
+  Engine engine;
+  FlowModel model(engine);
+  InterferenceProfiler profiler;
+  model.set_profiler(&profiler);
+  Resource* pipe = model.add_resource("pipe", 12.0);
+  // Max-min equalizes rates at 3: A (demand 1) uses 3 of 12, B (demand 3)
+  // uses 9 of 12.  Solo rates: A = 12, B = 4.
+  model.start(classed(pipe, 30.0, kClassComm, /*demand=*/1.0));
+  model.start(classed(pipe, 30.0, kClassCompute, /*demand=*/3.0));
+  engine.run();
+  const AttributionReport& rep = profiler.report();
+  EXPECT_NEAR(rep.busy[kClassComm], 10.0, 1e-9);
+  EXPECT_NEAR(rep.isolated[kClassComm], 2.5, 1e-9);  // 10 * (3/12)
+  EXPECT_NEAR(rep.contended[kClassComm][kClassCompute], 7.5, 1e-9);
+  EXPECT_NEAR(rep.isolated[kClassCompute], 7.5, 1e-9);  // 10 * (3/4)
+  EXPECT_NEAR(rep.contended[kClassCompute][kClassComm], 2.5, 1e-9);
+  EXPECT_NEAR(rep.slowdown(kClassComm, kClassCompute), 3.0, 1e-9);
+  EXPECT_NEAR(rep.slowdown(kClassCompute, kClassComm), 2.5 / 7.5, 1e-9);
+  expect_identity(rep);
+}
+
+TEST(Attribution, RateCappedFlowIsNotContendedByItsCap) {
+  Engine engine;
+  FlowModel model(engine);
+  InterferenceProfiler profiler;
+  model.set_profiler(&profiler);
+  Resource* pipe = model.add_resource("pipe", 100.0);
+  ActivitySpec spec = classed(pipe, 30.0, kClassComm);
+  spec.rate_cap = 3.0;
+  model.start(spec);
+  engine.run();
+  // The cap is part of the flow's own isolated profile: running exactly at
+  // solo rate means zero contention, even though utilization is 3%.
+  const AttributionReport& rep = profiler.report();
+  EXPECT_NEAR(rep.busy[kClassComm], 10.0, 1e-9);
+  EXPECT_NEAR(rep.isolated[kClassComm], 10.0, 1e-9);
+  EXPECT_NEAR(rep.contended_fraction(kClassComm), 0.0, 1e-12);
+  expect_identity(rep);
+}
+
+TEST(Attribution, CapacityChangeReusesTheSoloBaseline) {
+  Engine engine;
+  FlowModel model(engine);
+  InterferenceProfiler profiler;
+  model.set_profiler(&profiler);
+  Resource* pipe = model.add_resource("pipe", 10.0);
+  model.start(classed(pipe, 100.0, kClassCompute));
+  engine.call_at(4.0, [&] { pipe->set_capacity(2.0); });
+  engine.run();
+  // DVFS-style capacity drops redefine the isolated baseline too: a lone
+  // flow on a slower resource is slower, not contended.
+  const AttributionReport& rep = profiler.report();
+  EXPECT_NEAR(rep.busy[kClassCompute], 34.0, 1e-9);
+  EXPECT_NEAR(rep.isolated[kClassCompute], 34.0, 1e-9);
+  EXPECT_NEAR(rep.contended_fraction(kClassCompute), 0.0, 1e-12);
+  expect_identity(rep);
+}
+
+TEST(Attribution, LateArrivalSplitsThePhases) {
+  Engine engine;
+  FlowModel model(engine);
+  InterferenceProfiler profiler;
+  model.set_profiler(&profiler);
+  Resource* pipe = model.add_resource("pipe", 10.0);
+  model.start(classed(pipe, 100.0, kClassComm));
+  engine.call_at(5.0, [&] { model.start(classed(pipe, 25.0, kClassCompute)); });
+  engine.run();
+  // comm: [0,5] alone (isolated 5), [5,10] shared at rate 5 (isolated 2.5,
+  // contended 2.5 charged to compute), [10,12.5] alone again.
+  const AttributionReport& rep = profiler.report();
+  EXPECT_NEAR(rep.busy[kClassComm], 12.5, 1e-9);
+  EXPECT_NEAR(rep.isolated[kClassComm], 10.0, 1e-9);
+  EXPECT_NEAR(rep.contended[kClassComm][kClassCompute], 2.5, 1e-9);
+  // compute: [5,10] at rate 5 with solo 10.
+  EXPECT_NEAR(rep.busy[kClassCompute], 5.0, 1e-9);
+  EXPECT_NEAR(rep.isolated[kClassCompute], 2.5, 1e-9);
+  EXPECT_NEAR(rep.contended[kClassCompute][kClassComm], 2.5, 1e-9);
+  expect_identity(rep);
+}
+
+TEST(Attribution, DetachFreezesTheReportAndAccumulationResumes) {
+  Engine engine;
+  FlowModel model(engine);
+  InterferenceProfiler profiler;
+  Resource* pipe = model.add_resource("pipe", 10.0);
+  model.start(classed(pipe, 200.0, kClassComm));
+  engine.call_at(2.0, [&] { model.set_profiler(&profiler); });
+  engine.call_at(8.0, [&] { model.set_profiler(nullptr); });
+  engine.run();  // flow finishes at t=20; only [2,8] is observed
+  const AttributionReport& rep = profiler.report();
+  EXPECT_NEAR(rep.busy[kClassComm], 6.0, 1e-9);
+  EXPECT_NEAR(rep.isolated[kClassComm], 6.0, 1e-9);
+  profiler.reset();
+  EXPECT_DOUBLE_EQ(profiler.report().busy[kClassComm], 0.0);
+}
+
+TEST(Attribution, ReportsAccumulateAcrossRuns) {
+  AttributionReport a{};
+  AttributionReport b{};
+  a.busy[kClassComm] = 2.0;
+  a.isolated[kClassComm] = 1.0;
+  a.contended[kClassComm][kClassCompute] = 1.0;
+  b.busy[kClassComm] = 4.0;
+  b.isolated[kClassComm] = 4.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.busy[kClassComm], 6.0);
+  EXPECT_DOUBLE_EQ(a.isolated[kClassComm], 5.0);
+  EXPECT_DOUBLE_EQ(a.contended[kClassComm][kClassCompute], 1.0);
+  EXPECT_NEAR(a.total_slowdown(kClassComm), 1.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace cci::sim
