@@ -21,12 +21,18 @@
 // so it must stay a standalone benchmark (never linked into another tool).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <string>
+#include <thread>
 
 #include "sim/flow_model.hpp"
 #include "sim/pool.hpp"
+#include "sim/shard.hpp"
 
 // GCC cannot see that the counting operator new below is malloc-backed and
 // flags the matching std::free(); with the replacement visible it also trips
@@ -37,17 +43,20 @@
 #endif
 
 namespace {
-std::uint64_t g_allocs = 0;  // bumped by every global operator new below
+// Bumped by every global operator new below.  Atomic (relaxed) because the
+// shard-scaling benchmark allocates from worker threads; the deterministic
+// counters still read it from a single thread between barriers.
+std::atomic<std::uint64_t> g_allocs{0};
 }  // namespace
 
 void* operator new(std::size_t n) {
-  ++g_allocs;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n != 0 ? n : 1)) return p;
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t n) { return operator new(n); }
 void* operator new(std::size_t n, std::align_val_t a) {
-  ++g_allocs;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
   const auto align = static_cast<std::size_t>(a);
   const std::size_t size = (n + align - 1) / align * align;
   if (void* p = std::aligned_alloc(align, size != 0 ? size : align)) return p;
@@ -150,6 +159,141 @@ void BM_SimThroughputMalloc(benchmark::State& state) {
   state.counters["allocs_per_event_malloc"] = allocs_per_event(false);
 }
 BENCHMARK(BM_SimThroughputMalloc);
+
+// ---- conservative-window shard scaling --------------------------------------
+//
+// The same churn workload replicated over kShardGroups independent node
+// groups — each group its own FlowModel and private resources, so the
+// scenario is *shard-closed* (no cross-shard flows) — run on a ShardGroup
+// at shards = 1/2/4.  A finite lookahead forces the real window machinery
+// (horizon computation, barriers, mailbox drains) rather than the one-shot
+// embarrassingly-parallel path.  Counters:
+//
+//   shard_windows       — synchronisation windows in one steady round; a
+//       pure function of the fixed-seed workload, guarded at tolerance 0
+//       (shards=1 is the serial fast path and must stay at exactly 0).
+//   inv_speedup_shards4 — shards=4 wall time over shards=1 wall time,
+//       perfect scaling = 0.25; only emitted on hosts with >= 4 hardware
+//       threads, guarded so < 2.5x parallel speedup fails CI.
+
+constexpr int kShardGroups = 4;          ///< independent node groups
+constexpr sim::Time kShardLookahead = 5.0;  ///< forces multi-window execution
+
+struct ShardChurnSim {
+  sim::ShardGroup group;
+  struct Group {
+    std::unique_ptr<sim::FlowModel> model;
+    sim::Resource* res[kResources] = {};
+    sim::LabelId label = sim::kNoLabel;
+  };
+  Group groups[kShardGroups];
+
+  explicit ShardChurnSim(int shards) : group(options(shards)) {
+    for (int g = 0; g < kShardGroups; ++g) {
+      Group& grp = groups[g];
+      group.with_shard(shard_of(g), [&](sim::Engine& eng) {
+        grp.model = std::make_unique<sim::FlowModel>(eng);
+        for (int r = 0; r < kResources; ++r)
+          grp.res[r] = grp.model->add_resource(
+              "g" + std::to_string(g) + ".pipe" + std::to_string(r),
+              4.0 + r);
+        grp.label = eng.intern("churn");
+      });
+    }
+  }
+  ~ShardChurnSim() {
+    // Shard-owned state dies where it lived: on the worker, while the
+    // engine is still up (the group destroys engines after this).
+    for (int g = 0; g < kShardGroups; ++g)
+      group.with_shard(shard_of(g), [&](sim::Engine&) { groups[g].model.reset(); });
+  }
+
+  static sim::ShardGroup::Options options(int shards) {
+    sim::ShardGroup::Options o;
+    o.shards = shards;
+    o.lookahead = kShardLookahead;
+    return o;
+  }
+  [[nodiscard]] int shard_of(int g) const { return g % group.shards(); }
+
+  void round(int acts) {
+    for (int g = 0; g < kShardGroups; ++g) {
+      Group& grp = groups[g];
+      group.with_shard(shard_of(g), [&](sim::Engine& eng) {
+        for (int p = 0; p < kProcs; ++p)
+          eng.spawn(churn(eng, *grp.model, grp.res[p % kResources],
+                          grp.res[(p + 1) % kResources], grp.label, acts));
+      });
+    }
+    group.run();
+  }
+  std::uint64_t events() {
+    std::uint64_t n = 0;
+    for (int s = 0; s < group.shards(); ++s) n += group.engine(s).events_dispatched();
+    return n;
+  }
+};
+
+/// Deterministic counter pass: windows in one warmed steady round.
+std::uint64_t shard_windows_one_round(int shards) {
+  ShardChurnSim s(shards);
+  s.round(kSteadyActs);  // warm
+  const std::uint64_t w0 = s.group.stats().windows;
+  s.round(kSteadyActs);
+  return s.group.stats().windows - w0;
+}
+
+void BM_SimShardScaling(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  ShardChurnSim s(shards);
+  s.round(kSteadyActs);  // warm
+  const std::uint64_t events0 = s.events();
+  for (auto _ : state) {
+    s.round(kSteadyActs);
+    benchmark::DoNotOptimize(s.group.stats().windows);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(s.events() - events0));
+  state.counters["shard_windows"] =
+      static_cast<double>(shard_windows_one_round(shards));
+}
+// UseRealTime: the work happens on shard workers while the coordinator
+// blocks at window barriers, so main-thread CPU time (the rate default)
+// would wildly overstate events/sec.
+BENCHMARK(BM_SimShardScaling)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_SimShardSpeedup4(benchmark::State& state) {
+  const bool can_measure = std::thread::hardware_concurrency() >= 4;
+  if (!can_measure) {
+    // Only publish the guarded counter when the host can actually scale;
+    // perf_guard's step for this key is skipped on small runners.
+    for (auto _ : state) {
+    }
+    return;
+  }
+  ShardChurnSim s1(1);
+  ShardChurnSim s4(4);
+  s1.round(kSteadyActs);
+  s4.round(kSteadyActs);
+  double t1 = 1e300;
+  double t4 = 1e300;
+  // Best-of-N on both sides, serial side first and last alternating, for
+  // the same reasons as BM_CampaignSpeedupJobs4.
+  bool parallel_first = false;
+  for (auto _ : state) {
+    const auto timed = [&](ShardChurnSim& s) {
+      const auto t0 = std::chrono::steady_clock::now();
+      s.round(kSteadyActs);
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+    if (parallel_first) t4 = std::min(t4, timed(s4));
+    t1 = std::min(t1, timed(s1));
+    if (!parallel_first) t4 = std::min(t4, timed(s4));
+    parallel_first = !parallel_first;
+  }
+  if (t1 < 1e299 && t1 > 0.0) state.counters["inv_speedup_shards4"] = t4 / t1;
+}
+BENCHMARK(BM_SimShardSpeedup4)->Unit(benchmark::kMillisecond)->Iterations(8);
 
 }  // namespace
 

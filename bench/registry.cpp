@@ -53,8 +53,8 @@ namespace {
 
 void usage(std::ostream& os) {
   os << "usage: cci_bench <figure> [--jobs N] [--csv out.csv] [--cache dir]\n"
-        "                 [--shard i/n] [--seed S] [--timeline out.csv]\n"
-        "                 [--timeline-period S]\n"
+        "                 [--shard i/n] [--seed S] [--sim-shards N]\n"
+        "                 [--timeline out.csv] [--timeline-period S]\n"
         "       cci_bench --list\n"
         "\n"
         "  --jobs N     run campaign points on N worker threads (default 1);\n"
@@ -64,6 +64,10 @@ void usage(std::ostream& os) {
         "               shards skip already-solved points\n"
         "  --shard i/n  run only points with index %% n == i (0-based)\n"
         "  --seed S     override the base seed campaigns mix per-point seeds from\n"
+        "  --sim-shards N  run each simulation on N conservative-window shard\n"
+        "               threads (overrides CCI_SIM_SHARDS for this run; part\n"
+        "               of the result-cache key, so cached points never mix\n"
+        "               shard configurations)\n"
         "  --timeline PATH        sample metrics on a simulated-time grid and\n"
         "                         append tidy CSV (campaign,point,time,series,value);\n"
         "                         deterministic for any --jobs/--shard split\n"
@@ -130,6 +134,17 @@ bool parse_flags(int argc, char** argv, core::CampaignOptions& options,
       }
       options.override_base_seed = true;
       options.base_seed = static_cast<std::uint64_t>(s);
+    } else if (arg == "--sim-shards") {
+      const char* v = value("--sim-shards");
+      long long n = 0;
+      if (v == nullptr || !parse_int(v, n) || n < 1) {
+        std::cerr << "cci_bench: --sim-shards wants a positive integer\n";
+        return false;
+      }
+      // The shard machinery reads CCI_SIM_SHARDS at each simulation setup,
+      // so a per-run override is just a process-local env write — it also
+      // flows into core::cache_key() with no extra plumbing.
+      setenv("CCI_SIM_SHARDS", v, 1);
     } else if (arg == "--timeline") {
       const char* v = value("--timeline");
       if (v == nullptr) return false;

@@ -13,6 +13,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "sim/shard.hpp"
 
 namespace cci::core {
 
@@ -430,6 +431,11 @@ void serialize_scenario(std::ostream& os, const Scenario& s) {
 std::uint64_t cache_key(const Campaign& campaign, const SweepPoint& point) {
   std::ostringstream os;
   os << "cci-campaign-v" << kCampaignSchemaVersion << ';';
+  // Shard-parallel simulation is bitwise-deterministic at a *fixed* shard
+  // count, but gauges/histograms (heap depth, per-shard maxima) legitimately
+  // differ across counts — results cached at one shard setting must not be
+  // served for another.
+  put_int(os, "sim_shards", sim::configured_shards());
   os << "eval=" << campaign.evaluator_id() << ';';
   os << "axes=";
   for (const std::string& l : campaign.spec().axis_labels()) os << l << ',';

@@ -245,7 +245,9 @@ class Campaign {
 /// tests; the format is versioned by kCampaignSchemaVersion).
 void serialize_scenario(std::ostream& os, const Scenario& s);
 
-inline constexpr int kCampaignSchemaVersion = 1;
+// v2: cache key folds in the simulation shard count (CCI_SIM_SHARDS /
+// --sim-shards), so cached points can never mix shard configurations.
+inline constexpr int kCampaignSchemaVersion = 2;
 
 // ---- engine -----------------------------------------------------------------
 

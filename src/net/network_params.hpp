@@ -54,6 +54,18 @@ struct NetworkParams {
   // ---- run-to-run noise ------------------------------------------------------
   double noise_rel = 0.0;  ///< relative jitter on latency components
 
+  /// Conservative PDES lookahead for events crossing between nodes on this
+  /// fabric: the one-way wire/NIC latency plus the DMA engine's per-byte
+  /// floor (the time even a 1-byte payload spends in the uncore path).  Any
+  /// cross-node effect of an event at time t lands at or after
+  /// t + min_remote_delay(), so shards separated by this fabric may advance
+  /// that far past each other without ever seeing a message from the past.
+  [[nodiscard]] double min_remote_delay() const {
+    const double dma_floor =
+        dma_bw_max_uncore > 0 ? 1.0 / dma_bw_max_uncore : 0.0;
+    return wire_latency + dma_floor;
+  }
+
   static NetworkParams ib_edr();   ///< henri / pyxis
   static NetworkParams ib_hdr();   ///< billy
   static NetworkParams opa100();   ///< bora (wide bandwidth deviation, §3.2)

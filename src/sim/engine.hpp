@@ -61,6 +61,13 @@ class Engine {
   /// Current simulated time in seconds.
   [[nodiscard]] Time now() const { return now_; }
 
+  /// Time of the earliest pending event, or kNever if the queue is empty.
+  /// The shard scheduler uses this to compute conservative window horizons.
+  [[nodiscard]] Time next_event_time() const { return queue_.next_time(); }
+
+  /// Events actually pending (excludes lazily-cancelled heap slots).
+  [[nodiscard]] std::size_t queue_live_size() const { return queue_.live_size(); }
+
   /// Schedule a plain callback at absolute time `t` (>= now()).
   EventQueue::Handle call_at(Time t, EventQueue::Callback fn) {
     assert(t >= now_ - kTimeEpsilon);
@@ -153,6 +160,11 @@ class Engine {
         }
         ++run_events;
         ++instant_events;
+        // Piggyback the O(n) queue-invariant audit on the watchdog: cheap
+        // enough amortized (every 4096 events), and it catches live_size()
+        // drift — e.g. a compaction path forgetting n_cancelled_ — long
+        // before it would surface as a bogus stall report.
+        if ((run_events & 4095u) == 0) queue_.check_live_size();
       }
       auto [time, fn] = queue_.pop();
       assert(time >= now_ - kTimeEpsilon);

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -86,6 +87,11 @@ class EventQueue {
   /// Returns false (and does nothing) if the handle is not pending.
   bool retime(const Handle& h, Time t) {
     if (!h.pending() || h.entry_->owner != this) return false;
+    // Pops shrink the heap without sweeping, so the cancelled fraction can
+    // drift past the half bound between cancellations; retime bursts (the
+    // flow model's per-change-point timer moves) would then sift through a
+    // bloated heap thousands of times.  Re-check the bound here too.
+    maybe_compact();
     Entry* e = h.entry_;
     e->time = t;
     e->seq = next_seq_++;
@@ -122,6 +128,25 @@ class EventQueue {
   /// Events that are actually pending.
   [[nodiscard]] std::size_t live_size() const { return heap_.size() - n_cancelled_; }
 
+  /// Invariant audit (O(n)): every heap entry's backlink is correct, only
+  /// pending/cancelled entries occupy heap slots, and the cancelled count
+  /// backing live_size() matches the heap contents.  Throws std::logic_error
+  /// on violation.  Run by the engine under the watchdog; not a hot path.
+  void check_live_size() const {
+    std::size_t cancelled = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      const Entry* e = heap_[i];
+      if (e->heap_pos != i)
+        throw std::logic_error("EventQueue: heap_pos backlink out of sync");
+      if (e->state == Handle::State::kCancelled)
+        ++cancelled;
+      else if (e->state != Handle::State::kPending)
+        throw std::logic_error("EventQueue: freed/fired entry still in heap");
+    }
+    if (cancelled != n_cancelled_)
+      throw std::logic_error("EventQueue: live_size() out of sync with heap");
+  }
+
  private:
   using Entry = Handle::Entry;
 
@@ -150,7 +175,11 @@ class EventQueue {
   void cancel_entry(Entry* e) {
     e->state = Handle::State::kCancelled;
     ++n_cancelled_;
-    // Eager sweep: never let cancelled entries exceed half the heap.
+    maybe_compact();
+  }
+
+  /// Eager sweep: never let cancelled entries exceed half the heap.
+  void maybe_compact() {
     if (heap_.size() >= 16 && n_cancelled_ * 2 > heap_.size()) compact();
   }
 

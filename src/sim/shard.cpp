@@ -1,0 +1,275 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "sim/maxmin.hpp"
+
+namespace cci::sim {
+
+int configured_shards() {
+  const char* env = std::getenv("CCI_SIM_SHARDS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1) return 1;
+  return static_cast<int>(v);
+}
+
+std::vector<int> shard_assignment(const MaxMinSolver& solver, int shards) {
+  const std::size_t n_res = solver.resource_count();
+  std::vector<int> out(n_res, 0);
+  if (shards <= 1) return out;
+  // Rank roots by smallest member: scanning resources in index order, the
+  // first time a root appears is at its minimum member, so ranks — and the
+  // resulting deal — are a pure function of the flow structure.
+  std::vector<int> root_rank(n_res, -1);
+  int next_rank = 0;
+  for (std::size_t r = 0; r < n_res; ++r) {
+    const std::size_t root = solver.component_root(r);
+    if (root_rank[root] < 0) root_rank[root] = next_rank++;
+    out[r] = root_rank[root] % shards;
+  }
+  return out;
+}
+
+ShardGroup::ShardGroup() : ShardGroup(Options{}) {}
+
+ShardGroup::ShardGroup(Options opts) : opts_(opts) {
+  n_ = opts_.shards > 0 ? opts_.shards : configured_shards();
+  if (opts_.lookahead <= 0.0)
+    throw std::invalid_argument("ShardGroup: lookahead must be > 0");
+  shards_.reserve(static_cast<std::size_t>(n_));
+  if (n_ == 1) {
+    // Serial special case: one engine on the caller's thread, caller's
+    // registry, no worker — indistinguishable from using Engine directly.
+    auto sh = std::make_unique<Shard>();
+    sh->engine = std::make_unique<Engine>();
+    sh->busy = false;
+    shards_.push_back(std::move(sh));
+    return;
+  }
+  lanes_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+  const bool obs_on = obs::Registry::global().enabled();
+  obs_windows_ = &obs::Registry::global().counter("sim.shard.windows");
+  obs_messages_ = &obs::Registry::global().counter("sim.shard.messages");
+  obs_spills_ = &obs::Registry::global().counter("sim.shard.spills");
+  for (int s = 0; s < n_; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->registry = std::make_unique<obs::Registry>();
+    sh->registry->set_enabled(obs_on);
+    shards_.push_back(std::move(sh));
+  }
+  for (int s = 0; s < n_; ++s) {
+    Shard* sh = shards_[static_cast<std::size_t>(s)].get();
+    sh->thread = std::thread(&ShardGroup::worker_main, this, sh);
+  }
+  // Engines come up on the workers (busy starts true, cleared after
+  // construction); wait so engine(s) is valid once the ctor returns.
+  for (auto& sh : shards_) wait(*sh);
+  try {
+    rethrow_any();
+  } catch (...) {
+    stop_workers();  // the dtor will not run for a throwing ctor
+    throw;
+  }
+}
+
+ShardGroup::~ShardGroup() { stop_workers(); }
+
+void ShardGroup::stop_workers() {
+  if (n_ == 1) return;
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->mutex);
+    sh->stop = true;
+    sh->cv.notify_all();
+  }
+  for (auto& sh : shards_)
+    if (sh->thread.joinable()) sh->thread.join();
+}
+
+ShardGroup::Shard& ShardGroup::shard_at(int s) {
+  assert(s >= 0 && s < n_);
+  return *shards_[static_cast<std::size_t>(s)];
+}
+
+obs::Registry& ShardGroup::registry(int s) {
+  if (n_ == 1) return obs::Registry::global();
+  return *shard_at(s).registry;
+}
+
+void ShardGroup::worker_main(ShardGroup* group, Shard* shard) {
+  // The shard registry is this thread's Registry::global() for the whole
+  // worker lifetime: the engine's metric handles, every FlowModel built via
+  // with_shard(), and all pool-stat channels bind into it.  The engine is
+  // built and destroyed here so coroutine frames stay in this thread's
+  // FrameArena from first allocation to final free.
+  obs::Registry::ScopedThreadLocal scope(*shard->registry);
+  try {
+    shard->engine = std::make_unique<Engine>();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(shard->mutex);
+    shard->error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lk(shard->mutex);
+    shard->busy = false;
+    shard->cv.notify_all();
+  }
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(shard->mutex);
+      shard->cv.wait(lk, [shard] { return shard->stop || shard->busy; });
+      if (shard->busy) {
+        job = std::move(shard->job);
+        shard->job = nullptr;
+      } else {
+        break;  // stop requested with no pending job
+      }
+    }
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(shard->mutex);
+      if (error) shard->error = error;
+      shard->busy = false;
+      shard->cv.notify_all();
+    }
+  }
+  shard->engine.reset();
+  (void)group;
+}
+
+void ShardGroup::submit(Shard& sh, std::function<void()> job) {
+  std::lock_guard<std::mutex> lk(sh.mutex);
+  assert(!sh.busy && sh.job == nullptr);
+  sh.job = std::move(job);
+  sh.busy = true;
+  sh.cv.notify_all();
+}
+
+void ShardGroup::wait(Shard& sh) {
+  std::unique_lock<std::mutex> lk(sh.mutex);
+  sh.cv.wait(lk, [&sh] { return !sh.busy; });
+}
+
+void ShardGroup::rethrow_any() {
+  for (auto& sh : shards_) {
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lk(sh->mutex);
+      error = sh->error;
+      sh->error = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void ShardGroup::with_shard(int s, const std::function<void(Engine&)>& fn) {
+  Shard& sh = shard_at(s);
+  if (n_ == 1) {
+    fn(*sh.engine);
+    return;
+  }
+  submit(sh, [&sh, &fn] { fn(*sh.engine); });
+  wait(sh);
+  rethrow_any();
+}
+
+void ShardGroup::post(int from, int to, Time at, EventQueue::Callback fn) {
+  assert(from >= 0 && from < n_ && to >= 0 && to < n_);
+  if (n_ == 1 || from == to) {
+    shard_at(to).engine->call_at(at, std::move(fn));
+    return;
+  }
+  if (opts_.lookahead == kNever)
+    throw std::logic_error(
+        "ShardGroup: cross-shard post in a shard-closed group "
+        "(construct with a finite lookahead)");
+  // The conservative contract: the sender may not reach closer than one
+  // lookahead to the delivery time, or the window proof breaks down.
+  assert(at >= shard_at(from).engine->now() + opts_.lookahead - kTimeEpsilon);
+  Lane& lane = lanes_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+                      static_cast<std::size_t>(to)];
+  if (lane.mail.size() >= opts_.mailbox_capacity) ++lane.spills;
+  lane.mail.push_back(Mail{at, std::move(fn)});
+}
+
+void ShardGroup::drain_mail() {
+  // Deterministic delivery: (receiver asc, sender asc, FIFO within lane).
+  // The receiving queue stamps its own sequence numbers in this order, so
+  // same-instant ties resolve identically run after run.
+  for (int to = 0; to < n_; ++to) {
+    Engine& dst = *shard_at(to).engine;
+    for (int from = 0; from < n_; ++from) {
+      Lane& lane = lanes_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+                          static_cast<std::size_t>(to)];
+      stats_.messages += lane.mail.size();
+      stats_.spills += lane.spills;
+      lane.spills = 0;
+      for (Mail& m : lane.mail) dst.call_at(m.at, std::move(m.fn));
+      lane.mail.clear();  // keeps capacity: steady-state lanes do not allocate
+    }
+  }
+}
+
+Time ShardGroup::run(Time until) {
+  if (n_ == 1) return shard_at(0).engine->run(until);
+  const auto run_window = [this](Time horizon) {
+    for (auto& sh : shards_) {
+      Shard* p = sh.get();
+      submit(*p, [p, horizon] { p->engine->run(horizon); });
+    }
+    for (auto& sh : shards_) wait(*sh);
+    rethrow_any();
+  };
+  for (;;) {
+    drain_mail();
+    Time tmin = kNever;
+    for (auto& sh : shards_) tmin = std::min(tmin, sh->engine->next_event_time());
+    if (tmin == kNever || tmin > until) {
+      // Nothing left below the caller's horizon: advance every clock (and
+      // sampler) to `until` and stop.  No events run, so no new mail.
+      run_window(until);
+      break;
+    }
+    const Time horizon =
+        opts_.lookahead == kNever ? until : std::min(until, tmin + opts_.lookahead);
+    run_window(horizon);
+    ++stats_.windows;
+  }
+  publish_stats();
+  Time t = 0.0;
+  for (auto& sh : shards_) t = std::max(t, sh->engine->now());
+  return t;
+}
+
+void ShardGroup::merge_obs(obs::Registry& dst) {
+  if (n_ == 1) return;
+  for (auto& sh : shards_) {
+    dst.merge_from(*sh->registry);
+    sh->registry->reset();
+  }
+}
+
+void ShardGroup::publish_stats() {
+  const auto flush = [](obs::Counter* c, std::uint64_t now, std::uint64_t& last) {
+    if (now != last) {
+      c->add(static_cast<double>(now - last));
+      last = now;
+    }
+  };
+  flush(obs_windows_, stats_.windows, published_.windows);
+  flush(obs_messages_, stats_.messages, published_.messages);
+  flush(obs_spills_, stats_.spills, published_.spills);
+}
+
+}  // namespace cci::sim

@@ -127,6 +127,46 @@ TEST(EventQueue, LiveSizeExcludesLazilyCancelledEntries) {
   EXPECT_GE(q.size_estimate(), q.live_size());
 }
 
+TEST(EventQueue, RetimeBurstSweepsCancelledEntriesLeftByPops) {
+  // Pops shrink the heap without re-checking the cancelled fraction, so a
+  // heap can sit at > 50% cancelled entries indefinitely if no further
+  // cancel arrives.  A retime burst through such a heap must trigger the
+  // sweep itself (it used to sift through the garbage forever).
+  EventQueue q;
+  std::vector<EventQueue::Handle> far;
+  for (int i = 0; i < 100; ++i) q.schedule(static_cast<double>(i), [] {});
+  for (int i = 0; i < 80; ++i)
+    far.push_back(q.schedule(1e9 + i, [] {}));  // never pops naturally
+  auto live_far = q.schedule(2e9, [] {});
+  // 80 cancels against a heap of 181: never crosses the half bound.
+  for (auto& h : far) h.cancel();
+  ASSERT_EQ(q.live_size(), 101u);
+  // Pop the 100 near entries: the heap shrinks to 81 slots of which 80 are
+  // cancelled — way past the bound, with no cancel left to notice it.
+  for (int i = 0; i < 100; ++i) (void)q.pop();
+  ASSERT_EQ(q.live_size(), 1u);
+  ASSERT_GT(q.size_estimate(), 40u);
+  EXPECT_TRUE(q.retime(live_far, 3e9));
+  EXPECT_EQ(q.size_estimate(), 1u);  // retime compacted before sifting
+  EXPECT_EQ(q.live_size(), 1u);
+  q.check_live_size();
+}
+
+TEST(EventQueue, CheckLiveSizeAuditHoldsThroughChurn) {
+  Rng rng(23);
+  EventQueue q;
+  std::vector<EventQueue::Handle> handles;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i)
+      handles.push_back(q.schedule(rng.uniform(0.0, 100.0), [] {}));
+    for (std::size_t i = 0; i < handles.size(); i += 3) handles[i].cancel();
+    for (std::size_t i = 1; i < handles.size(); i += 3)
+      q.retime(handles[i], rng.uniform(0.0, 100.0));
+    for (int i = 0; i < 5 && !q.empty(); ++i) (void)q.pop();
+    ASSERT_NO_THROW(q.check_live_size()) << "round " << round;
+  }
+}
+
 TEST(EngineRetime, RetimedCallbackFiresAtNewTime) {
   Engine engine;
   Time fired_at = -1.0;

@@ -1,0 +1,376 @@
+// Conservative-window shard-parallel simulation: partition seeding,
+// serial-path equivalence, run-to-run and cross-shard-count determinism,
+// mailbox delivery, and error propagation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/timeline.hpp"
+#include "sim/flow_model.hpp"
+#include "sim/maxmin.hpp"
+#include "sim/shard.hpp"
+#include "sim/stall.hpp"
+
+namespace cci::sim {
+namespace {
+
+// ---- helpers ----------------------------------------------------------------
+
+/// Render a snapshot for byte-comparison, dropping the host-dependent
+/// series (pool occupancy, wall-clock histograms) exactly like the
+/// sampler's deny lists do.
+std::string snapshot_text(const obs::Snapshot& snap) {
+  std::ostringstream os;
+  for (const auto& e : snap.entries) {
+    if (e.name.rfind("sim.pool.", 0) == 0) continue;
+    if (e.name.find("wall_us") != std::string::npos) continue;
+    char buf[256];
+    std::snprintf(buf, sizeof buf, " %d %.17g %.17g %llu %.17g %.17g\n",
+                  static_cast<int>(e.kind), e.value, e.max,
+                  static_cast<unsigned long long>(e.count), e.sum, e.min);
+    os << e.name << buf;
+  }
+  return os.str();
+}
+
+sim::Coro churn(Engine& engine, FlowModel& model, Resource* a, Resource* b,
+                LabelId label, int acts, std::vector<Time>* done) {
+  for (int i = 0; i < acts; ++i) {
+    ActivitySpec spec;
+    spec.label = label;
+    spec.work = 1.0 + 0.25 * static_cast<double>(i % 4);
+    spec.demands.push_back({a, 1.0});
+    if (i % 2 != 0) spec.demands.push_back({b, 0.5});
+    co_await *model.start(spec);
+    if (done != nullptr) done->push_back(engine.now());
+  }
+}
+
+constexpr int kGroups = 4;
+constexpr int kProcsPerGroup = 2;
+constexpr int kActs = 24;
+
+/// kGroups independent node groups (own FlowModel + private resources ->
+/// shard-closed), dealt to shards round-robin.  Completion instants are
+/// recorded per group so runs are comparable across shard counts.
+struct GroupedScenario {
+  ShardGroup group;
+  struct NodeGroup {
+    std::unique_ptr<FlowModel> model;
+    Resource* res[2] = {nullptr, nullptr};
+    LabelId label = kNoLabel;
+    std::vector<Time> completions;
+  };
+  NodeGroup groups[kGroups];
+
+  static ShardGroup::Options make_options(int shards, Time lookahead) {
+    ShardGroup::Options o;
+    o.shards = shards;
+    o.lookahead = lookahead;
+    return o;
+  }
+
+  explicit GroupedScenario(int shards, Time lookahead = kNever)
+      : group(make_options(shards, lookahead)) {
+    for (int g = 0; g < kGroups; ++g) {
+      NodeGroup& ng = groups[g];
+      group.with_shard(shard_of(g), [&](Engine& eng) {
+        ng.model = std::make_unique<FlowModel>(eng);
+        ng.res[0] = ng.model->add_resource("g" + std::to_string(g) + ".a", 4.0);
+        ng.res[1] = ng.model->add_resource("g" + std::to_string(g) + ".b", 5.0);
+        ng.label = eng.intern("churn");
+        for (int p = 0; p < kProcsPerGroup; ++p)
+          eng.spawn(churn(eng, *ng.model, ng.res[p % 2], ng.res[(p + 1) % 2],
+                          ng.label, kActs, &ng.completions));
+      });
+    }
+  }
+  ~GroupedScenario() {
+    for (int g = 0; g < kGroups; ++g)
+      group.with_shard(shard_of(g), [&](Engine&) { groups[g].model.reset(); });
+  }
+  [[nodiscard]] int shard_of(int g) const { return g % group.shards(); }
+  std::uint64_t total_events() {
+    std::uint64_t n = 0;
+    for (int s = 0; s < group.shards(); ++s) n += group.engine(s).events_dispatched();
+    return n;
+  }
+};
+
+// ---- partition seeding ------------------------------------------------------
+
+TEST(ShardConfig, ConfiguredShardsParsesEnvironment) {
+  unsetenv("CCI_SIM_SHARDS");
+  EXPECT_EQ(configured_shards(), 1);
+  setenv("CCI_SIM_SHARDS", "4", 1);
+  EXPECT_EQ(configured_shards(), 4);
+  setenv("CCI_SIM_SHARDS", "0", 1);
+  EXPECT_EQ(configured_shards(), 1);
+  setenv("CCI_SIM_SHARDS", "garbage", 1);
+  EXPECT_EQ(configured_shards(), 1);
+  unsetenv("CCI_SIM_SHARDS");
+}
+
+TEST(ShardAssignment, FollowsSolverComponentsRoundRobin) {
+  MaxMinSolver solver;
+  for (int r = 0; r < 6; ++r) solver.add_resource(1.0);
+  // Couple {0,3}, {1,4}; 2 and 5 stay singletons -> components ranked by
+  // smallest member: {0,3}=0, {1,4}=1, {2}=2, {5}=3.
+  solver.add_flow(1.0, 0.0, {{0, 1.0}, {3, 1.0}});
+  solver.add_flow(1.0, 0.0, {{1, 1.0}, {4, 1.0}});
+
+  const std::vector<int> one = shard_assignment(solver, 1);
+  EXPECT_EQ(one, (std::vector<int>{0, 0, 0, 0, 0, 0}));
+
+  const std::vector<int> two = shard_assignment(solver, 2);
+  EXPECT_EQ(two, (std::vector<int>{0, 1, 0, 0, 1, 1}));
+
+  // Coupled resources always co-locate, at any shard count.
+  for (int n = 1; n <= 4; ++n) {
+    const std::vector<int> a = shard_assignment(solver, n);
+    EXPECT_EQ(a[0], a[3]) << "shards=" << n;
+    EXPECT_EQ(a[1], a[4]) << "shards=" << n;
+  }
+}
+
+// ---- serial equivalence -----------------------------------------------------
+
+TEST(ShardGroupSerial, SingleShardMatchesPlainEngine) {
+  // Reference: the exact same scenario built directly on an Engine.
+  obs::Registry ref_reg;
+  ref_reg.set_enabled(true);
+  Time ref_end = 0.0;
+  std::uint64_t ref_events = 0;
+  std::vector<std::vector<Time>> ref_completions(kGroups);
+  {
+    obs::Registry::ScopedThreadLocal scope(ref_reg);
+    Engine engine;
+    std::vector<std::unique_ptr<FlowModel>> models;
+    for (int g = 0; g < kGroups; ++g) {
+      auto model = std::make_unique<FlowModel>(engine);
+      Resource* res[2] = {model->add_resource("g" + std::to_string(g) + ".a", 4.0),
+                          model->add_resource("g" + std::to_string(g) + ".b", 5.0)};
+      LabelId label = engine.intern("churn");
+      for (int p = 0; p < kProcsPerGroup; ++p)
+        engine.spawn(churn(engine, *model, res[p % 2], res[(p + 1) % 2], label,
+                           kActs, &ref_completions[g]));
+      models.push_back(std::move(model));
+    }
+    ref_end = engine.run();
+    ref_events = engine.events_dispatched();
+  }
+
+  obs::Registry shard_reg;
+  shard_reg.set_enabled(true);
+  Time end = 0.0;
+  std::uint64_t events = 0;
+  std::vector<std::vector<Time>> completions(kGroups);
+  {
+    obs::Registry::ScopedThreadLocal scope(shard_reg);
+    GroupedScenario s(1);
+    end = s.group.run();
+    events = s.total_events();
+    for (int g = 0; g < kGroups; ++g) completions[g] = s.groups[g].completions;
+  }
+
+  EXPECT_EQ(end, ref_end);  // bitwise: both are the same double computation
+  EXPECT_EQ(events, ref_events);
+  for (int g = 0; g < kGroups; ++g) EXPECT_EQ(completions[g], ref_completions[g]);
+  EXPECT_EQ(snapshot_text(shard_reg.snapshot()), snapshot_text(ref_reg.snapshot()));
+}
+
+// ---- determinism ------------------------------------------------------------
+
+struct ShardRunResult {
+  Time end = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::vector<std::vector<Time>> completions;
+  std::string metrics;
+  std::string timeline_csv;
+};
+
+ShardRunResult run_sharded(int shards, Time lookahead, bool with_timeline) {
+  ShardRunResult out;
+  out.completions.resize(kGroups);
+  obs::Registry reg;
+  reg.set_enabled(true);
+  obs::Registry::ScopedThreadLocal scope(reg);
+  GroupedScenario s(shards, lookahead);
+  // Optional per-shard simulated-time sampling: sampler and store live and
+  // die on the worker (the store's row blocks come from the worker's pool).
+  struct ShardSampling {
+    std::unique_ptr<obs::TimelineStore> store;
+    std::unique_ptr<obs::Sampler> sampler;
+  };
+  std::vector<ShardSampling> sampling(static_cast<std::size_t>(s.group.shards()));
+  if (with_timeline) {
+    for (int sh = 0; sh < s.group.shards(); ++sh) {
+      ShardSampling& sl = sampling[static_cast<std::size_t>(sh)];
+      s.group.with_shard(sh, [&](Engine& eng) {
+        sl.store = std::make_unique<obs::TimelineStore>();
+        obs::SamplerConfig cfg;
+        cfg.period = 0.25;
+        sl.sampler =
+            std::make_unique<obs::Sampler>(s.group.registry(sh), *sl.store, cfg);
+        eng.set_sampler(sl.sampler.get());
+      });
+    }
+  }
+  out.end = s.group.run();
+  out.events = s.total_events();
+  out.windows = s.group.stats().windows;
+  for (int g = 0; g < kGroups; ++g) out.completions[g] = s.groups[g].completions;
+  if (with_timeline) {
+    std::ostringstream csv;
+    for (int sh = 0; sh < s.group.shards(); ++sh) {
+      ShardSampling& sl = sampling[static_cast<std::size_t>(sh)];
+      sl.store->write_csv(csv, "shard", std::to_string(sh), sh == 0);
+      s.group.with_shard(sh, [&](Engine& eng) {
+        eng.set_sampler(nullptr);
+        sl.sampler.reset();
+        sl.store.reset();
+      });
+    }
+    out.timeline_csv = csv.str();
+  }
+  s.group.merge_obs(reg);
+  out.metrics = snapshot_text(reg.snapshot());
+  return out;
+}
+
+TEST(ShardGroupDeterminism, FourShardsRunToRunBitwiseIdentical) {
+  const ShardRunResult a = run_sharded(4, 3.0, /*with_timeline=*/true);
+  const ShardRunResult b = run_sharded(4, 3.0, /*with_timeline=*/true);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.windows, b.windows);
+  EXPECT_EQ(a.completions, b.completions);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_FALSE(a.timeline_csv.empty());
+  EXPECT_EQ(a.timeline_csv, b.timeline_csv);
+}
+
+TEST(ShardGroupDeterminism, ShardClosedRunsIdenticalAcrossShardCounts) {
+  // Shard-closed scenario (kNever lookahead): the node groups never
+  // interact, so the per-group event sequences — and every completion
+  // instant — are a pure function of the group, not of the partition.
+  const ShardRunResult one = run_sharded(1, kNever, /*with_timeline=*/false);
+  const ShardRunResult two = run_sharded(2, kNever, /*with_timeline=*/false);
+  const ShardRunResult four = run_sharded(4, kNever, /*with_timeline=*/false);
+  EXPECT_EQ(one.completions, two.completions);
+  EXPECT_EQ(one.completions, four.completions);
+  EXPECT_EQ(one.events, two.events);
+  EXPECT_EQ(one.events, four.events);
+  EXPECT_EQ(one.end, two.end);
+  EXPECT_EQ(one.end, four.end);
+  // Windowing differs by design: serial runs take the fast path (0), and a
+  // shard-closed multi-shard run needs exactly one window.
+  EXPECT_EQ(one.windows, 0u);
+  EXPECT_EQ(two.windows, 1u);
+  EXPECT_EQ(four.windows, 1u);
+}
+
+TEST(ShardGroupDeterminism, FiniteLookaheadMatchesShardClosedResults) {
+  // Windowed execution changes the barrier schedule, never the physics.
+  const ShardRunResult closed = run_sharded(4, kNever, /*with_timeline=*/false);
+  const ShardRunResult windowed = run_sharded(4, 2.5, /*with_timeline=*/false);
+  EXPECT_EQ(closed.completions, windowed.completions);
+  EXPECT_EQ(closed.events, windowed.events);
+  EXPECT_EQ(closed.end, windowed.end);
+  EXPECT_GT(windowed.windows, 1u);
+}
+
+// ---- cross-shard mail -------------------------------------------------------
+
+TEST(ShardMailbox, DeliversCrossShardPostsAtTheirInstant) {
+  ShardGroup::Options o;
+  o.shards = 2;
+  o.lookahead = 2.0;
+  ShardGroup group(o);
+  std::vector<Time> received;  // written by shard 1's worker only
+  group.with_shard(0, [&](Engine& eng) {
+    for (int i = 0; i < 3; ++i) {
+      const Time t = static_cast<Time>(i);
+      eng.call_at(t, [&group, &received, t] {
+        group.post(0, 1, t + 2.0, [&group, &received] {
+          received.push_back(group.engine(1).now());
+        });
+      });
+    }
+  });
+  group.run();
+  EXPECT_EQ(received, (std::vector<Time>{2.0, 3.0, 4.0}));
+  EXPECT_EQ(group.stats().messages, 3u);
+  EXPECT_GE(group.stats().windows, 2u);
+  EXPECT_EQ(group.stats().spills, 0u);
+}
+
+TEST(ShardMailbox, SpillsAreCountedNeverDropped) {
+  ShardGroup::Options o;
+  o.shards = 2;
+  o.lookahead = 1.0;
+  o.mailbox_capacity = 1;
+  ShardGroup group(o);
+  std::vector<Time> received;
+  group.with_shard(0, [&](Engine& eng) {
+    eng.call_at(0.0, [&group, &received] {
+      for (int i = 0; i < 3; ++i)
+        group.post(0, 1, 1.0 + 0.125 * i, [&group, &received] {
+          received.push_back(group.engine(1).now());
+        });
+    });
+  });
+  group.run();
+  EXPECT_EQ(received, (std::vector<Time>{1.0, 1.125, 1.25}));
+  EXPECT_EQ(group.stats().messages, 3u);
+  EXPECT_EQ(group.stats().spills, 2u);  // lane pushes 2 and 3 exceeded cap 1
+}
+
+TEST(ShardMailbox, CrossShardPostInShardClosedGroupThrows) {
+  ShardGroup::Options o;
+  o.shards = 2;  // lookahead stays kNever: declared shard-closed
+  ShardGroup group(o);
+  bool threw = false;
+  group.with_shard(0, [&](Engine& eng) {
+    eng.call_at(0.0, [&group, &threw] {
+      try {
+        group.post(0, 1, 100.0, [] {});
+      } catch (const std::logic_error&) {
+        threw = true;
+      }
+    });
+  });
+  group.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(group.stats().messages, 0u);
+}
+
+// ---- error propagation ------------------------------------------------------
+
+TEST(ShardGroupErrors, WatchdogTripOnAWorkerPropagatesToRun) {
+  GroupedScenario s(2);
+  s.group.with_shard(0, [](Engine& eng) {
+    WatchdogConfig w;
+    w.max_events = 16;  // far below what the churn workload dispatches
+    eng.set_watchdog(w);
+  });
+  EXPECT_THROW(s.group.run(), SimStalled);
+}
+
+TEST(ShardGroupErrors, InvalidLookaheadRejectedAtConstruction) {
+  ShardGroup::Options o;
+  o.shards = 2;
+  o.lookahead = 0.0;
+  EXPECT_THROW(ShardGroup g(o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cci::sim
