@@ -5,6 +5,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+
+#ifdef CCI_SCHED
+#include "sched/explorer.hpp"
+#endif
 
 namespace cci::bench {
 
@@ -72,7 +77,12 @@ void usage(std::ostream& os) {
         "                         append tidy CSV (campaign,point,time,series,value);\n"
         "                         deterministic for any --jobs/--shard split\n"
         "  --timeline-period SEC  sampling period in simulated seconds\n"
-        "                         (default 1e-3; implies nothing without --timeline)\n";
+        "                         (default 1e-3; implies nothing without --timeline)\n"
+        "  --sched-record PATH    run under a controlled random schedule and save\n"
+        "                         the decision trace (CCI_SCHED builds only)\n"
+        "  --sched-replay PATH    replay a recorded schedule trace bit-for-bit\n"
+        "                         (CCI_SCHED builds only)\n"
+        "  --sched-seed S         seed for --sched-record's schedule (default 1)\n";
 }
 
 bool parse_int(const char* s, long long& out) {
@@ -81,11 +91,20 @@ bool parse_int(const char* s, long long& out) {
   return end != s && *end == '\0';
 }
 
+/// Schedule-exploration CLI state.  Parsed unconditionally so the flags are
+/// recognised (with a clear "rebuild with -DCCI_SCHED=ON" error) even in
+/// uninstrumented builds.
+struct SchedCli {
+  std::string record_path;
+  std::string replay_path;
+  std::uint64_t seed = 1;
+};
+
 /// Parse the campaign flags; returns false (after printing a message) on
 /// malformed input.  Unrecognised arguments are rejected so typos do not
 /// silently run a full-size campaign.
 bool parse_flags(int argc, char** argv, core::CampaignOptions& options,
-                 std::string& csv_path, std::string& timeline_path) {
+                 std::string& csv_path, std::string& timeline_path, SchedCli& sched_cli) {
   double timeline_period = 1e-3;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -159,6 +178,22 @@ bool parse_flags(int argc, char** argv, core::CampaignOptions& options,
         return false;
       }
       timeline_period = p;
+    } else if (arg == "--sched-record") {
+      const char* v = value("--sched-record");
+      if (v == nullptr) return false;
+      sched_cli.record_path = v;
+    } else if (arg == "--sched-replay") {
+      const char* v = value("--sched-replay");
+      if (v == nullptr) return false;
+      sched_cli.replay_path = v;
+    } else if (arg == "--sched-seed") {
+      const char* v = value("--sched-seed");
+      long long s = 0;
+      if (v == nullptr || !parse_int(v, s)) {
+        std::cerr << "cci_bench: --sched-seed wants an integer\n";
+        return false;
+      }
+      sched_cli.seed = static_cast<std::uint64_t>(s);
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return false;
@@ -185,7 +220,20 @@ int run_cli(const std::string& figure, int argc, char** argv) {
   core::CampaignOptions options;
   std::string csv_path;
   std::string timeline_path;
-  if (!parse_flags(argc, argv, options, csv_path, timeline_path)) return 2;
+  SchedCli sched_cli;
+  if (!parse_flags(argc, argv, options, csv_path, timeline_path, sched_cli)) return 2;
+  if (!sched_cli.record_path.empty() && !sched_cli.replay_path.empty()) {
+    std::cerr << "cci_bench: --sched-record and --sched-replay are exclusive\n";
+    return 2;
+  }
+#ifndef CCI_SCHED
+  if (!sched_cli.record_path.empty() || !sched_cli.replay_path.empty()) {
+    std::cerr << "cci_bench: this binary was built without schedule hooks; "
+                 "reconfigure with -DCCI_SCHED=ON to use --sched-record/"
+                 "--sched-replay\n";
+    return 2;
+  }
+#endif
 
   std::ofstream csv_file;
   std::ostream* csv = nullptr;
@@ -216,7 +264,45 @@ int run_cli(const std::string& figure, int argc, char** argv) {
   banner(def->title, def->what);
   core::CampaignEngine engine(options);
   FigureContext ctx(engine, obs, std::cout, csv, timeline);
+#ifdef CCI_SCHED
+  std::unique_ptr<sched::Session> sched_session;
+  if (!sched_cli.record_path.empty()) {
+    sched::Options so;
+    so.mode = sched::Options::Mode::kRandom;
+    so.seed = sched_cli.seed;
+    sched_session = std::make_unique<sched::Session>(so);
+  } else if (!sched_cli.replay_path.empty()) {
+    sched::Options so;
+    so.mode = sched::Options::Mode::kReplay;
+    try {
+      so.replay = sched::Trace::load(sched_cli.replay_path);
+    } catch (const std::exception& e) {
+      std::cerr << "cci_bench: " << e.what() << '\n';
+      return 2;
+    }
+    sched_session = std::make_unique<sched::Session>(so);
+  }
+#endif
   const int rc = def->fn(ctx);
+#ifdef CCI_SCHED
+  if (sched_session != nullptr) {
+    if (!sched_session->error().empty()) {
+      std::cerr << "cci_bench: schedule aborted: " << sched_session->error() << '\n';
+      return 3;
+    }
+    if (!sched_cli.record_path.empty()) {
+      try {
+        sched_session->trace().save(sched_cli.record_path);
+      } catch (const std::exception& e) {
+        std::cerr << "cci_bench: " << e.what() << '\n';
+        return 2;
+      }
+      std::cerr << "[sched] recorded " << sched_session->decisions().size()
+                << " decisions to " << sched_cli.record_path << '\n';
+    }
+    sched_session.reset();
+  }
+#endif
 
   std::cout << "\n[campaign] " << def->name << ": points total=" << engine.points_total()
             << " executed=" << engine.points_executed()

@@ -1,5 +1,6 @@
 #include "core/campaign.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -11,8 +12,15 @@
 #include <stdexcept>
 #include <thread>
 
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "sched/point.hpp"
 #include "sim/shard.hpp"
 
 namespace cci::core {
@@ -302,6 +310,7 @@ std::filesystem::path entry_path(const std::string& dir, std::uint64_t key) {
 /// the original table bit-for-bit.
 bool load_cache_entry(const std::string& dir, std::uint64_t key, std::size_t columns,
                       std::vector<double>& values) {
+  CCI_SCHED_POINT(kCacheRead, key);
   std::ifstream is(entry_path(dir, key));
   if (!is) return false;
   std::stringstream buffer;
@@ -331,7 +340,17 @@ void store_cache_entry(const std::string& dir, std::uint64_t key,
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   const std::filesystem::path path = entry_path(dir, key);
-  const std::filesystem::path tmp = path.string() + ".tmp";
+  // Unique tmp name per writer: two processes (or shards, or threads)
+  // storing the same point must not interleave writes into one shared tmp
+  // file — each writes its own and the final rename is atomic, so the
+  // published entry is always one writer's complete bytes.  Both writers
+  // produce identical contents anyway (that is the determinism contract),
+  // so last-rename-wins is harmless.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(static_cast<long long>(getpid())) + "." +
+      std::to_string(tmp_seq.fetch_add(1, std::memory_order_relaxed));
+  CCI_SCHED_POINT(kCacheWrite, key);
   {
     std::ofstream os(tmp);
     if (!os) return;  // cache is best-effort: an unwritable dir just means re-runs
@@ -344,7 +363,25 @@ void store_cache_entry(const std::string& dir, std::uint64_t key,
     }
     os << "]\n}\n";
   }
+  CCI_SCHED_POINT(kCacheRename, key);
   std::filesystem::rename(tmp, path, ec);
+}
+
+/// Remove tmp files left behind by writers that died between write and
+/// rename.  Best-effort on purpose: sweeping a *live* sibling's tmp only
+/// costs that sibling a silently-uncached point (its rename fails with an
+/// ignored error code), never a corrupt entry.  Returns the count removed.
+std::size_t sweep_stale_tmp(const std::string& dir) {
+  std::error_code ec;
+  std::size_t swept = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(".json.tmp") == std::string::npos) continue;
+    std::error_code rm;
+    if (std::filesystem::remove(entry.path(), rm)) ++swept;
+  }
+  return swept;
 }
 
 }  // namespace
@@ -489,9 +526,13 @@ class StealingQueues {
   }
 
   bool next(std::size_t worker, std::size_t& out) {
+    CCI_SCHED_POINT(kQueuePop, worker);
     if (pop_front(worker, out)) return true;
-    for (std::size_t off = 1; off < queues_.size(); ++off)
-      if (pop_back((worker + off) % queues_.size(), out)) return true;
+    for (std::size_t off = 1; off < queues_.size(); ++off) {
+      const std::size_t victim = (worker + off) % queues_.size();
+      CCI_SCHED_POINT(kQueueSteal, victim);
+      if (pop_back(victim, out)) return true;
+    }
     return false;
   }
 
@@ -550,6 +591,8 @@ CampaignRun CampaignEngine::run(const Campaign& campaign) {
   std::vector<std::uint64_t> keys(n, 0);
 
   // Resolve cached points first; only the misses hit the pool.
+  std::size_t tmp_swept = 0;
+  if (!options_.cache_dir.empty()) tmp_swept = sweep_stale_tmp(options_.cache_dir);
   std::vector<std::size_t> misses;
   misses.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -612,8 +655,18 @@ CampaignRun CampaignEngine::run(const Campaign& campaign) {
     std::mutex error_mutex;
     std::vector<std::thread> threads;
     threads.reserve(workers);
+#ifdef CCI_SCHED
+    std::vector<std::string> worker_names(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      worker_names[w] = "campaign.worker." + std::to_string(w);
+      sched::expect_thread(worker_names[w].c_str());
+    }
+#endif
     for (std::size_t w = 0; w < workers; ++w) {
       threads.emplace_back([&, w] {
+#ifdef CCI_SCHED
+        sched::ThreadScope sched_scope(worker_names[w].c_str());
+#endif
         obs::Registry::ScopedThreadLocal tls(*scratch[w]);
         std::size_t idx = 0;
         while (queues.next(w, idx)) {
@@ -627,7 +680,14 @@ CampaignRun CampaignEngine::run(const Campaign& campaign) {
         }
       });
     }
-    for (std::thread& t : threads) t.join();
+#ifdef CCI_SCHED
+    for (std::size_t w = 0; w < workers; ++w)
+      sched::await_thread_exit(worker_names[w].c_str());
+#endif
+    {
+      CCI_SCHED_BLOCKED_SCOPE();
+      for (std::thread& t : threads) t.join();
+    }
     if (first_error) std::rethrow_exception(first_error);
     // Deterministic fold-back: the merge operations are commutative and
     // integer-exact, so the process totals never depend on which worker
@@ -649,6 +709,8 @@ CampaignRun CampaignEngine::run(const Campaign& campaign) {
   reg.counter("campaign.points_total").add(static_cast<double>(n));
   reg.counter("campaign.points_executed").add(static_cast<double>(run.executed));
   reg.counter("campaign.points_cached").add(static_cast<double>(run.cached));
+  if (tmp_swept > 0)
+    reg.counter("campaign.cache_tmp_swept").add(static_cast<double>(tmp_swept));
   obs::Tracer& tracer = reg.tracer();
   if (tracer.on()) {
     const obs::TrackId track = tracer.track("campaign.points");

@@ -4,6 +4,11 @@
 #include <cmath>
 
 #include "obs/tracer.hpp"
+#include "sched/point.hpp"
+
+#ifdef CCI_SCHED
+#include "sched/explorer.hpp"
+#endif
 
 namespace cci::obs {
 
@@ -88,8 +93,22 @@ Registry::ScopedThreadLocal::ScopedThreadLocal(Registry& r) : previous_(tls_regi
 Registry::ScopedThreadLocal::~ScopedThreadLocal() { tls_registry = previous_; }
 
 void Registry::merge_from(const Registry& other) {
+  CCI_SCHED_POINT(kRegistryMerge, 0);
+#ifdef CCI_SCHED
+  if (sched::mutation_merge_overwrite()) {
+    // Planted bug for the explorer's mutation test: last-writer-wins
+    // instead of commutative addition, so merged totals depend on merge
+    // order and partition — exactly the defect class the oracle must catch.
+    for (const auto& [name, c] : other.counters_)
+      if (c->value_ != 0.0) counter(name).value_ = c->value_;
+  } else {
+    for (const auto& [name, c] : other.counters_)
+      if (c->value_ != 0.0) counter(name).value_ += c->value_;
+  }
+#else
   for (const auto& [name, c] : other.counters_)
     if (c->value_ != 0.0) counter(name).value_ += c->value_;
+#endif
   for (const auto& [name, g] : other.gauges_) {
     Gauge& mine = gauge(name);
     if (g->max_ > mine.max_) mine.max_ = g->max_;

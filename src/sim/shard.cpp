@@ -6,7 +6,17 @@
 #include <stdexcept>
 #include <string>
 
+#include "sched/point.hpp"
 #include "sim/maxmin.hpp"
+#include "sim/stall.hpp"
+
+#ifdef CCI_SCHED
+namespace {
+std::string shard_thread_name(int index) {
+  return "sim.shard." + std::to_string(index);
+}
+}  // namespace
+#endif
 
 namespace cci::sim {
 
@@ -59,12 +69,14 @@ ShardGroup::ShardGroup(Options opts) : opts_(opts) {
   obs_spills_ = &obs::Registry::global().counter("sim.shard.spills");
   for (int s = 0; s < n_; ++s) {
     auto sh = std::make_unique<Shard>();
+    sh->index = s;
     sh->registry = std::make_unique<obs::Registry>();
     sh->registry->set_enabled(obs_on);
     shards_.push_back(std::move(sh));
   }
   for (int s = 0; s < n_; ++s) {
     Shard* sh = shards_[static_cast<std::size_t>(s)].get();
+    CCI_SCHED_EXPECT_THREAD(shard_thread_name(s).c_str());
     sh->thread = std::thread(&ShardGroup::worker_main, this, sh);
   }
   // Engines come up on the workers (busy starts true, cleared after
@@ -87,6 +99,11 @@ void ShardGroup::stop_workers() {
     sh->stop = true;
     sh->cv.notify_all();
   }
+#ifdef CCI_SCHED
+  for (auto& sh : shards_)
+    sched::await_thread_exit(shard_thread_name(sh->index).c_str());
+#endif
+  CCI_SCHED_BLOCKED_SCOPE();
   for (auto& sh : shards_)
     if (sh->thread.joinable()) sh->thread.join();
 }
@@ -108,6 +125,9 @@ void ShardGroup::worker_main(ShardGroup* group, Shard* shard) {
   // built and destroyed here so coroutine frames stay in this thread's
   // FrameArena from first allocation to final free.
   obs::Registry::ScopedThreadLocal scope(*shard->registry);
+#ifdef CCI_SCHED
+  sched::ThreadScope sched_scope(shard_thread_name(shard->index).c_str());
+#endif
   try {
     shard->engine = std::make_unique<Engine>();
   } catch (...) {
@@ -119,11 +139,13 @@ void ShardGroup::worker_main(ShardGroup* group, Shard* shard) {
     shard->busy = false;
     shard->cv.notify_all();
   }
+  [[maybe_unused]] const auto idle_id = static_cast<std::uint64_t>(shard->index);
   for (;;) {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lk(shard->mutex);
-      shard->cv.wait(lk, [shard] { return shard->stop || shard->busy; });
+      CCI_SCHED_CV_WAIT(shard->cv, lk, idle_id,
+                        [shard] { return shard->stop || shard->busy; });
       if (shard->busy) {
         job = std::move(shard->job);
         shard->job = nullptr;
@@ -137,6 +159,7 @@ void ShardGroup::worker_main(ShardGroup* group, Shard* shard) {
     } catch (...) {
       error = std::current_exception();
     }
+    CCI_SCHED_POINT(kBarrierArrive, idle_id);
     {
       std::lock_guard<std::mutex> lk(shard->mutex);
       if (error) shard->error = error;
@@ -158,7 +181,8 @@ void ShardGroup::submit(Shard& sh, std::function<void()> job) {
 
 void ShardGroup::wait(Shard& sh) {
   std::unique_lock<std::mutex> lk(sh.mutex);
-  sh.cv.wait(lk, [&sh] { return !sh.busy; });
+  CCI_SCHED_CV_WAIT(sh.cv, lk, static_cast<std::uint64_t>(sh.index),
+                    [&sh] { return !sh.busy; });
 }
 
 void ShardGroup::rethrow_any() {
@@ -197,6 +221,9 @@ void ShardGroup::post(int from, int to, Time at, EventQueue::Callback fn) {
   // The conservative contract: the sender may not reach closer than one
   // lookahead to the delivery time, or the window proof breaks down.
   assert(at >= shard_at(from).engine->now() + opts_.lookahead - kTimeEpsilon);
+  CCI_SCHED_POINT(kMailboxPost, static_cast<std::uint64_t>(from) *
+                                        static_cast<std::uint64_t>(n_) +
+                                    static_cast<std::uint64_t>(to));
   Lane& lane = lanes_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
                       static_cast<std::size_t>(to)];
   if (lane.mail.size() >= opts_.mailbox_capacity) ++lane.spills;
@@ -210,6 +237,9 @@ void ShardGroup::drain_mail() {
   for (int to = 0; to < n_; ++to) {
     Engine& dst = *shard_at(to).engine;
     for (int from = 0; from < n_; ++from) {
+      CCI_SCHED_POINT(kMailboxDrain, static_cast<std::uint64_t>(from) *
+                                             static_cast<std::uint64_t>(n_) +
+                                         static_cast<std::uint64_t>(to));
       Lane& lane = lanes_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
                           static_cast<std::size_t>(to)];
       stats_.messages += lane.mail.size();
@@ -224,9 +254,27 @@ void ShardGroup::drain_mail() {
 Time ShardGroup::run(Time until) {
   if (n_ == 1) return shard_at(0).engine->run(until);
   const auto run_window = [this](Time horizon) {
+    const std::uint64_t window = stats_.windows;
     for (auto& sh : shards_) {
       Shard* p = sh.get();
-      submit(*p, [p, horizon] { p->engine->run(horizon); });
+      submit(*p, [p, horizon, window] {
+        try {
+          p->engine->run(horizon);
+        } catch (const SimStalled& stalled) {
+          // Re-throw with the shard/window context prepended: the engine's
+          // own inspectors name blocked activities but cannot know which
+          // shard or conservative window they were wedged in.
+          std::vector<std::string> blocked;
+          blocked.reserve(stalled.blocked().size() + 1);
+          blocked.push_back("shard " + std::to_string(p->index) +
+                            " wedged in window " + std::to_string(window) +
+                            " (horizon t=" + std::to_string(horizon) + "s)");
+          blocked.insert(blocked.end(), stalled.blocked().begin(),
+                         stalled.blocked().end());
+          throw SimStalled(stalled.reason(), stalled.at(), stalled.events(),
+                           stalled.live_processes(), std::move(blocked));
+        }
+      });
     }
     for (auto& sh : shards_) wait(*sh);
     rethrow_any();

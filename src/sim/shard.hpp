@@ -143,6 +143,7 @@ class ShardGroup {
     std::uint64_t spills = 0;
   };
   struct Shard {
+    int index = 0;  ///< position in shards_; names the worker in diagnostics
     std::unique_ptr<obs::Registry> registry;
     std::unique_ptr<Engine> engine;  ///< built/destroyed on the worker
     std::thread thread;

@@ -1,0 +1,379 @@
+// Explorer-driven determinism oracles over the real concurrent layers:
+// campaign jobs=8 vs serial, 2-shard ShardGroup runs, mailbox drain order,
+// the planted merge-order mutation, and a bounded-exhaustive small
+// campaign.  These tests only bite in instrumented builds (-DCCI_SCHED=ON);
+// elsewhere the whole suite skips so default ctest stays seed-equivalent.
+//
+// Environment knobs (all optional):
+//   CCI_SCHED_SEEDS      how many random seeds per oracle test (default 5;
+//                        CI cranks this to 50)
+//   CCI_SCHED_TRACE_DIR  where to save the schedule trace of any failing
+//                        seed, for upload as a CI artifact and offline
+//                        --sched-replay
+#include <gtest/gtest.h>
+
+#ifndef CCI_SCHED
+
+TEST(SchedExplore, RequiresInstrumentedBuild) {
+  GTEST_SKIP() << "built without -DCCI_SCHED=ON; schedule hooks compile to nothing";
+}
+
+#else  // CCI_SCHED
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "kernels/stream.hpp"
+#include "obs/metrics.hpp"
+#include "sched/explorer.hpp"
+#include "sim/flow_model.hpp"
+#include "sim/shard.hpp"
+
+namespace cci {
+namespace {
+
+int seeds_from_env() {
+  const char* env = std::getenv("CCI_SCHED_SEEDS");
+  if (env == nullptr || *env == '\0') return 5;
+  const int n = std::atoi(env);
+  return n > 0 ? n : 5;
+}
+
+/// Save `trace` under CCI_SCHED_TRACE_DIR (if set) so CI can upload it;
+/// returns a human-readable pointer for the assertion message.
+std::string save_failing_trace(const sched::Trace& trace, const std::string& tag) {
+  const char* dir = std::getenv("CCI_SCHED_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0')
+    return "set CCI_SCHED_TRACE_DIR to save the failing trace";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = (std::filesystem::path(dir) / (tag + ".trace")).string();
+  try {
+    trace.save(path);
+  } catch (const std::exception& e) {
+    return std::string("failed to save trace: ") + e.what();
+  }
+  return "failing trace saved to " + path;
+}
+
+core::Scenario quick_base() {
+  core::Scenario s;
+  s.kernel = kernels::triad_traits();
+  s.message_bytes = 4;
+  s.pingpong_iterations = 2;
+  s.pingpong_warmup = 0;
+  s.compute_repetitions = 1;
+  s.target_pass_seconds = 0.002;
+  return s;
+}
+
+core::Campaign quick_campaign() {
+  core::Campaign c("sched_explore_campaign",
+                   core::SweepSpec(quick_base())
+                       .cores("cores", {0, 2, 4})
+                       .message_bytes("msg_bytes", {4, 65536}));
+  c.column("lat_us", core::Campaign::latency_together_us())
+      .column("bw_ratio", core::Campaign::bandwidth_ratio());
+  return c;
+}
+
+core::CampaignOptions campaign_opts(int jobs) {
+  core::CampaignOptions o;
+  o.jobs = jobs;
+  return o;
+}
+
+std::string table_text(const core::Campaign& c, const core::CampaignRun& run) {
+  std::ostringstream os;
+  run.table(c).print(os);
+  return os.str();
+}
+
+std::string timeline_text(const core::Campaign& c, const core::CampaignRun& run) {
+  std::ostringstream os;
+  run.write_timeline_csv(os, c.name(), true);
+  return os.str();
+}
+
+/// RAII for the planted merge mutation so a failing assertion cannot leak
+/// the broken merge into later tests.
+struct MutationGuard {
+  explicit MutationGuard(bool on) { sched::set_mutation_merge_overwrite(on); }
+  ~MutationGuard() { sched::set_mutation_merge_overwrite(false); }
+};
+
+// ---- campaign oracle --------------------------------------------------------
+
+TEST(SchedExplore, CampaignJobs8MatchesSerialAcrossRandomSchedules) {
+  const core::Campaign c = quick_campaign();
+  core::CampaignOptions serial = campaign_opts(1);
+  serial.timeline_period = 1e-3;
+  const core::CampaignRun ref = core::CampaignEngine(serial).run(c);
+  const std::string ref_table = table_text(c, ref);
+  const std::string ref_timeline = timeline_text(c, ref);
+
+  const int seeds = seeds_from_env();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    sched::Options o;
+    o.mode = sched::Options::Mode::kRandom;
+    o.seed = static_cast<std::uint64_t>(seed);
+    sched::Session session(o);
+    core::CampaignOptions par = campaign_opts(8);
+    par.timeline_period = 1e-3;
+    const core::CampaignRun run = core::CampaignEngine(par).run(c);
+    ASSERT_EQ(session.error(), "") << "seed " << seed;
+    const bool tables_match = table_text(c, run) == ref_table;
+    const bool timelines_match = timeline_text(c, run) == ref_timeline;
+    if (!tables_match || !timelines_match)
+      FAIL() << "jobs=8 diverged from serial under schedule seed " << seed << " ("
+             << (tables_match ? "timeline CSV" : "campaign table") << "); "
+             << save_failing_trace(session.trace(),
+                                   "campaign_jobs8_seed" + std::to_string(seed));
+  }
+}
+
+// ---- sharded-sim oracle -----------------------------------------------------
+
+/// Tiny churn workload on a 2-shard group; returns per-group completion
+/// instants — the observable that must not depend on the schedule.
+std::vector<std::vector<sim::Time>> run_sharded_churn() {
+  sim::ShardGroup::Options go;
+  go.shards = 2;
+  sim::ShardGroup group(go);  // shard-closed: no cross-shard traffic
+  struct Group {
+    std::unique_ptr<sim::FlowModel> model;
+    std::vector<sim::Time> completions;
+  };
+  std::vector<Group> groups(4);
+  for (int g = 0; g < 4; ++g) {
+    Group& ng = groups[g];
+    group.with_shard(g % 2, [&ng, g](sim::Engine& eng) {
+      ng.model = std::make_unique<sim::FlowModel>(eng);
+      sim::Resource* a = ng.model->add_resource("g" + std::to_string(g) + ".a", 4.0);
+      sim::Resource* b = ng.model->add_resource("g" + std::to_string(g) + ".b", 5.0);
+      const sim::LabelId label = eng.intern("churn");
+      struct Churn {
+        static sim::Coro run(sim::Engine& eng, sim::FlowModel& model, sim::Resource* a,
+                             sim::Resource* b, sim::LabelId label,
+                             std::vector<sim::Time>* done) {
+          for (int i = 0; i < 12; ++i) {
+            sim::ActivitySpec spec;
+            spec.label = label;
+            spec.work = 1.0 + 0.25 * static_cast<double>(i % 4);
+            spec.demands.push_back({a, 1.0});
+            if (i % 2 != 0) spec.demands.push_back({b, 0.5});
+            co_await *model.start(spec);
+            done->push_back(eng.now());
+          }
+        }
+      };
+      for (int p = 0; p < 2; ++p)
+        eng.spawn(Churn::run(eng, *ng.model, p % 2 == 0 ? a : b, p % 2 == 0 ? b : a,
+                             label, &ng.completions));
+    });
+  }
+  group.run();
+  std::vector<std::vector<sim::Time>> out;
+  out.reserve(groups.size());
+  for (int g = 0; g < 4; ++g) {
+    Group& ng = groups[g];
+    out.push_back(ng.completions);
+    group.with_shard(g % 2, [&ng](sim::Engine&) { ng.model.reset(); });
+  }
+  return out;
+}
+
+TEST(SchedExplore, TwoShardRunsAreScheduleInvariant) {
+  const auto ref = run_sharded_churn();  // uncontrolled reference
+  const int seeds = seeds_from_env();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    sched::Options o;
+    o.mode = sched::Options::Mode::kRandom;
+    o.seed = static_cast<std::uint64_t>(seed);
+    sched::Session session(o);
+    const auto got = run_sharded_churn();
+    ASSERT_EQ(session.error(), "") << "seed " << seed;
+    if (got != ref)
+      FAIL() << "2-shard completions diverged under schedule seed " << seed << "; "
+             << save_failing_trace(session.trace(),
+                                   "shards2_seed" + std::to_string(seed));
+  }
+}
+
+// ---- mailbox-lane stress (satellite: drain order + spill accounting) --------
+
+struct MailboxRun {
+  std::vector<std::vector<std::string>> delivered;  // per receiver, in order
+  std::uint64_t messages = 0;
+  std::uint64_t spills = 0;
+
+  bool operator==(const MailboxRun& o) const {
+    return delivered == o.delivered && messages == o.messages && spills == o.spills;
+  }
+};
+
+/// Every shard posts tagged messages to both other shards at staggered
+/// times, overflowing the tiny per-lane capacity on purpose.  Each
+/// receiver's delivery sequence is recorded by its own worker only, so the
+/// observable is race-free by construction and must be schedule-invariant.
+MailboxRun run_mailbox_stress() {
+  sim::ShardGroup::Options go;
+  go.shards = 3;
+  go.lookahead = 1.0;
+  go.mailbox_capacity = 2;
+  sim::ShardGroup group(go);
+  MailboxRun out;
+  out.delivered.resize(3);
+  for (int from = 0; from < 3; ++from) {
+    group.with_shard(from, [&group, &out, from](sim::Engine& eng) {
+      eng.call_at(0.0, [&group, &out, from] {
+        for (int burst = 0; burst < 4; ++burst)
+          for (int hop = 1; hop <= 2; ++hop) {
+            const int to = (from + hop) % 3;
+            const sim::Time at = 1.0 + 0.125 * burst;
+            const std::string tag = std::to_string(from) + "->" + std::to_string(to) +
+                                    "@" + std::to_string(burst);
+            group.post(from, to, at, [&out, to, tag] {
+              out.delivered[static_cast<std::size_t>(to)].push_back(tag);
+            });
+          }
+      });
+    });
+  }
+  group.run();
+  out.messages = group.stats().messages;
+  out.spills = group.stats().spills;
+  return out;
+}
+
+TEST(SchedExplore, MailboxDrainOrderAndSpillsAreScheduleInvariant) {
+  const MailboxRun ref = run_mailbox_stress();  // uncontrolled reference
+  ASSERT_EQ(ref.messages, 24u);                 // 3 senders x 2 receivers x 4 bursts
+  ASSERT_GT(ref.spills, 0u) << "stress must overflow the lane capacity";
+  for (const auto& seq : ref.delivered) ASSERT_EQ(seq.size(), 8u);
+
+  const int seeds = seeds_from_env();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    sched::Options o;
+    o.mode = sched::Options::Mode::kRandom;
+    o.seed = static_cast<std::uint64_t>(seed);
+    sched::Session session(o);
+    const MailboxRun got = run_mailbox_stress();
+    ASSERT_EQ(session.error(), "") << "seed " << seed;
+    if (!(got == ref))
+      FAIL() << "mailbox drain order or spill accounting changed under schedule seed "
+             << seed << "; "
+             << save_failing_trace(session.trace(),
+                                   "mailbox_seed" + std::to_string(seed));
+  }
+}
+
+// ---- mutation: the explorer must catch a planted merge-order bug ------------
+
+TEST(SchedExplore, PlantedMergeBugIsCaughtReplayedAndMinimized) {
+  const core::Campaign c = quick_campaign();
+  obs::Registry& reg = obs::Registry::process();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+
+  reg.reset();
+  core::CampaignEngine(campaign_opts(1)).run(c);
+  const double expected = reg.counter("sim.engine.events_dispatched").value();
+  ASSERT_GT(expected, 0.0);
+
+  MutationGuard mutation(true);
+  constexpr int kBudget = 10;  // schedules the explorer gets to find the bug
+  sched::Trace failing;
+  double broken_total = 0.0;
+  int caught_at = 0;
+  for (int seed = 1; seed <= kBudget && caught_at == 0; ++seed) {
+    reg.reset();
+    sched::Options o;
+    o.mode = sched::Options::Mode::kRandom;
+    o.seed = static_cast<std::uint64_t>(seed);
+    sched::Session session(o);
+    core::CampaignEngine(campaign_opts(4)).run(c);
+    if (!session.error().empty()) continue;
+    const double got = reg.counter("sim.engine.events_dispatched").value();
+    if (got != expected) {
+      caught_at = seed;
+      failing = session.trace();
+      broken_total = got;
+    }
+  }
+  ASSERT_GT(caught_at, 0) << "planted merge bug not caught within " << kBudget
+                          << " schedules";
+
+  // The recorded schedule replays the failure bitwise: same wrong total.
+  {
+    reg.reset();
+    sched::Options o;
+    o.mode = sched::Options::Mode::kReplay;
+    o.replay = failing;
+    sched::Session session(o);
+    core::CampaignEngine(campaign_opts(4)).run(c);
+    ASSERT_EQ(session.error(), "");
+    EXPECT_EQ(reg.counter("sim.engine.events_dispatched").value(), broken_total);
+  }
+
+  // Greedy minimization: the shrunken override trace must still fail.
+  const auto fails = [&](const sched::Trace& cand) {
+    reg.reset();
+    sched::Options o;
+    o.mode = sched::Options::Mode::kOverrides;
+    o.replay = cand;
+    sched::Session session(o);
+    core::CampaignEngine(campaign_opts(4)).run(c);
+    if (!session.error().empty()) return false;
+    return reg.counter("sim.engine.events_dispatched").value() != expected;
+  };
+  const sched::Trace minimized = sched::minimize_trace(failing, fails);
+  EXPECT_LE(minimized.size(), sched::to_overrides(failing).size());
+  EXPECT_TRUE(fails(minimized)) << minimized.serialize();
+
+  reg.reset();
+  reg.set_enabled(was_enabled);
+}
+
+// ---- bounded exhaustive enumeration over a small campaign -------------------
+
+TEST(SchedExplore, BoundedExhaustiveSmallCampaignNeverDiverges) {
+  core::Campaign c("sched_exhaustive_campaign",
+                   core::SweepSpec(quick_base()).cores("cores", {0, 2}));
+  c.column("lat_us", core::Campaign::latency_together_us());
+  const std::string ref_table = table_text(c, core::CampaignEngine(campaign_opts(1)).run(c));
+
+  bool diverged = false;
+  std::string divergence;
+  const auto result = sched::explore_exhaustive(
+      2, 120,
+      [&] {
+        const core::CampaignRun run = core::CampaignEngine(campaign_opts(2)).run(c);
+        if (table_text(c, run) != ref_table) diverged = true;
+      },
+      [&](const sched::Session& session) {
+        if (!session.error().empty()) {
+          divergence = session.error();
+          return false;
+        }
+        if (diverged) {
+          divergence = "table diverged; " +
+                       save_failing_trace(session.trace(), "exhaustive_campaign");
+          return false;
+        }
+        return true;
+      });
+  EXPECT_FALSE(result.stopped) << divergence;
+  EXPECT_GT(result.schedules, 1);
+}
+
+}  // namespace
+}  // namespace cci
+
+#endif  // CCI_SCHED

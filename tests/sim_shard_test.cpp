@@ -365,6 +365,28 @@ TEST(ShardGroupErrors, WatchdogTripOnAWorkerPropagatesToRun) {
   EXPECT_THROW(s.group.run(), SimStalled);
 }
 
+TEST(ShardGroupErrors, StallNamesTheWedgedShardAndWindow) {
+  GroupedScenario s(2);
+  s.group.with_shard(1, [](Engine& eng) {
+    WatchdogConfig w;
+    w.max_events = 16;
+    eng.set_watchdog(w);
+  });
+  try {
+    s.group.run();
+    FAIL() << "expected SimStalled";
+  } catch (const SimStalled& stalled) {
+    // The group-level rewrap prepends which shard wedged in which window;
+    // the engine-level inspector lines (if any) follow untouched.
+    ASSERT_FALSE(stalled.blocked().empty());
+    const std::string& head = stalled.blocked().front();
+    EXPECT_NE(head.find("shard 1"), std::string::npos) << head;
+    EXPECT_NE(head.find("window 0"), std::string::npos) << head;
+    EXPECT_NE(head.find("horizon"), std::string::npos) << head;
+    EXPECT_NE(std::string(stalled.what()).find("wedged in window"), std::string::npos);
+  }
+}
+
 TEST(ShardGroupErrors, InvalidLookaheadRejectedAtConstruction) {
   ShardGroup::Options o;
   o.shards = 2;

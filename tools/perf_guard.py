@@ -10,33 +10,78 @@ got structurally worse, not that the runner was noisy.
 
 Usage: perf_guard.py <baseline.json> <current.json>
                      [--key visits_per_event] [--tolerance 0.20]
+       perf_guard.py <file.json> --list-keys
 """
 import argparse
 import json
 import sys
 
 
+def load(path):
+    """Parse a google-benchmark JSON file, exiting with a readable message
+    (not a traceback) when the file is absent or not valid JSON."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"perf_guard: baseline/run file not found: {path}\n"
+                 "  (did the benchmark step run, and is the baseline checked in "
+                 "under bench/baselines/?)")
+    except json.JSONDecodeError as e:
+        sys.exit(f"perf_guard: {path} is not valid JSON ({e})")
+
+
+def counter_keys(doc):
+    """Counter-ish fields present in any benchmark entry (numeric fields
+    that are not google-benchmark bookkeeping)."""
+    bookkeeping = {
+        "real_time", "cpu_time", "iterations", "repetitions",
+        "repetition_index", "threads", "family_index",
+        "per_family_instance_index",
+    }
+    keys = set()
+    for b in doc.get("benchmarks", []):
+        for k, v in b.items():
+            if k in bookkeeping or not isinstance(v, (int, float)):
+                continue
+            keys.add(k)
+    return sorted(keys)
+
+
 def counters(path, key):
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load(path)
     out = {}
     for b in doc.get("benchmarks", []):
         if key in b:
             out[b["name"]] = float(b[key])
     if not out:
-        sys.exit(f"perf_guard: no {key} counters in {path}")
+        available = counter_keys(doc)
+        hint = ("available keys: " + ", ".join(available)) if available \
+            else "the file has no benchmark counters at all"
+        sys.exit(f"perf_guard: no '{key}' counters in {path}; {hint}\n"
+                 "  (run with --list-keys to inspect a file)")
     return out
 
 
-def main():
+def main(argv=None):
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("current", nargs="?",
+                    help="current-run JSON (omit with --list-keys)")
     ap.add_argument("--key", default="visits_per_event",
                     help="counter field to compare (default visits_per_event)")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional increase (default 0.20)")
-    args = ap.parse_args()
+    ap.add_argument("--list-keys", action="store_true",
+                    help="print the counter keys found in <baseline> and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_keys:
+        for k in counter_keys(load(args.baseline)):
+            print(k)
+        return
+    if args.current is None:
+        ap.error("current is required unless --list-keys is given")
 
     base = counters(args.baseline, args.key)
     curr = counters(args.current, args.key)

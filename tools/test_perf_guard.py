@@ -1,0 +1,97 @@
+"""Tests for perf_guard.py's CLI behaviour: friendly errors instead of
+tracebacks, --list-keys, and the zero-baseline rule.  Runs under pytest or
+plain `python3 tools/test_perf_guard.py` (stdlib unittest only)."""
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import perf_guard  # noqa: E402
+
+
+def bench_doc(**counters_by_name):
+    return {"benchmarks": [
+        {"name": name, "real_time": 1.0, "cpu_time": 1.0, "iterations": 3, **fields}
+        for name, fields in counters_by_name.items()
+    ]}
+
+
+class PerfGuardTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_main(self, argv):
+        """Run perf_guard.main, returning (exit_message_or_None, stdout)."""
+        import contextlib
+        import io
+        out = io.StringIO()
+        try:
+            with contextlib.redirect_stdout(out):
+                perf_guard.main(argv)
+        except SystemExit as e:
+            return str(e.code) if e.code not in (None, 0) else None, out.getvalue()
+        return None, out.getvalue()
+
+    def test_missing_file_is_a_clear_message_not_a_traceback(self):
+        base = self.write("base.json", bench_doc(b={"visits_per_event": 1.0}))
+        err, _ = self.run_main([base, os.path.join(self.tmp.name, "absent.json")])
+        self.assertIsNotNone(err)
+        self.assertIn("not found", err)
+        self.assertIn("absent.json", err)
+
+    def test_missing_key_lists_available_keys(self):
+        base = self.write("base.json", bench_doc(b={"retransmits_per_msg": 2.0}))
+        curr = self.write("curr.json", bench_doc(b={"retransmits_per_msg": 2.0}))
+        err, _ = self.run_main([base, curr, "--key", "visits_per_event"])
+        self.assertIsNotNone(err)
+        self.assertIn("no 'visits_per_event' counters", err)
+        self.assertIn("retransmits_per_msg", err)
+
+    def test_invalid_json_is_a_clear_message(self):
+        path = os.path.join(self.tmp.name, "garbage.json")
+        with open(path, "w") as f:
+            f.write("{not json")
+        err, _ = self.run_main([path, path])
+        self.assertIsNotNone(err)
+        self.assertIn("not valid JSON", err)
+
+    def test_list_keys(self):
+        base = self.write("base.json", bench_doc(
+            b={"visits_per_event": 1.0, "allocs_per_event": 0.0}))
+        err, out = self.run_main([base, "--list-keys"])
+        self.assertIsNone(err)
+        self.assertEqual(out.split(), ["allocs_per_event", "visits_per_event"])
+
+    def test_within_tolerance_passes(self):
+        base = self.write("base.json", bench_doc(b={"visits_per_event": 10.0}))
+        curr = self.write("curr.json", bench_doc(b={"visits_per_event": 11.0}))
+        err, out = self.run_main([base, curr])
+        self.assertIsNone(err)
+        self.assertIn("within tolerance", out)
+
+    def test_regression_fails(self):
+        base = self.write("base.json", bench_doc(b={"visits_per_event": 10.0}))
+        curr = self.write("curr.json", bench_doc(b={"visits_per_event": 20.0}))
+        err, out = self.run_main([base, curr])
+        self.assertIsNotNone(err)
+        self.assertIn("REGRESSED", out)
+
+    def test_zero_baseline_must_stay_zero(self):
+        base = self.write("base.json", bench_doc(b={"allocs_per_event": 0.0}))
+        curr = self.write("curr.json", bench_doc(b={"allocs_per_event": 0.001}))
+        err, out = self.run_main([base, curr, "--key", "allocs_per_event"])
+        self.assertIsNotNone(err)
+        self.assertIn("REGRESSED", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
