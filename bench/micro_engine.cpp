@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mpi/pingpong.hpp"
+#include "net/cluster.hpp"
 #include "sim/flow_model.hpp"
 #include "sim/maxmin.hpp"
 #include "sim/rng.hpp"
@@ -95,6 +96,56 @@ void BM_FlowModelChurn(benchmark::State& state) {
                           static_cast<std::int64_t>(inc.solves));
 }
 BENCHMARK(BM_FlowModelChurn)->Args({8, 16})->Args({32, 32})->Args({64, 16});
+
+/// Random all-to-all DMA churn over a 64-node fat_tree(16) fabric: every
+/// flow crosses a 7-resource path (ports, leaf/spine crossbars, up/down
+/// links), so components couple through the shared spines.  Proves the
+/// incremental solver's partial re-solves scale past the single-crossbar
+/// fabric the churn bench above models.
+ChurnStats run_fat_tree_fanout(bool incremental) {
+  constexpr int kNodes = 64;
+  net::ClusterSpec cspec;
+  cspec.topology = net::Topology::fat_tree(16, /*oversubscription=*/0.5);
+  cspec.nodes = kNodes;
+  cspec.seed = 17;
+  net::Cluster cluster(cspec);
+  cluster.model().set_incremental(incremental);
+  sim::Rng rng(13);
+  std::vector<sim::ActivityPtr> acts;
+  acts.reserve(256);
+  for (int f = 0; f < 256; ++f) {
+    const int src = static_cast<int>(rng.below(kNodes));
+    int dst = static_cast<int>(rng.below(kNodes));
+    if (dst == src) dst = (dst + 1) % kNodes;
+    sim::ActivitySpec spec;
+    spec.work = rng.uniform(1e6, 64e6);  // bytes across GB/s-scale links
+    for (sim::Resource* r : cluster.fabric_path(src, dst)) spec.demands.push_back({r, 1.0});
+    cluster.engine().call_at(
+        rng.uniform(0.0, 1e-3),
+        [&cluster, &acts, spec]() mutable { acts.push_back(cluster.model().start(spec)); });
+  }
+  cluster.engine().run();
+  return {cluster.model().solver().stats().flow_visits,
+          cluster.model().solver().stats().solves};
+}
+
+void BM_FatTreeFanout(benchmark::State& state) {
+  const ChurnStats full = run_fat_tree_fanout(false);
+  ChurnStats inc{};
+  for (auto _ : state) {
+    inc = run_fat_tree_fanout(true);
+    benchmark::DoNotOptimize(inc.flow_visits);
+  }
+  const double inc_vpe =
+      static_cast<double>(inc.flow_visits) / static_cast<double>(inc.solves);
+  const double full_vpe =
+      static_cast<double>(full.flow_visits) / static_cast<double>(full.solves);
+  state.counters["visits_per_event"] = inc_vpe;
+  state.counters["visit_reduction"] = full_vpe / inc_vpe;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inc.solves));
+}
+BENCHMARK(BM_FatTreeFanout);
 
 void BM_EngineTimerChurn(benchmark::State& state) {
   for (auto _ : state) {

@@ -463,6 +463,20 @@ void serialize_scenario(std::ostream& os, const Scenario& s) {
   put_int(os, "s.compute_repetitions", s.compute_repetitions);
   put(os, "s.target_pass_seconds", s.target_pass_seconds);
   put_int(os, "s.seed", s.seed);
+
+  // Schema v3: fabric topology and the multi-job tenant list.
+  s.topology.serialize(os);
+  put_int(os, "s.jobs", s.jobs.size());
+  for (const JobSpec& j : s.jobs) {
+    put(os, "j.label", j.label);
+    os << "j.nodes=[";
+    for (int node : j.nodes) os << node << ',';
+    os << "];";
+    put_int(os, "j.message_bytes", j.message_bytes);
+    put_int(os, "j.iterations", j.iterations);
+    put(os, "j.offered_load", j.offered_load);
+    put_int(os, "j.pattern", static_cast<int>(j.pattern));
+  }
 }
 
 std::uint64_t cache_key(const Campaign& campaign, const SweepPoint& point) {

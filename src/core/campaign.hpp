@@ -247,7 +247,10 @@ void serialize_scenario(std::ostream& os, const Scenario& s);
 
 // v2: cache key folds in the simulation shard count (CCI_SIM_SHARDS /
 // --sim-shards), so cached points can never mix shard configurations.
-inline constexpr int kCampaignSchemaVersion = 2;
+// v3: scenario serialization covers the fabric topology (kind, routing
+// policy, adaptive threshold, shape parameters) and the multi-job tenant
+// list (label, rank->node mapping, traffic shape per JobSpec).
+inline constexpr int kCampaignSchemaVersion = 3;
 
 // ---- engine -----------------------------------------------------------------
 

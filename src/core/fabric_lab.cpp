@@ -1,0 +1,256 @@
+#include "core/fabric_lab.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "sim/coro.hpp"
+
+namespace cci::core {
+
+namespace {
+
+/// One unidirectional bulk stream of a tenant.
+struct StreamSpec {
+  int src_rank = 0;
+  int dst_rank = 0;
+  std::size_t bytes = 0;
+  int iterations = 0;
+  double gap = 0.0;  ///< open-loop injection period (0 = back-to-back)
+  int tag = 0;
+  std::uint64_t buffer_id = 0;
+  std::size_t tenant = 0;
+};
+
+struct TenantAccum {
+  double bytes = 0.0;
+  double finish = 0.0;
+  std::vector<double> latencies;
+};
+
+struct LinkAccum {
+  double sum = 0.0;
+  double peak = 0.0;
+  std::uint64_t n = 0;
+};
+
+/// Shared per-run state the stream coroutines write into.  Owned by run()
+/// and alive until the engine drains, so raw pointers in coroutines are
+/// safe (same lifetime discipline as the labs' teams).
+struct RunState {
+  std::vector<TenantAccum> tenants;
+  std::vector<sim::Resource*> links;
+  std::vector<LinkAccum> link_acc;
+  std::vector<obs::Histogram*> link_hist;
+  std::uint64_t remaining = 0;  ///< deliveries still expected this run
+
+  void sample_links() {
+    for (std::size_t li = 0; li < links.size(); ++li) {
+      const double u = links[li]->utilization();
+      link_acc[li].sum += u;
+      link_acc[li].peak = std::max(link_acc[li].peak, u);
+      ++link_acc[li].n;
+      link_hist[li]->record(u);
+    }
+  }
+};
+
+sim::Coro sender(mpi::World& w, StreamSpec s, int data_numa) {
+  mpi::MsgView msg{s.bytes, data_numa, s.buffer_id};
+  for (int i = 0; i < s.iterations; ++i) {
+    const double due = static_cast<double>(i) * s.gap;
+    if (w.engine().now() < due) co_await w.engine().sleep_until(due);
+    co_await *w.isend(s.src_rank, s.dst_rank, s.tag, msg);
+  }
+}
+
+sim::Coro receiver(mpi::World& w, StreamSpec s, int data_numa, RunState* st) {
+  mpi::MsgView msg{s.bytes, data_numa, s.buffer_id + 0x1000};
+  TenantAccum& acc = st->tenants[s.tenant];
+  for (int i = 0; i < s.iterations; ++i) {
+    co_await *w.irecv(s.dst_rank, s.src_rank, s.tag, msg);
+    const double now = w.engine().now();
+    acc.bytes += static_cast<double>(s.bytes);
+    acc.finish = std::max(acc.finish, now);
+    acc.latencies.push_back(now - static_cast<double>(i) * s.gap);
+    // Sample every fabric link at this delivery: deterministic (event
+    // order is), and concentrated where utilization actually changes.
+    st->sample_links();
+    --st->remaining;
+  }
+}
+
+/// Symmetric streams register and complete their flows at identical
+/// instants, so delivery-event samples can land exactly where every flow
+/// has just deregistered and the fabric reads idle.  This probe samples at
+/// the midpoints of the injection grid — deterministically mid-flight —
+/// and keeps going until the last expected delivery (transfers stretch
+/// far past their injection slot once links congest, so a fixed probe
+/// count would miss exactly the interesting part of the run).  Pure timer
+/// events: it never touches a flow or the RNG.
+sim::Coro link_probe(sim::Engine& eng, double period, RunState* st) {
+  for (int i = 0; st->remaining > 0; ++i) {
+    co_await eng.sleep_until((static_cast<double>(i) + 0.5) * period);
+    if (st->remaining == 0) break;
+    st->sample_links();
+  }
+}
+
+/// Streams of one job under its traffic pattern.
+std::vector<std::pair<int, int>> stream_pairs(const JobSpec& job) {
+  std::vector<std::pair<int, int>> pairs;
+  const int n = static_cast<int>(job.nodes.size());
+  if (n < 2) return pairs;
+  if (job.pattern == TrafficPattern::kPairs) {
+    for (int r = 0; r + 1 < n; r += 2) pairs.emplace_back(r, r + 1);
+  } else {  // kRing
+    for (int r = 0; r < n; ++r) pairs.emplace_back(r, (r + 1) % n);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+const TenantReport* FabricReport::tenant(std::string_view label) const {
+  for (const TenantReport& t : tenants)
+    if (t.label == label) return &t;
+  return nullptr;
+}
+
+FabricLab::FabricLab(Scenario scenario) : scenario_(std::move(scenario)) {}
+
+FabricLab::~FabricLab() = default;
+
+FabricReport FabricLab::run(std::string_view only) {
+  std::vector<std::string> labels;
+  if (!only.empty()) labels.emplace_back(only);
+  return run(labels);
+}
+
+FabricReport FabricLab::run(const std::vector<std::string>& labels) {
+  std::vector<JobSpec> jobs = scenario_.jobs;
+  if (jobs.empty()) {
+    JobSpec j;
+    j.nodes = {0, 1};
+    jobs.push_back(std::move(j));
+  }
+  int nodes = 2;
+  for (const JobSpec& j : jobs)
+    for (int n : j.nodes) nodes = std::max(nodes, n + 1);
+
+  cluster_ = std::make_unique<net::Cluster>(net::ClusterSpec{
+      scenario_.machine, scenario_.network, scenario_.topology, nodes, scenario_.seed});
+  cluster_->enable_route_trace(true);
+
+  // All jobs' ranks exist even when `only` restricts the traffic, so the
+  // alone/together runs share placement, comm cores and routing state.
+  std::vector<mpi::RankConfig> ranks;
+  std::vector<std::vector<int>> world_rank(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    for (int node : jobs[j].nodes) {
+      world_rank[j].push_back(static_cast<int>(ranks.size()));
+      ranks.push_back({node, -1});
+    }
+  world_ = std::make_unique<mpi::World>(*cluster_, std::move(ranks));
+
+  RunState st;
+  st.tenants.resize(jobs.size());
+  st.links = cluster_->fabric_links();
+  st.link_acc.resize(st.links.size());
+  st.link_hist.reserve(st.links.size());
+  for (sim::Resource* r : st.links)
+    st.link_hist.push_back(
+        &obs::Registry::global().histogram("net." + r->name() + ".utilization"));
+
+  const double wire_rate = scenario_.network.wire_bw;
+  int next_tag = 1000;
+  int next_buffer = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const JobSpec& job = jobs[j];
+    // Tag/buffer ids advance for skipped jobs too: stream identities are
+    // identical between alone and together runs.
+    for (auto [src, dst] : stream_pairs(job)) {
+      StreamSpec s;
+      s.src_rank = world_rank[j][static_cast<std::size_t>(src)];
+      s.dst_rank = world_rank[j][static_cast<std::size_t>(dst)];
+      s.bytes = job.message_bytes;
+      s.iterations = job.iterations;
+      s.gap = job.offered_load > 0.0
+                  ? static_cast<double>(job.message_bytes) / (wire_rate * job.offered_load)
+                  : 0.0;
+      s.tag = next_tag;
+      next_tag += 2;
+      s.buffer_id = 0x5000 + static_cast<std::uint64_t>(next_buffer++);
+      s.tenant = j;
+      if (!labels.empty() &&
+          std::find(labels.begin(), labels.end(), job.label) == labels.end())
+        continue;
+      const int numa = scenario_.machine.nic_numa;
+      st.remaining += static_cast<std::uint64_t>(job.iterations);
+      world_->engine().spawn(sender(*world_, s, numa));
+      world_->engine().spawn(receiver(*world_, s, numa, &st));
+    }
+  }
+  // The probe grid derives from every tenant — silenced ones too — so the
+  // alone/together runs of the slowdown matrix sample identical instants.
+  if (!st.links.empty() && st.remaining > 0) {
+    double period = 0.0;
+    for (const JobSpec& job : jobs) {
+      if (job.offered_load <= 0.0 || job.iterations <= 0) continue;
+      if (stream_pairs(job).empty()) continue;
+      const double gap =
+          static_cast<double>(job.message_bytes) / (wire_rate * job.offered_load);
+      period = period > 0.0 ? std::min(period, gap) : gap;
+    }
+    if (period > 0.0)
+      world_->engine().spawn(link_probe(world_->engine(), period, &st));
+  }
+  cluster_->engine().run();
+
+  FabricReport report;
+  report.tenants.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    TenantReport t;
+    t.label = jobs[j].label;
+    t.bytes = st.tenants[j].bytes;
+    t.finish = st.tenants[j].finish;
+    t.achieved_bw = t.finish > 0.0 ? t.bytes / t.finish : 0.0;
+    t.delivery_latency = trace::Stats::of(std::move(st.tenants[j].latencies));
+    report.total_bytes += t.bytes;
+    report.elapsed = std::max(report.elapsed, t.finish);
+    report.tenants.push_back(std::move(t));
+  }
+  report.aggregate_bw = report.elapsed > 0.0 ? report.total_bytes / report.elapsed : 0.0;
+  report.links.reserve(st.links.size());
+  for (std::size_t li = 0; li < st.links.size(); ++li) {
+    LinkReport lr;
+    lr.name = st.links[li]->name();
+    lr.mean = st.link_acc[li].n > 0
+                  ? st.link_acc[li].sum / static_cast<double>(st.link_acc[li].n)
+                  : 0.0;
+    lr.peak = st.link_acc[li].peak;
+    report.links.push_back(std::move(lr));
+  }
+  // Routing counters from the always-on route trace, so they are exact
+  // whether or not the obs registry is enabled.
+  const net::Topology& topo = cluster_->topology();
+  for (const net::Cluster::RouteChoice& rc : cluster_->route_trace()) {
+    ++report.routes;
+    switch (topo.kind()) {
+      case net::Topology::Kind::kSingleSwitch:
+        break;
+      case net::Topology::Kind::kFatTree: {
+        const int ls = topo.host_switch(rc.src);
+        const int ld = topo.host_switch(rc.dst);
+        if (ls != ld && rc.via != (ls + ld) % (topo.param_k() / 2)) ++report.reroutes;
+        break;
+      }
+      case net::Topology::Kind::kDragonfly:
+        if (rc.via >= 0) ++report.reroutes;
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace cci::core

@@ -1,0 +1,98 @@
+// FabricLab: multi-tenant traffic driver over a topology cluster.
+//
+// Where InterferenceLab reproduces the paper's single-job comm/compute
+// interference on 2 nodes, FabricLab drives the *network* analogue: each
+// JobSpec of the scenario is a tenant injecting bulk traffic (pairs or
+// ring streams, open-loop at `offered_load` x wire rate) across the
+// scenario's fat-tree/dragonfly fabric.  Reports per-tenant delivered
+// bandwidth and delivery latency (vs the injection schedule, so queueing
+// past the congestion knee is visible), per-link utilization summaries,
+// and the fabric routing counters — the raw material of the
+// job_interference and congestion_onset figures.
+//
+// Determinism: one fresh Cluster per run (same seed), traffic coroutines
+// spawned in job/stream order, link utilization sampled at delivery
+// events plus a fixed mid-injection probe grid (symmetric tenants can
+// complete flows exactly at every delivery instant, so mid-grid probes
+// are what observe the fabric in flight).  Runs are bitwise-reproducible
+// under campaign threads,
+// shard-parallel simulation and schedule exploration like every other lab.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "mpi/world.hpp"
+#include "net/cluster.hpp"
+#include "trace/stats.hpp"
+
+namespace cci::core {
+
+/// One tenant's outcome.
+struct TenantReport {
+  std::string label;
+  double bytes = 0.0;        ///< payload bytes delivered
+  double finish = 0.0;       ///< last delivery (sim seconds)
+  double achieved_bw = 0.0;  ///< bytes / finish
+  /// Per-message delivery latency measured against the open-loop injection
+  /// schedule: delivery time - scheduled injection time.  Queueing behind
+  /// congested links shows up here before bandwidth collapses.
+  trace::Stats delivery_latency;
+};
+
+/// One fabric link's utilization summary, sampled at delivery events and
+/// at the midpoints of the injection grid.
+struct LinkReport {
+  std::string name;
+  double mean = 0.0;
+  double peak = 0.0;
+};
+
+struct FabricReport {
+  std::vector<TenantReport> tenants;  ///< scenario job order
+  std::vector<LinkReport> links;      ///< Topology::links() order
+  double elapsed = 0.0;               ///< last delivery across all tenants
+  double total_bytes = 0.0;
+  double aggregate_bw = 0.0;  ///< total_bytes / elapsed
+  std::uint64_t routes = 0;   ///< fabric routing decisions this run
+  std::uint64_t reroutes = 0; ///< adaptive deviations from the minimal route
+  [[nodiscard]] const TenantReport* tenant(std::string_view label) const;
+};
+
+class FabricLab {
+ public:
+  explicit FabricLab(Scenario scenario);
+  ~FabricLab();
+
+  /// Run the scenario's jobs to completion on a fresh cluster and report.
+  /// A non-empty `only` runs just the tenant with that label on the same
+  /// fabric — the "alone" baseline of the victim/aggressor slowdown
+  /// matrix, with identical placement and routing.
+  FabricReport run(std::string_view only = {});
+  /// Run only the tenants whose labels appear in `labels` (empty = all):
+  /// the "together" cells of the slowdown matrix pair a victim with one
+  /// aggressor while every other tenant stays silent.  Placement, stream
+  /// tags and buffer ids are identical across subsets.
+  FabricReport run(const std::vector<std::string>& labels);
+  /// Braced label lists (`run({"victim", "aggressor"})`) would otherwise be
+  /// ambiguous against the string_view overload's C++20 iterator-pair
+  /// constructor; list-initialization prefers this overload.
+  FabricReport run(std::initializer_list<std::string> labels) {
+    return run(std::vector<std::string>(labels));
+  }
+
+  /// Cluster of the most recent run().  Route traces are always recorded
+  /// (Cluster::route_trace), so determinism tests can byte-compare the
+  /// exact sequence of routing decisions.
+  net::Cluster& cluster() { return *cluster_; }
+
+ private:
+  Scenario scenario_;
+  std::unique_ptr<net::Cluster> cluster_;
+  std::unique_ptr<mpi::World> world_;
+};
+
+}  // namespace cci::core

@@ -11,8 +11,8 @@ namespace cci::core {
 
 InterferenceLab::InterferenceLab(Scenario scenario)
     : scenario_(std::move(scenario)), attribution_(obs::run_sampling().attribution) {
-  cluster_ = std::make_unique<net::Cluster>(scenario_.machine, scenario_.network,
-                                            /*nodes=*/2, scenario_.seed);
+  cluster_ = std::make_unique<net::Cluster>(net::ClusterSpec{
+      scenario_.machine, scenario_.network, scenario_.topology, /*nodes=*/2, scenario_.seed});
   int comm = scenario_.comm_core();
   world_ = std::make_unique<mpi::World>(*cluster_, std::vector<mpi::RankConfig>{
                                                        {0, comm}, {1, comm}});

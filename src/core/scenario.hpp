@@ -7,12 +7,15 @@
 // benchmark does.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "hw/machine_config.hpp"
 #include "hw/workload.hpp"
 #include "net/network_params.hpp"
+#include "net/topology.hpp"
 
 namespace cci::core {
 
@@ -22,9 +25,37 @@ inline const char* to_string(Placement p) {
   return p == Placement::kNearNic ? "near" : "far";
 }
 
+/// Traffic a tenant drives across its nodes (core::FabricLab).
+enum class TrafficPattern {
+  kPairs,  ///< rank 2i -> rank 2i+1, disjoint streams
+  kRing,   ///< rank i -> rank (i+1) % n, every node sends and receives
+};
+
+inline const char* to_string(TrafficPattern p) {
+  return p == TrafficPattern::kPairs ? "pairs" : "ring";
+}
+
+/// One tenant of a multi-job scenario: the cluster nodes its ranks occupy
+/// (rank r runs on nodes[r]) and the bulk traffic it injects.  Scenarios
+/// with an empty `jobs` list are the paper's single-job experiments.
+struct JobSpec {
+  std::string label = "job";
+  std::vector<int> nodes;              ///< rank -> cluster node
+  std::size_t message_bytes = 1 << 20;  ///< rendezvous-sized by default
+  int iterations = 4;                   ///< send windows per stream
+  double offered_load = 1.0;            ///< injection rate, fraction of wire bw
+  TrafficPattern pattern = TrafficPattern::kPairs;
+};
+
 struct Scenario {
   hw::MachineConfig machine = hw::MachineConfig::henri();
   net::NetworkParams network = net::NetworkParams::ib_edr();
+  /// Fabric graph the cluster is built on.  The default single switch
+  /// reproduces the paper's 2-node fabric bit-for-bit.
+  net::Topology topology = net::Topology::single_switch();
+  /// Multi-tenant co-scheduling (fat-tree/dragonfly studies); empty for
+  /// the paper's single-job scenarios.
+  std::vector<JobSpec> jobs;
 
   Placement comm_thread = Placement::kFarFromNic;
   Placement data = Placement::kNearNic;

@@ -219,7 +219,9 @@ void FaultInjector::schedule(sim::Resource* r, sim::Time at, double factor,
 
 void FaultInjector::degrade_wire(sim::Time at, double factor, sim::Time recover_at) {
   plan_.add({FaultEvent::Kind::kWireDegrade, at, recover_at, -1, 0, factor});
-  schedule(cluster_.wire(), at, factor, recover_at);
+  // Fabric-wide degradation: every crossbar and inter-switch link.  On the
+  // single-switch topology this is exactly the one historical crossbar.
+  for (sim::Resource* r : cluster_.fabric_resources()) schedule(r, at, factor, recover_at);
 }
 
 void FaultInjector::degrade_mem_ctrl(int node, int numa, sim::Time at, double factor,

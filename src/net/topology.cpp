@@ -1,0 +1,166 @@
+#include "net/topology.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "net/network_params.hpp"
+
+namespace cci::net {
+
+const char* to_string(LinkClass c) {
+  switch (c) {
+    case LinkClass::kUp: return "up";
+    case LinkClass::kDown: return "down";
+    case LinkClass::kLocal: return "local";
+    case LinkClass::kGlobal: return "global";
+  }
+  return "?";
+}
+
+const char* to_string(RoutingPolicy p) {
+  return p == RoutingPolicy::kMinimal ? "minimal" : "adaptive";
+}
+
+Topology Topology::single_switch(double oversubscription) {
+  if (oversubscription <= 0.0)
+    throw std::invalid_argument("Topology::single_switch: oversubscription must be > 0");
+  Topology t;
+  t.kind_ = Kind::kSingleSwitch;
+  t.oversubscription_ = oversubscription;
+  t.switch_count_ = 1;
+  t.max_hosts_ = 0;  // any node count: the crossbar scales with it
+  t.group_count_ = 1;
+  return t;
+}
+
+Topology Topology::fat_tree(int k, double oversubscription) {
+  if (k < 2 || k % 2 != 0)
+    throw std::invalid_argument("Topology::fat_tree: k must be even and >= 2");
+  if (oversubscription <= 0.0)
+    throw std::invalid_argument("Topology::fat_tree: oversubscription must be > 0");
+  Topology t;
+  t.kind_ = Kind::kFatTree;
+  t.oversubscription_ = oversubscription;
+  t.k_ = k;
+  const int leaves = k;
+  const int spines = k / 2;
+  t.switch_count_ = leaves + spines;  // switches [0, k) are leaves, then spines
+  t.max_hosts_ = leaves * (k / 2);
+  t.group_count_ = leaves;  // PDES carve unit: one leaf + its hosts
+  t.links_.reserve(static_cast<std::size_t>(leaves) * spines * 2);
+  // Deterministic order: for each leaf, its uplinks then nothing else; the
+  // down direction follows immediately so a (leaf, spine) pair's resources
+  // are adjacent.
+  for (int l = 0; l < leaves; ++l) {
+    for (int s = 0; s < spines; ++s) {
+      t.links_.push_back({l, leaves + s, LinkClass::kUp, oversubscription});
+      t.links_.push_back({leaves + s, l, LinkClass::kDown, oversubscription});
+    }
+  }
+  return t;
+}
+
+Topology Topology::dragonfly(int groups, int routers, int hosts) {
+  if (groups < 1 || routers < 1 || hosts < 1)
+    throw std::invalid_argument("Topology::dragonfly: groups/routers/hosts must be >= 1");
+  Topology t;
+  t.kind_ = Kind::kDragonfly;
+  t.groups_ = groups;
+  t.routers_ = routers;
+  t.hosts_ = hosts;
+  t.switch_count_ = groups * routers;  // switch id = g * routers + r
+  t.max_hosts_ = groups * routers * hosts;
+  t.group_count_ = groups;
+  // Intra-group full mesh, both directions, group-major then (r1, r2).
+  for (int g = 0; g < groups; ++g)
+    for (int r1 = 0; r1 < routers; ++r1)
+      for (int r2 = 0; r2 < routers; ++r2) {
+        if (r1 == r2) continue;
+        t.links_.push_back(
+            {g * routers + r1, g * routers + r2, LinkClass::kLocal, 1.0});
+      }
+  // One global link per ordered group pair, attached at deterministic
+  // gateway routers (see gateway_router below).
+  for (int g = 0; g < groups; ++g)
+    for (int h = 0; h < groups; ++h) {
+      if (g == h) continue;
+      const int src_r = (h + (h > g ? -1 : 0)) % routers;
+      const int dst_r = (g + (g > h ? -1 : 0)) % routers;
+      t.links_.push_back(
+          {g * routers + src_r, h * routers + dst_r, LinkClass::kGlobal, 1.0});
+    }
+  return t;
+}
+
+std::string Topology::switch_name(int s) const {
+  switch (kind_) {
+    case Kind::kSingleSwitch:
+      return "switch";
+    case Kind::kFatTree:
+      return s < k_ ? "leaf" + std::to_string(s) : "spine" + std::to_string(s - k_);
+    case Kind::kDragonfly:
+      return "g" + std::to_string(s / routers_) + ".r" + std::to_string(s % routers_);
+  }
+  return "?";
+}
+
+int Topology::host_switch(int node) const {
+  switch (kind_) {
+    case Kind::kSingleSwitch:
+      return 0;
+    case Kind::kFatTree:
+      return node / (k_ / 2);
+    case Kind::kDragonfly:
+      return node / hosts_;
+  }
+  return 0;
+}
+
+int Topology::group_of_switch(int s) const {
+  switch (kind_) {
+    case Kind::kSingleSwitch:
+      return 0;
+    case Kind::kFatTree:
+      return s < k_ ? s : -1;  // spines are shared by every group
+    case Kind::kDragonfly:
+      return s / routers_;
+  }
+  return 0;
+}
+
+double Topology::min_remote_delay(const NetworkParams& net) const {
+  if (group_count_ <= 1) return net.min_remote_delay();
+  // Cheapest link class that can cross a group boundary.
+  double scale = 1.0;
+  switch (kind_) {
+    case Kind::kFatTree:
+      // leaf -> spine -> leaf: two fabric hops, each at base latency.
+      scale = latency_scale(LinkClass::kUp);
+      break;
+    case Kind::kDragonfly:
+      scale = latency_scale(LinkClass::kGlobal);
+      break;
+    case Kind::kSingleSwitch:
+      break;
+  }
+  return net.min_remote_delay() * scale;
+}
+
+void Topology::serialize(std::ostream& os) const {
+  auto put_d = [&os](const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << key << '=' << buf << ';';
+  };
+  os << "t.kind=" << static_cast<int>(kind_) << ';';
+  os << "t.routing=" << to_string(routing_) << ';';
+  put_d("t.threshold", adaptive_threshold_);
+  put_d("t.oversub", oversubscription_);
+  os << "t.k=" << k_ << ';';
+  os << "t.groups=" << groups_ << ';';
+  os << "t.routers=" << routers_ << ';';
+  os << "t.hosts=" << hosts_ << ';';
+}
+
+}  // namespace cci::net

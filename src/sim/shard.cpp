@@ -46,6 +46,38 @@ std::vector<int> shard_assignment(const MaxMinSolver& solver, int shards) {
   return out;
 }
 
+std::vector<int> shard_assignment(const MaxMinSolver& solver, int shards,
+                                  const std::vector<int>& resource_group) {
+  const std::size_t n_res = solver.resource_count();
+  std::vector<int> out(n_res, 0);
+  if (shards <= 1) return out;
+  // Pass 1: per component root, the smallest pinned topology group of any
+  // member (a component spanning two groups — a cross-group flow live at
+  // carve time — collapses to the smaller group, deterministically).
+  std::vector<int> root_group(n_res, -1);
+  const std::size_t n_grouped = std::min(n_res, resource_group.size());
+  for (std::size_t r = 0; r < n_grouped; ++r) {
+    const int g = resource_group[r];
+    if (g < 0) continue;
+    const std::size_t root = solver.component_root(r);
+    if (root_group[root] < 0 || g < root_group[root]) root_group[root] = g;
+  }
+  // Pass 2: pinned components follow their topology group; free components
+  // are dealt round-robin by first-appearance rank as above.
+  std::vector<int> root_rank(n_res, -1);
+  int next_rank = 0;
+  for (std::size_t r = 0; r < n_res; ++r) {
+    const std::size_t root = solver.component_root(r);
+    if (root_group[root] >= 0) {
+      out[r] = root_group[root] % shards;
+      continue;
+    }
+    if (root_rank[root] < 0) root_rank[root] = next_rank++;
+    out[r] = root_rank[root] % shards;
+  }
+  return out;
+}
+
 ShardGroup::ShardGroup() : ShardGroup(Options{}) {}
 
 ShardGroup::ShardGroup(Options opts) : opts_(opts) {

@@ -63,6 +63,18 @@ int configured_shards();
 /// on pointer values or hashing.  Returns one shard index per resource.
 std::vector<int> shard_assignment(const MaxMinSolver& solver, int shards);
 
+/// Topology-aware partition: `resource_group[r]` pins resource r to a
+/// topology group (net::Cluster::resource_groups() — fat-tree leaves,
+/// dragonfly groups) or leaves it free (-1, shared fabric such as spines
+/// and cross-group links).  Components containing any pinned resource land
+/// on (smallest pinned group) % shards, so a topology group — and every
+/// flow chain coupled to it — never splits across shards; fully unpinned
+/// components are dealt round-robin exactly as the ungrouped overload.
+/// The safe cross-shard window for the result is the cluster's
+/// shard_lookahead() (Topology::min_remote_delay per link class).
+std::vector<int> shard_assignment(const MaxMinSolver& solver, int shards,
+                                  const std::vector<int>& resource_group);
+
 class ShardGroup {
  public:
   struct Options {

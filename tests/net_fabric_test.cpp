@@ -69,9 +69,10 @@ TEST(Fabric, IncastSharesTheReceiverPort) {
 }
 
 TEST(Fabric, OversubscribedCrossbarThrottlesDisjointPairs) {
-  Cluster::FabricOptions fabric;
-  fabric.oversubscription = 0.25;  // core can carry 1/4 of aggregate ports
-  Cluster cluster(MachineConfig::henri(), NetworkParams::ib_edr(), 4, 42, fabric);
+  ClusterSpec spec;
+  spec.topology = Topology::single_switch(0.25);  // core carries 1/4 of ports
+  spec.nodes = 4;
+  Cluster cluster(std::move(spec));
   mpi::World world(cluster, {{0, -1}, {1, -1}, {2, -1}, {3, -1}});
   run_flows(cluster, world, {{0, 1}, {2, 3}});
   double t_oversub = cluster.engine().now();

@@ -97,7 +97,7 @@ TEST(Faults, RestoreIsDeltaTrackedNotFactorScaled) {
   // `capacity / factor` restore would scale the external write; the delta
   // restore must add back exactly what the fault removed.
   Cluster cluster(MachineConfig::henri(), NetworkParams::ib_edr());
-  sim::Resource* wire = cluster.wire();
+  sim::Resource* wire = cluster.find_link("switch");
   const double c0 = wire->capacity();
   FaultInjector faults(cluster);
   faults.degrade_wire(/*at=*/1.0, /*factor=*/0.5, /*recover_at=*/3.0);
@@ -111,7 +111,7 @@ TEST(Faults, OverlappingWindowsRestoreExactly) {
   // Two nested degradations of the same resource: each restore returns the
   // delta it took, so after both recoveries the capacity is bit-exact.
   Cluster cluster(MachineConfig::henri(), NetworkParams::ib_edr());
-  sim::Resource* wire = cluster.wire();
+  sim::Resource* wire = cluster.find_link("switch");
   const double c0 = wire->capacity();
   FaultInjector faults(cluster);
   faults.degrade_wire(1.0, 0.5, /*recover_at=*/4.0);

@@ -1,0 +1,342 @@
+// Topology-graph fabric: builder shapes, materialized resources, minimal
+// and adaptive routing (fat-tree spines, dragonfly Valiant detours),
+// single-switch bitwise compatibility and the PDES carve hints.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "obs/metrics.hpp"
+#include "sim/flow_model.hpp"
+
+namespace cci::net {
+namespace {
+
+using hw::MachineConfig;
+
+ClusterSpec spec_with(Topology t, int nodes, std::uint64_t seed = 42) {
+  ClusterSpec spec;
+  spec.topology = std::move(t);
+  spec.nodes = nodes;
+  spec.seed = seed;
+  return spec;
+}
+
+std::vector<std::string> path_names(const Cluster::FabricPath& path) {
+  std::vector<std::string> names;
+  for (sim::Resource* r : path) names.push_back(r->name());
+  return names;
+}
+
+/// Pin a unit-demand flow on `r` so its utilization reads 1.0 — the
+/// congestion signal adaptive routing reacts to.
+sim::ActivityPtr load_link(Cluster& cluster, const char* name) {
+  sim::Resource* r = cluster.find_link(name);
+  EXPECT_NE(r, nullptr) << name;
+  sim::ActivitySpec spec;
+  spec.work = 1e18;  // effectively forever
+  spec.demands.push_back({r, 1.0});
+  return cluster.model().start(spec);
+}
+
+// ---- builders ---------------------------------------------------------------
+
+TEST(Topology, FatTreeShapeAndNames) {
+  Topology t = Topology::fat_tree(4, 0.5);
+  EXPECT_EQ(t.kind(), Topology::Kind::kFatTree);
+  EXPECT_EQ(t.switch_count(), 6);  // 4 leaves + 2 spines
+  EXPECT_EQ(t.max_hosts(), 8);     // k/2 hosts per leaf
+  EXPECT_EQ(t.group_count(), 4);   // one group per leaf
+  ASSERT_EQ(t.links().size(), 16u);  // 4 leaves x 2 spines x 2 directions
+  // Leaf-major, up immediately followed by down for each (leaf, spine).
+  EXPECT_EQ(t.links()[0].src, 0);
+  EXPECT_EQ(t.links()[0].dst, 4);
+  EXPECT_EQ(t.links()[0].cls, LinkClass::kUp);
+  EXPECT_EQ(t.links()[0].bw_scale, 0.5);
+  EXPECT_EQ(t.links()[1].src, 4);
+  EXPECT_EQ(t.links()[1].dst, 0);
+  EXPECT_EQ(t.links()[1].cls, LinkClass::kDown);
+  EXPECT_EQ(t.switch_name(0), "leaf0");
+  EXPECT_EQ(t.switch_name(5), "spine1");
+  EXPECT_EQ(t.host_switch(5), 2);  // 2 hosts per leaf
+  EXPECT_EQ(t.group_of_switch(2), 2);
+  EXPECT_EQ(t.group_of_switch(4), -1);  // spines belong to every group
+}
+
+TEST(Topology, DragonflyShapeAndGateways) {
+  Topology t = Topology::dragonfly(3, 2, 2);
+  EXPECT_EQ(t.kind(), Topology::Kind::kDragonfly);
+  EXPECT_EQ(t.switch_count(), 6);
+  EXPECT_EQ(t.max_hosts(), 12);
+  EXPECT_EQ(t.group_count(), 3);
+  // Intra-group meshes (2 per group) then one global per ordered pair (6).
+  ASSERT_EQ(t.links().size(), 12u);
+  int locals = 0, globals = 0;
+  for (const Topology::Link& l : t.links()) {
+    if (l.cls == LinkClass::kLocal) ++locals;
+    if (l.cls == LinkClass::kGlobal) ++globals;
+  }
+  EXPECT_EQ(locals, 6);
+  EXPECT_EQ(globals, 6);
+  EXPECT_EQ(t.switch_name(3), "g1.r1");
+  EXPECT_EQ(t.host_switch(4), 2);  // node 4 -> g1.r0
+  EXPECT_EQ(t.group_of_node(4), 1);
+  // The g0 -> g1 global link attaches at deterministic gateway routers.
+  bool found = false;
+  for (const Topology::Link& l : t.links())
+    if (l.cls == LinkClass::kGlobal && l.src == 0 && l.dst == 2) found = true;
+  EXPECT_TRUE(found) << "expected global link g0.r0 -> g1.r0";
+}
+
+TEST(Topology, BuildersRejectDegenerateShapes) {
+  EXPECT_THROW(Topology::single_switch(0.0), std::invalid_argument);
+  EXPECT_THROW(Topology::fat_tree(3), std::invalid_argument);
+  EXPECT_THROW(Topology::fat_tree(0), std::invalid_argument);
+  EXPECT_THROW(Topology::fat_tree(4, -1.0), std::invalid_argument);
+  EXPECT_THROW(Topology::dragonfly(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Topology::dragonfly(2, 0, 1), std::invalid_argument);
+}
+
+TEST(Topology, SerializeCoversEveryRoutingKnob) {
+  std::ostringstream ss;
+  Topology::single_switch().serialize(ss);
+  EXPECT_NE(ss.str().find("t.kind=0;"), std::string::npos);
+  EXPECT_NE(ss.str().find("t.routing=minimal;"), std::string::npos);
+
+  std::ostringstream df;
+  Topology::dragonfly(3, 2, 2)
+      .routing(RoutingPolicy::kAdaptive)
+      .adaptive_threshold(0.7)
+      .serialize(df);
+  EXPECT_NE(df.str().find("t.routing=adaptive;"), std::string::npos);
+  EXPECT_NE(df.str().find("t.groups=3;"), std::string::npos);
+  EXPECT_NE(df.str(), ss.str());
+
+  // Routing policy alone must change the serialization (it changes paths).
+  std::ostringstream a, b;
+  Topology::fat_tree(4).serialize(a);
+  Topology::fat_tree(4).routing(RoutingPolicy::kAdaptive).serialize(b);
+  EXPECT_NE(a.str(), b.str());
+}
+
+TEST(Topology, MinRemoteDelayScalesWithTheCrossGroupLinkClass) {
+  const NetworkParams net = NetworkParams::ib_edr();
+  const double base = net.min_remote_delay();
+  EXPECT_DOUBLE_EQ(Topology::single_switch().min_remote_delay(net), base);
+  EXPECT_DOUBLE_EQ(Topology::fat_tree(4).min_remote_delay(net), base);
+  // Dragonfly groups couple through long global links only.
+  EXPECT_DOUBLE_EQ(Topology::dragonfly(3, 2, 2).min_remote_delay(net), 3.0 * base);
+  // A single-group dragonfly never crosses a global link.
+  EXPECT_DOUBLE_EQ(Topology::dragonfly(1, 2, 2).min_remote_delay(net), base);
+}
+
+// ---- single-switch compatibility --------------------------------------------
+
+TEST(Fabric, SingleSwitchSpecMatchesLegacyClusterExactly) {
+  Cluster legacy(MachineConfig::henri(), NetworkParams::ib_edr(), 4, 42);
+  Cluster topo(spec_with(Topology::single_switch(), 4));
+  // Same solver resource table: same count, and the fabric is one crossbar
+  // with the same name and capacity.
+  EXPECT_EQ(topo.model().solver().resource_count(),
+            legacy.model().solver().resource_count());
+  ASSERT_EQ(topo.fabric_resources().size(), 1u);
+  EXPECT_TRUE(topo.fabric_links().empty());
+  sim::Resource* a = legacy.find_link("switch");
+  sim::Resource* b = topo.find_link("switch");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->capacity(), b->capacity());
+  // Paths are the historical {tx, crossbar, rx} chain.
+  EXPECT_EQ(path_names(topo.fabric_path(0, 3)),
+            (std::vector<std::string>{"node0.tx", "switch", "node3.rx"}));
+  // No routing decisions are ever recorded on the single switch.
+  topo.enable_route_trace(true);
+  (void)topo.fabric_path(1, 2);
+  EXPECT_TRUE(topo.route_trace().empty());
+}
+
+TEST(Fabric, NodeCountValidatedAgainstTopologyCapacity) {
+  EXPECT_THROW(Cluster(spec_with(Topology::fat_tree(4), 9)), std::invalid_argument);
+  EXPECT_THROW(Cluster(spec_with(Topology::dragonfly(2, 2, 1), 5)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Cluster(spec_with(Topology::fat_tree(4), 8)));
+  // The single switch scales with the node count: any size attaches.
+  EXPECT_NO_THROW(Cluster(spec_with(Topology::single_switch(), 16)));
+}
+
+// ---- fat-tree routing -------------------------------------------------------
+
+TEST(FatTreeRouting, MinimalSpineIsAPureLeafPairFunction) {
+  Cluster cluster(spec_with(Topology::fat_tree(4, 0.5), 8));
+  cluster.enable_route_trace(true);
+  // Same leaf: one crossbar, no spine, no recorded decision.
+  EXPECT_EQ(path_names(cluster.fabric_path(0, 1)),
+            (std::vector<std::string>{"node0.tx", "switch.leaf0", "node1.rx"}));
+  EXPECT_TRUE(cluster.route_trace().empty());
+  // Cross leaf: spine (ls + ld) % spines = (0 + 1) % 2 = 1.
+  EXPECT_EQ(path_names(cluster.fabric_path(0, 2)),
+            (std::vector<std::string>{"node0.tx", "switch.leaf0", "link.leaf0-spine1",
+                                      "switch.spine1", "link.spine1-leaf1",
+                                      "switch.leaf1", "node2.rx"}));
+  ASSERT_EQ(cluster.route_trace().size(), 1u);
+  EXPECT_EQ(cluster.route_trace()[0].via, 1);
+  // Minimal routing never consults utilization or the RNG: repeat calls
+  // return the identical chain.
+  EXPECT_EQ(path_names(cluster.fabric_path(0, 2)), path_names(cluster.fabric_path(0, 2)));
+}
+
+TEST(FatTreeRouting, AdaptiveDeviatesOffTheLoadedSpine) {
+  Cluster cluster(
+      spec_with(Topology::fat_tree(4, 0.5).routing(RoutingPolicy::kAdaptive), 8));
+  cluster.enable_route_trace(true);
+  // Unloaded fabric: cost 0 on the minimal spine is never above the
+  // threshold, so adaptive routing degrades to minimal.
+  EXPECT_EQ(path_names(cluster.fabric_path(0, 2))[3], "switch.spine1");
+  // Saturate the minimal uplink; the next decision moves to spine0 (the
+  // only alternative — deterministically, no tie to break).
+  sim::ActivityPtr pin = load_link(cluster, "link.leaf0-spine1");
+  EXPECT_EQ(path_names(cluster.fabric_path(0, 2))[3], "switch.spine0");
+  ASSERT_EQ(cluster.route_trace().size(), 2u);
+  EXPECT_EQ(cluster.route_trace()[0].via, 1);
+  EXPECT_EQ(cluster.route_trace()[1].via, 0);
+  cluster.model().cancel(pin);
+}
+
+TEST(FatTreeRouting, ThresholdHoldsTheMinimalRouteUnderLightLoad) {
+  Cluster cluster(spec_with(
+      Topology::fat_tree(4, 0.5).routing(RoutingPolicy::kAdaptive).adaptive_threshold(2.0),
+      8));
+  // Even a saturated minimal spine stays below an impossible threshold.
+  sim::ActivityPtr pin = load_link(cluster, "link.leaf0-spine1");
+  EXPECT_EQ(path_names(cluster.fabric_path(0, 2))[3], "switch.spine1");
+  cluster.model().cancel(pin);
+}
+
+TEST(FatTreeRouting, RngTieBreaksAreSeedDeterministic) {
+  // k = 8: four spines; loading the minimal one leaves three zero-cost
+  // candidates, so every decision draws the cluster RNG.
+  auto trace_of = [](std::uint64_t seed) {
+    Cluster cluster(
+        spec_with(Topology::fat_tree(8, 1.0).routing(RoutingPolicy::kAdaptive), 8, seed));
+    cluster.enable_route_trace(true);
+    sim::ActivityPtr pin = load_link(cluster, "link.leaf0-spine1");
+    std::vector<int> vias;
+    for (int i = 0; i < 8; ++i) {
+      (void)cluster.fabric_path(0, 4);  // leaf0 -> leaf1: minimal spine 1
+      vias.push_back(cluster.route_trace().back().via);
+    }
+    cluster.model().cancel(pin);
+    return vias;
+  };
+  const std::vector<int> a = trace_of(42);
+  const std::vector<int> b = trace_of(42);
+  EXPECT_EQ(a, b);
+  for (int via : a) EXPECT_NE(via, 1);  // never the loaded minimal spine
+}
+
+// ---- dragonfly routing ------------------------------------------------------
+
+TEST(DragonflyRouting, LocalAndMinimalGlobalPaths) {
+  Cluster cluster(spec_with(Topology::dragonfly(3, 2, 2), 12));
+  cluster.enable_route_trace(true);
+  // Same router: the crossbar alone.
+  EXPECT_EQ(path_names(cluster.fabric_path(0, 1)),
+            (std::vector<std::string>{"node0.tx", "switch.g0.r0", "node1.rx"}));
+  // Same group, different router: one local hop (via = -1 recorded).
+  EXPECT_EQ(path_names(cluster.fabric_path(0, 2)),
+            (std::vector<std::string>{"node0.tx", "switch.g0.r0", "link.g0.r0-g0.r1",
+                                      "switch.g0.r1", "node2.rx"}));
+  // Cross group, source on the gateway: one global hop.
+  EXPECT_EQ(path_names(cluster.fabric_path(0, 4)),
+            (std::vector<std::string>{"node0.tx", "switch.g0.r0", "link.g0.r0-g1.r0",
+                                      "switch.g1.r0", "node4.rx"}));
+  ASSERT_EQ(cluster.route_trace().size(), 2u);
+  EXPECT_EQ(cluster.route_trace()[0].via, -1);
+  EXPECT_EQ(cluster.route_trace()[1].via, -1);
+}
+
+TEST(DragonflyRouting, AdaptiveTakesTheValiantDetourPastACongestedGlobal) {
+  Cluster cluster(
+      spec_with(Topology::dragonfly(3, 2, 2).routing(RoutingPolicy::kAdaptive), 12));
+  cluster.enable_route_trace(true);
+  sim::ActivityPtr pin = load_link(cluster, "link.g0.r0-g1.r0");
+  Cluster::FabricPath path = cluster.fabric_path(0, 4);
+  // UGAL detour via the only intermediate group (2): the longest route the
+  // builders emit — and it still fits the FabricPath inline capacity.
+  const std::vector<std::string> names = path_names(path);
+  ASSERT_EQ(names.size(), 13u);
+  EXPECT_LE(path.size(), 16u);
+  EXPECT_EQ(names[4], "link.g0.r1-g2.r0");   // g0 gateway out to group 2
+  EXPECT_EQ(names[8], "link.g2.r1-g1.r1");   // group 2 gateway into g1
+  ASSERT_EQ(cluster.route_trace().size(), 1u);
+  EXPECT_EQ(cluster.route_trace()[0].via, 2);
+  cluster.model().cancel(pin);
+  // With the pin gone the next registration reverts to minimal.
+  EXPECT_EQ(path_names(cluster.fabric_path(0, 4)).size(), 5u);
+  EXPECT_EQ(cluster.route_trace().back().via, -1);
+}
+
+TEST(DragonflyRouting, TwoGroupFabricNeverDetours) {
+  // groups = 2: there is no intermediate group, so adaptive must hold the
+  // minimal global route no matter the load.
+  Cluster cluster(
+      spec_with(Topology::dragonfly(2, 2, 2).routing(RoutingPolicy::kAdaptive), 8));
+  cluster.enable_route_trace(true);
+  sim::ActivityPtr pin = load_link(cluster, "link.g0.r0-g1.r0");
+  (void)cluster.fabric_path(0, 4);
+  ASSERT_EQ(cluster.route_trace().size(), 1u);
+  EXPECT_EQ(cluster.route_trace()[0].via, -1);
+  cluster.model().cancel(pin);
+}
+
+// ---- fabric metrics and carve hints -----------------------------------------
+
+TEST(Fabric, RouteCountersRegisterOnMultiSwitchTopologiesOnly) {
+  obs::Registry reg;
+  reg.set_enabled(true);
+  obs::Registry::ScopedThreadLocal scope(reg);
+  {
+    Cluster single(spec_with(Topology::single_switch(), 2));
+    (void)single.fabric_path(0, 1);
+  }
+  for (const auto& e : reg.snapshot().entries)
+    EXPECT_EQ(e.name.rfind("net.fabric.", 0), std::string::npos) << e.name;
+  {
+    Cluster tree(spec_with(Topology::fat_tree(4), 8));
+    (void)tree.fabric_path(0, 2);
+    (void)tree.fabric_path(2, 4);
+  }
+  EXPECT_DOUBLE_EQ(reg.counter("net.fabric.routes").value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.counter("net.fabric.adaptive_reroutes").value(), 0.0);
+}
+
+TEST(Fabric, ResourceGroupsFollowTopologyGroups) {
+  Cluster cluster(spec_with(Topology::dragonfly(3, 2, 2), 12));
+  const std::vector<int> groups = cluster.resource_groups();
+  ASSERT_EQ(groups.size(), cluster.model().solver().resource_count());
+  // Tail of the table: 6 crossbars (group-major), 6 local links pinned to
+  // their group, 6 global links shared (-1).
+  const std::size_t n = groups.size();
+  for (std::size_t i = n - 6; i < n; ++i) EXPECT_EQ(groups[i], -1);
+  const std::vector<int> local_links(groups.end() - 12, groups.end() - 6);
+  EXPECT_EQ(local_links, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+  const std::vector<int> xbars(groups.end() - 18, groups.end() - 12);
+  EXPECT_EQ(xbars, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+  // Every node-local resource carries its node's group; node 0 is group 0,
+  // node 11 group 2.
+  EXPECT_EQ(groups.front(), 0);
+  // Shard lookahead crosses a global link (3x base latency).
+  EXPECT_DOUBLE_EQ(cluster.shard_lookahead(),
+                   3.0 * cluster.net().min_remote_delay());
+}
+
+TEST(Fabric, SingleSwitchResourcesAllShareOneGroup) {
+  Cluster cluster(spec_with(Topology::single_switch(), 3));
+  for (int g : cluster.resource_groups()) EXPECT_EQ(g, 0);
+  EXPECT_DOUBLE_EQ(cluster.shard_lookahead(), cluster.net().min_remote_delay());
+}
+
+}  // namespace
+}  // namespace cci::net

@@ -29,6 +29,7 @@ TEST(SchedExplore, RequiresInstrumentedBuild) {
 #include <vector>
 
 #include "core/campaign.hpp"
+#include "core/fabric_lab.hpp"
 #include "kernels/stream.hpp"
 #include "obs/metrics.hpp"
 #include "sched/explorer.hpp"
@@ -135,6 +136,64 @@ TEST(SchedExplore, CampaignJobs8MatchesSerialAcrossRandomSchedules) {
              << (tables_match ? "timeline CSV" : "campaign table") << "); "
              << save_failing_trace(session.trace(),
                                    "campaign_jobs8_seed" + std::to_string(seed));
+  }
+}
+
+// ---- adaptive-routing oracle ------------------------------------------------
+
+/// Adaptive-routing campaign over an oversubscribed fat-tree: two tenants
+/// fight for the minimal spine, so every point's values depend on the
+/// exact sequence of RNG tie-broken routing decisions.  Those draws come
+/// from the per-point cluster seed, never from thread timing — the table
+/// must be schedule-invariant at jobs=8.
+core::Campaign fabric_campaign() {
+  core::Scenario base;
+  base.topology =
+      net::Topology::fat_tree(4, 0.5).routing(net::RoutingPolicy::kAdaptive);
+  core::JobSpec victim, aggressor;
+  victim.label = "victim";
+  victim.nodes = {0, 2};
+  aggressor.label = "aggressor";
+  aggressor.nodes = {1, 3};
+  for (core::JobSpec* j : {&victim, &aggressor}) {
+    j->message_bytes = std::size_t{4} << 20;
+    j->iterations = 3;
+  }
+  base.jobs = {std::move(victim), std::move(aggressor)};
+  core::SweepSpec spec(base);
+  spec.seed_policy(core::SeedPolicy::kFixed)
+      .values("offered_load", {0.5, 1.0}, [](core::Scenario& s, double v) {
+        for (core::JobSpec& j : s.jobs) j.offered_load = v;
+      });
+  core::Campaign c("sched_fabric_campaign", std::move(spec));
+  c.column("elapsed_ms", 3, core::Campaign::Metric{})
+      .column("reroutes", 0, core::Campaign::Metric{})
+      .evaluator("sched_fabric.v1",
+                 [](const core::SweepPoint& p) -> std::vector<double> {
+                   core::FabricLab lab(p.scenario);
+                   core::FabricReport r = lab.run();
+                   return {r.elapsed * 1e3, static_cast<double>(r.reroutes)};
+                 });
+  return c;
+}
+
+TEST(SchedExplore, AdaptiveRoutingTableIsScheduleInvariantAtJobs8) {
+  const core::Campaign c = fabric_campaign();
+  const std::string ref_table =
+      table_text(c, core::CampaignEngine(campaign_opts(1)).run(c));
+
+  const int seeds = seeds_from_env();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    sched::Options o;
+    o.mode = sched::Options::Mode::kRandom;
+    o.seed = static_cast<std::uint64_t>(seed);
+    sched::Session session(o);
+    const core::CampaignRun run = core::CampaignEngine(campaign_opts(8)).run(c);
+    ASSERT_EQ(session.error(), "") << "seed " << seed;
+    if (table_text(c, run) != ref_table)
+      FAIL() << "adaptive-routing table diverged under schedule seed " << seed << "; "
+             << save_failing_trace(session.trace(),
+                                   "fabric_jobs8_seed" + std::to_string(seed));
   }
 }
 

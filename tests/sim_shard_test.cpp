@@ -140,6 +140,32 @@ TEST(ShardAssignment, FollowsSolverComponentsRoundRobin) {
   }
 }
 
+TEST(ShardAssignment, TopologyGroupsPinComponentsToShards) {
+  MaxMinSolver solver;
+  for (int r = 0; r < 6; ++r) solver.add_resource(1.0);
+  solver.add_flow(1.0, 0.0, {{0, 1.0}, {3, 1.0}});
+  solver.add_flow(1.0, 0.0, {{1, 1.0}, {4, 1.0}});
+
+  // Pin {0,3} to group 1 and resource 2 to group 0; 1/4/5 stay free (-1).
+  // Pinned components land on group % shards; free ones keep round-robin.
+  const std::vector<int> groups = {1, -1, 0, 1, -1, -1};
+  const std::vector<int> two = shard_assignment(solver, 2, groups);
+  EXPECT_EQ(two[0], 1);
+  EXPECT_EQ(two[3], 1);
+  EXPECT_EQ(two[2], 0);
+  EXPECT_EQ(two[1], two[4]);  // coupled free component still co-locates
+
+  // A component whose members span two groups collapses to the smaller.
+  const std::vector<int> split = {1, -1, 0, 0, -1, -1};  // 0 -> g1, 3 -> g0
+  const std::vector<int> merged = shard_assignment(solver, 2, split);
+  EXPECT_EQ(merged[0], 0);
+  EXPECT_EQ(merged[3], 0);
+
+  // Single shard: everything on shard 0 regardless of pins.
+  const std::vector<int> one = shard_assignment(solver, 1, groups);
+  EXPECT_EQ(one, (std::vector<int>(6, 0)));
+}
+
 // ---- serial equivalence -----------------------------------------------------
 
 TEST(ShardGroupSerial, SingleShardMatchesPlainEngine) {
