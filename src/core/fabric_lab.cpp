@@ -1,10 +1,18 @@
 #include "core/fabric_lab.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
+#include "net/fabric_graph.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/timeline.hpp"
 #include "sim/coro.hpp"
+#include "sim/flow_model.hpp"
+#include "sim/maxmin.hpp"
+#include "sim/partition.hpp"
+#include "sim/shard.hpp"
 
 namespace cci::core {
 
@@ -232,7 +240,10 @@ FabricReport FabricLab::run(const std::vector<std::string>& labels) {
     report.links.push_back(std::move(lr));
   }
   // Routing counters from the always-on route trace, so they are exact
-  // whether or not the obs registry is enabled.
+  // whether or not the obs registry is enabled.  Decisions evicted from
+  // the trace ring still count as routes; only their reroute class is
+  // unknown (minimal-routing runs never reroute anyway).
+  report.routes = cluster_->route_trace_dropped();
   const net::Topology& topo = cluster_->topology();
   for (const net::Cluster::RouteChoice& rc : cluster_->route_trace()) {
     ++report.routes;
@@ -250,6 +261,345 @@ FabricReport FabricLab::run(const std::vector<std::string>& labels) {
         break;
     }
   }
+  return report;
+}
+
+namespace {
+
+/// Per-shard state of a run_sharded() fluid simulation.  Built and torn
+/// down inside with_shard() so pooled frames, metric handles and timeline
+/// blocks bind to the worker thread.
+struct FluidShard {
+  std::unique_ptr<net::FabricGraph> fabric;
+  std::unique_ptr<sim::FlowModel> model;
+  std::unique_ptr<obs::TimelineStore> store;  ///< multi-shard sampling only
+  std::unique_ptr<obs::Sampler> sampler;
+  std::vector<TenantAccum> tenants;
+  std::vector<double> link_peak;  ///< per links() index, load / base capacity
+
+  /// Local fabric peak at a delivery event.  Loads are read against the
+  /// *base* capacity: a boundary replica throttled by remote load would
+  /// otherwise read utilization ~1 at any load.
+  void sample_links() {
+    const int links = static_cast<int>(link_peak.size());
+    for (int li = 0; li < links; ++li) {
+      const int key = fabric->link_key(li);
+      const double u = fabric->at(key)->load() / fabric->base_capacity(key);
+      link_peak[static_cast<std::size_t>(li)] =
+          std::max(link_peak[static_cast<std::size_t>(li)], u);
+    }
+  }
+};
+
+/// One open-loop fluid stream: each message is one activity demanding
+/// every resource of its static minimal route, injected on run()'s
+/// schedule (sleep to the slot, then send to completion) with delivery
+/// accounting at completion.
+sim::Coro fluid_stream(sim::Engine& eng, FluidShard* fs, StreamSpec s,
+                       std::vector<sim::Resource*> path, sim::LabelId label) {
+  TenantAccum& acc = fs->tenants[s.tenant];
+  for (int i = 0; i < s.iterations; ++i) {
+    const double due = static_cast<double>(i) * s.gap;
+    if (eng.now() < due) co_await eng.sleep_until(due);
+    sim::ActivitySpec spec;
+    spec.label = label;
+    spec.work = static_cast<double>(s.bytes);
+    for (sim::Resource* r : path) spec.demands.push_back({r, 1.0});
+    co_await *fs->model->start(spec);
+    const double now = eng.now();
+    acc.bytes += static_cast<double>(s.bytes);
+    acc.finish = std::max(acc.finish, now);
+    acc.latencies.push_back(now - static_cast<double>(i) * s.gap);
+    fs->sample_links();
+  }
+}
+
+}  // namespace
+
+FabricReport FabricLab::run_sharded(int shards) {
+  std::vector<JobSpec> jobs = scenario_.jobs;
+  if (jobs.empty()) {
+    JobSpec j;
+    j.nodes = {0, 1};
+    jobs.push_back(std::move(j));
+  }
+  int nodes = 2;
+  for (const JobSpec& j : jobs)
+    for (int n : j.nodes) nodes = std::max(nodes, n + 1);
+  if (shards <= 0) shards = sim::configured_shards();
+
+  const net::Topology& topo = scenario_.topology;
+  net::FabricGraph shape(topo, scenario_.network, nodes);
+
+  // Streams with run()'s tag/buffer/gap bookkeeping, plus their static
+  // minimal route and owning shard (the source node's topology group).
+  struct Stream {
+    StreamSpec spec;
+    int src_node = 0;
+    int dst_node = 0;
+    int shard = 0;
+    std::vector<int> keys;
+  };
+  const double wire_rate = scenario_.network.wire_bw;
+  const std::vector<int> group_shard =
+      sim::partition_groups(topo.group_graph(nodes), shards);
+  std::vector<Stream> streams;
+  int next_tag = 1000;
+  int next_buffer = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const JobSpec& job = jobs[j];
+    for (auto [src, dst] : stream_pairs(job)) {
+      Stream st;
+      st.spec.src_rank = src;
+      st.spec.dst_rank = dst;
+      st.spec.bytes = job.message_bytes;
+      st.spec.iterations = job.iterations;
+      st.spec.gap = job.offered_load > 0.0
+                        ? static_cast<double>(job.message_bytes) /
+                              (wire_rate * job.offered_load)
+                        : 0.0;
+      st.spec.tag = next_tag;
+      next_tag += 2;
+      st.spec.buffer_id = 0x5000 + static_cast<std::uint64_t>(next_buffer++);
+      st.spec.tenant = j;
+      st.src_node = job.nodes[static_cast<std::size_t>(src)];
+      st.dst_node = job.nodes[static_cast<std::size_t>(dst)];
+      const int g = topo.group_of_node(st.src_node);
+      st.shard = g >= 0 ? group_shard[static_cast<std::size_t>(g)] : 0;
+      shape.minimal_path(st.src_node, st.dst_node, st.keys);
+      streams.push_back(std::move(st));
+    }
+  }
+
+  // Boundary set: keys whose static routes span several shards.
+  std::vector<int> first_user(static_cast<std::size_t>(shape.key_count()), -1);
+  for (const Stream& st : streams)
+    for (int key : st.keys) {
+      int& u = first_user[static_cast<std::size_t>(key)];
+      if (u == -1)
+        u = st.shard;
+      else if (u != st.shard)
+        u = -2;  // shared across shards: boundary proxy
+    }
+  bool any_boundary = false;
+  for (int u : first_user) any_boundary = any_boundary || u == -2;
+
+  // Window size: the cheapest link class the carve actually cuts.  With no
+  // boundary the scenario is shard-closed and runs in a single window.
+  sim::ShardGroup::Options opts;
+  opts.shards = shards;
+  opts.lookahead = any_boundary
+                       ? topo.min_cut_delay(scenario_.network, topo.cut_links(group_shard))
+                       : sim::kNever;
+  sim::ShardGroup group(opts);
+
+  std::vector<int> boundary_id(static_cast<std::size_t>(shape.key_count()), -1);
+  std::vector<std::vector<int>> boundary_users;
+  for (int key = 0; key < shape.key_count(); ++key)
+    if (first_user[static_cast<std::size_t>(key)] == -2) {
+      boundary_id[static_cast<std::size_t>(key)] =
+          group.add_boundary_link(shape.name(key), shape.base_capacity(key));
+      boundary_users.emplace_back();
+    }
+  for (const Stream& st : streams)
+    for (int key : st.keys) {
+      const int id = boundary_id[static_cast<std::size_t>(key)];
+      if (id < 0) continue;
+      std::vector<int>& users = boundary_users[static_cast<std::size_t>(id)];
+      if (std::find(users.begin(), users.end(), st.shard) == users.end())
+        users.push_back(st.shard);
+    }
+  for (std::vector<int>& users : boundary_users) std::sort(users.begin(), users.end());
+
+  // Per-shard build: fabric replica, flow model, sampler, stream coroutines.
+  const obs::RunSampling& rs = obs::run_sampling();
+  const bool sampling = rs.sampling_on();
+  std::vector<std::unique_ptr<FluidShard>> ctx(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    group.with_shard(s, [&, s](sim::Engine& eng) {
+      auto fs = std::make_unique<FluidShard>();
+      fs->fabric =
+          std::make_unique<net::FabricGraph>(topo, scenario_.network, nodes);
+      fs->model = std::make_unique<sim::FlowModel>(eng);
+      fs->fabric->materialize(*fs->model);
+      fs->tenants.resize(jobs.size());
+      fs->link_peak.assign(topo.links().size(), 0.0);
+      if (sampling) {
+        obs::SamplerConfig sc;
+        sc.period = rs.timeline_period;
+        if (shards == 1) {
+          // Serial: sample straight into the ambient store, like run().
+          fs->sampler = std::make_unique<obs::Sampler>(obs::Registry::global(),
+                                                       *rs.timeline, std::move(sc));
+        } else {
+          // Per-shard store, merged below with a "shardN." series prefix
+          // (replica resources share names across shards).
+          fs->store = std::make_unique<obs::TimelineStore>();
+          fs->sampler = std::make_unique<obs::Sampler>(obs::Registry::global(),
+                                                       *fs->store, std::move(sc));
+        }
+        eng.set_sampler(fs->sampler.get());
+      }
+      std::vector<sim::LabelId> tenant_label(jobs.size());
+      for (std::size_t j = 0; j < jobs.size(); ++j)
+        tenant_label[j] = eng.intern("fabric." + jobs[j].label);
+      for (const Stream& st : streams) {
+        if (st.shard != s) continue;
+        std::vector<sim::Resource*> path;
+        path.reserve(st.keys.size());
+        for (int key : st.keys) path.push_back(fs->fabric->at(key));
+        eng.spawn(fluid_stream(eng, fs.get(), st.spec, std::move(path),
+                               tenant_label[st.spec.tenant]));
+      }
+      ctx[static_cast<std::size_t>(s)] = std::move(fs);
+    });
+  }
+
+  // Bind boundary replicas (coordinator side, workers idle between jobs).
+  for (int key = 0; key < shape.key_count(); ++key) {
+    const int id = boundary_id[static_cast<std::size_t>(key)];
+    if (id < 0) continue;
+    for (int s : boundary_users[static_cast<std::size_t>(id)])
+      group.bind_boundary(id, s, ctx[static_cast<std::size_t>(s)]->fabric->at(key));
+  }
+
+  // Cross-shard peaks of boundary links: a replica only sees local load, so
+  // the barrier probe sums every sharer's load while workers are parked.
+  struct LinkProbe {
+    int li = 0;
+    int key = 0;
+    const std::vector<int>* users = nullptr;
+  };
+  std::vector<LinkProbe> link_probes;
+  std::vector<double> boundary_link_peak(topo.links().size(), 0.0);
+  for (std::size_t li = 0; li < topo.links().size(); ++li) {
+    const int key = shape.link_key(static_cast<int>(li));
+    const int id = boundary_id[static_cast<std::size_t>(key)];
+    if (id >= 0)
+      link_probes.push_back({static_cast<int>(li), key,
+                             &boundary_users[static_cast<std::size_t>(id)]});
+  }
+  if (!link_probes.empty())
+    group.set_barrier_probe([&](sim::Time) {
+      for (const LinkProbe& p : link_probes) {
+        double load = 0.0;
+        for (int s : *p.users)
+          load += ctx[static_cast<std::size_t>(s)]->fabric->at(p.key)->load();
+        double& peak = boundary_link_peak[static_cast<std::size_t>(p.li)];
+        peak = std::max(peak, load / shape.base_capacity(p.key));
+      }
+    });
+
+  group.run();
+  group.merge_obs(obs::Registry::global());
+
+  FabricReport report;
+  report.shards = shards;
+  report.boundary_links = group.boundary_links();
+  report.windows = group.stats().windows;
+  report.exchanges = group.stats().exchanges;
+  {
+    std::vector<int> streams_on(static_cast<std::size_t>(shards), 0);
+    for (const Stream& st : streams) ++streams_on[static_cast<std::size_t>(st.shard)];
+    for (int c : streams_on) report.populated_shards += c > 0 ? 1 : 0;
+  }
+  report.tenants.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    TenantReport t;
+    t.label = jobs[j].label;
+    std::vector<double> lat;
+    for (int s = 0; s < shards; ++s) {
+      TenantAccum& a = ctx[static_cast<std::size_t>(s)]->tenants[j];
+      t.bytes += a.bytes;
+      t.finish = std::max(t.finish, a.finish);
+      lat.insert(lat.end(), a.latencies.begin(), a.latencies.end());
+    }
+    t.achieved_bw = t.finish > 0.0 ? t.bytes / t.finish : 0.0;
+    // Stats::of sorts, so the shard-order concatenation is harmless.
+    t.delivery_latency = trace::Stats::of(std::move(lat));
+    report.total_bytes += t.bytes;
+    report.elapsed = std::max(report.elapsed, t.finish);
+    report.tenants.push_back(std::move(t));
+  }
+  report.aggregate_bw = report.elapsed > 0.0 ? report.total_bytes / report.elapsed : 0.0;
+
+  // Link means from delivered-byte integrals (exact and shard-invariant);
+  // peaks from delivery-event samples plus the barrier probe.
+  std::vector<double> link_bytes(topo.links().size(), 0.0);
+  if (!topo.links().empty()) {
+    const int link0 = shape.link_key(0);
+    for (const Stream& st : streams)
+      for (int key : st.keys)
+        if (key >= link0)
+          link_bytes[static_cast<std::size_t>(key - link0)] +=
+              static_cast<double>(st.spec.bytes) *
+              static_cast<double>(st.spec.iterations);
+  }
+  report.links.reserve(topo.links().size());
+  for (std::size_t li = 0; li < topo.links().size(); ++li) {
+    LinkReport lr;
+    const int key = shape.link_key(static_cast<int>(li));
+    lr.name = shape.name(key);
+    lr.mean = report.elapsed > 0.0
+                  ? link_bytes[li] / (shape.base_capacity(key) * report.elapsed)
+                  : 0.0;
+    double peak = boundary_link_peak[li];
+    for (int s = 0; s < shards; ++s)
+      peak = std::max(peak, ctx[static_cast<std::size_t>(s)]->link_peak[li]);
+    lr.peak = peak;
+    report.links.push_back(std::move(lr));
+  }
+  // Minimal routing: decisions are a pure function of the streams (run()'s
+  // note_route fires once per cross-switch message).
+  for (const Stream& st : streams)
+    if (topo.kind() != net::Topology::Kind::kSingleSwitch &&
+        topo.host_switch(st.src_node) != topo.host_switch(st.dst_node))
+      report.routes += static_cast<std::uint64_t>(st.spec.iterations);
+  for (int s = 0; s < shards; ++s) {
+    report.solver_flow_visits +=
+        ctx[static_cast<std::size_t>(s)]->model->solver().stats().flow_visits;
+    report.events += group.engine(s).events_dispatched();
+  }
+
+  // Merge per-shard timelines into the ambient store: k-way by (time,
+  // shard), series renamed "shardN.<name>" so replicas stay distinct.
+  if (sampling && shards > 1) {
+    std::vector<std::vector<std::uint32_t>> mapped(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      const auto& names = ctx[static_cast<std::size_t>(s)]->store->series_names();
+      auto& m = mapped[static_cast<std::size_t>(s)];
+      m.reserve(names.size());
+      for (const std::string& nm : names)
+        m.push_back(rs.timeline->series("shard" + std::to_string(s) + "." + nm));
+    }
+    std::vector<std::size_t> cur(static_cast<std::size_t>(shards), 0);
+    for (;;) {
+      int best = -1;
+      double bt = 0.0;
+      for (int s = 0; s < shards; ++s) {
+        const obs::TimelineStore& store = *ctx[static_cast<std::size_t>(s)]->store;
+        if (cur[static_cast<std::size_t>(s)] >= store.size()) continue;
+        const double t = store.row(cur[static_cast<std::size_t>(s)]).time;
+        if (best < 0 || t < bt) {
+          best = s;
+          bt = t;
+        }
+      }
+      if (best < 0) break;
+      const obs::TimelineRow& row =
+          ctx[static_cast<std::size_t>(best)]->store->row(cur[static_cast<std::size_t>(best)]++);
+      rs.timeline->append(row.time, mapped[static_cast<std::size_t>(best)][row.series],
+                          row.value);
+    }
+  }
+
+  // Tear down on the owning workers (pooled frames and timeline blocks are
+  // thread-affine).
+  for (int s = 0; s < shards; ++s)
+    group.with_shard(s, [&, s](sim::Engine& eng) {
+      eng.set_sampler(nullptr);
+      ctx[static_cast<std::size_t>(s)].reset();
+    });
   return report;
 }
 

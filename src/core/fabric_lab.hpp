@@ -59,6 +59,14 @@ struct FabricReport {
   double aggregate_bw = 0.0;  ///< total_bytes / elapsed
   std::uint64_t routes = 0;   ///< fabric routing decisions this run
   std::uint64_t reroutes = 0; ///< adaptive deviations from the minimal route
+  // ---- run_sharded() only (all zero after a serial run()) ------------------
+  int shards = 0;            ///< shard count the fabric was carved across
+  int populated_shards = 0;  ///< shards that actually ran streams
+  int boundary_links = 0;    ///< cut resources exchanged at barriers
+  std::uint64_t windows = 0;    ///< conservative windows executed
+  std::uint64_t exchanges = 0;  ///< boundary capacity updates delivered
+  std::uint64_t solver_flow_visits = 0;  ///< summed across shard solvers
+  std::uint64_t events = 0;              ///< summed engine events
   [[nodiscard]] const TenantReport* tenant(std::string_view label) const;
 };
 
@@ -83,6 +91,28 @@ class FabricLab {
   FabricReport run(std::initializer_list<std::string> labels) {
     return run(std::vector<std::string>(labels));
   }
+
+  /// Cross-shard fabric simulation: carve the topology at group boundaries
+  /// (sim::partition_groups over Topology::group_graph), run every stream
+  /// as a fluid transfer on its source node's shard over that shard's
+  /// net::FabricGraph replica, and exchange the capacity of *boundary
+  /// proxies* — resources the static routes of several shards share — at
+  /// every window barrier (sim::ShardGroup::add_boundary_link).  The
+  /// window is Topology::min_cut_delay over the links the carve actually
+  /// cuts, so a dragonfly split at global links runs 3x longer windows
+  /// than the generic floor and stays conservative.
+  ///
+  /// `shards` <= 0 takes sim::configured_shards() (CCI_SIM_SHARDS).  At
+  /// shards == 1 this is the plain serial engine — no workers, proxies or
+  /// barriers — and bitwise-identical across runs; at a fixed shard count
+  /// > 1 runs are bitwise run-to-run deterministic (mailbox lanes and the
+  /// exchange are drained in deterministic order).  Requires kMinimal
+  /// routing: adaptive routing reads global utilization and the cluster
+  /// RNG, neither of which survives the carve.  This is the fluid-fabric
+  /// model (tx port, crossbars, links, rx port; no NIC/DMA stages), so
+  /// compare run_sharded results across shard counts and against each
+  /// other — not against run().
+  FabricReport run_sharded(int shards = 0);
 
   /// Cluster of the most recent run().  Route traces are always recorded
   /// (Cluster::route_trace), so determinism tests can byte-compare the

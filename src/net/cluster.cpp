@@ -97,7 +97,30 @@ double Cluster::link_utilization(int s1, int s2) const {
 }
 
 void Cluster::note_route(int src, int dst, int via) {
-  if (route_trace_enabled_) route_trace_.push_back({src, dst, via});
+  if (!route_trace_enabled_ || route_trace_cap_ == 0) return;
+  if (route_trace_.size() < route_trace_cap_) {
+    route_trace_.push_back({src, dst, via});
+    return;
+  }
+  route_trace_[route_trace_head_] = {src, dst, via};
+  route_trace_head_ = (route_trace_head_ + 1) % route_trace_cap_;
+  ++route_trace_dropped_;
+}
+
+std::vector<Cluster::RouteChoice> Cluster::route_trace() const {
+  std::vector<RouteChoice> out;
+  out.reserve(route_trace_.size());
+  // Oldest first: once the ring wrapped, head_ is the oldest slot.
+  for (std::size_t i = 0; i < route_trace_.size(); ++i)
+    out.push_back(route_trace_[(route_trace_head_ + i) % route_trace_.size()]);
+  return out;
+}
+
+void Cluster::set_route_trace_capacity(std::size_t cap) {
+  route_trace_cap_ = cap;
+  route_trace_.clear();
+  route_trace_head_ = 0;
+  route_trace_dropped_ = 0;
 }
 
 Cluster::FabricPath Cluster::fabric_path(int src, int dst) {

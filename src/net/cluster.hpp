@@ -112,7 +112,20 @@ class Cluster {
     int src = 0, dst = 0, via = -1;
   };
   void enable_route_trace(bool on) { route_trace_enabled_ = on; }
-  [[nodiscard]] const std::vector<RouteChoice>& route_trace() const { return route_trace_; }
+  /// The most recent route decisions in chronological order — a
+  /// materialized copy of the ring (oldest first).  The ring keeps the
+  /// last route_trace_capacity() decisions; older ones are counted in
+  /// route_trace_dropped() instead of growing without bound (a 7-point
+  /// offered-load sweep on a 1k-node fabric used to).  Byte-compare tests
+  /// stay exact: at a fixed seed both runs drop the same prefix.
+  [[nodiscard]] std::vector<RouteChoice> route_trace() const;
+  /// Decisions evicted from the ring since construction (like the shard
+  /// mailbox spill counter: nothing is lost silently).
+  [[nodiscard]] std::uint64_t route_trace_dropped() const { return route_trace_dropped_; }
+  [[nodiscard]] std::size_t route_trace_capacity() const { return route_trace_cap_; }
+  /// Resize the ring (diagnostics that need deeper history); clears any
+  /// recorded trace, so call it before traffic runs.
+  void set_route_trace_capacity(std::size_t cap);
 
   // ---- parallel-simulation hints -------------------------------------------
   /// Topology group of every flow-model resource (index-aligned with the
@@ -153,7 +166,13 @@ class Cluster {
   std::vector<std::size_t> node_res_begin_;  ///< solver index where node i starts
   std::size_t fabric_res_begin_ = 0;         ///< solver index of first xbar
   bool route_trace_enabled_ = false;
+  // Route-trace ring: route_trace_ holds the last route_trace_cap_
+  // decisions, route_trace_head_ is the slot the next one overwrites once
+  // full, route_trace_dropped_ counts evictions.
   std::vector<RouteChoice> route_trace_;
+  std::size_t route_trace_cap_ = 65536;
+  std::size_t route_trace_head_ = 0;
+  std::uint64_t route_trace_dropped_ = 0;
   // net.fabric.* counters; registered only on multi-switch topologies so
   // the single-switch metric surface stays byte-identical to pre-topology.
   obs::Counter* obs_routes_ = nullptr;

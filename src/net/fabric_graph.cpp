@@ -1,0 +1,141 @@
+#include "net/fabric_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "sim/flow_model.hpp"
+#include "sim/maxmin.hpp"
+#include "sim/resource.hpp"
+
+namespace cci::net {
+
+namespace {
+/// Gateway router indices of the dragonfly builder's global link g -> h
+/// (same arithmetic as Cluster's router; kept local to each to avoid a
+/// header for two one-liners).
+int gateway_out(int g, int h, int routers) { return (h + (h > g ? -1 : 0)) % routers; }
+int gateway_in(int g, int h, int routers) { return (g + (g > h ? -1 : 0)) % routers; }
+}  // namespace
+
+FabricGraph::FabricGraph(const Topology& topo, const NetworkParams& net, int nodes)
+    : topo_(topo), nodes_(nodes), switch_count_(topo.switch_count()),
+      link_count_(topo.links().size()) {
+  if (nodes < 1) throw std::invalid_argument("FabricGraph: nodes must be >= 1");
+  if (topo.max_hosts() > 0 && nodes > topo.max_hosts())
+    throw std::invalid_argument("FabricGraph: topology attaches at most " +
+                                std::to_string(topo.max_hosts()) + " hosts, got " +
+                                std::to_string(nodes));
+  if (topo.routing() != RoutingPolicy::kMinimal)
+    throw std::invalid_argument(
+        "FabricGraph: adaptive routing needs global utilization and the "
+        "cluster RNG; sharded fabrics route minimally");
+  const int S = switch_count_;
+  const auto& links = topo_.links();
+  link_at_.assign(static_cast<std::size_t>(S) * static_cast<std::size_t>(S), -1);
+  for (std::size_t li = 0; li < links.size(); ++li)
+    link_at_[static_cast<std::size_t>(links[li].src) * static_cast<std::size_t>(S) +
+             static_cast<std::size_t>(links[li].dst)] = static_cast<int>(li);
+
+  // Base capacities and names mirror Cluster's materialization exactly
+  // (tests compare them), in key order: tx ports, rx ports, switch
+  // crossbars, links.
+  base_cap_.reserve(static_cast<std::size_t>(key_count()));
+  names_.reserve(static_cast<std::size_t>(key_count()));
+  for (int n = 0; n < nodes_; ++n) {
+    base_cap_.push_back(net.wire_bw);
+    names_.push_back("node" + std::to_string(n) + ".tx");
+  }
+  for (int n = 0; n < nodes_; ++n) {
+    base_cap_.push_back(net.wire_bw);
+    names_.push_back("node" + std::to_string(n) + ".rx");
+  }
+  if (topo_.kind() == Topology::Kind::kSingleSwitch) {
+    base_cap_.push_back(net.wire_bw * static_cast<double>(nodes_) *
+                        topo_.oversubscription());
+    names_.push_back("switch");
+  } else {
+    std::vector<int> hosts_at(static_cast<std::size_t>(S), 0);
+    for (int n = 0; n < nodes_; ++n)
+      ++hosts_at[static_cast<std::size_t>(topo_.host_switch(n))];
+    std::vector<double> ingress(static_cast<std::size_t>(S), 0.0);
+    for (const Topology::Link& l : links)
+      ingress[static_cast<std::size_t>(l.dst)] += l.bw_scale;
+    for (int s = 0; s < S; ++s) {
+      const double ports = static_cast<double>(hosts_at[static_cast<std::size_t>(s)]) +
+                           ingress[static_cast<std::size_t>(s)];
+      base_cap_.push_back(net.wire_bw * std::max(ports, 1.0));
+      names_.push_back("switch." + topo_.switch_name(s));
+    }
+  }
+  for (const Topology::Link& l : links) {
+    base_cap_.push_back(net.wire_bw * l.bw_scale);
+    names_.push_back("link." + topo_.switch_name(l.src) + "-" +
+                     topo_.switch_name(l.dst));
+  }
+  res_.assign(static_cast<std::size_t>(key_count()), nullptr);
+}
+
+void FabricGraph::materialize(sim::FlowModel& model) {
+  assert(model.solver().resource_count() == 0 &&
+         "FabricGraph::materialize: model must be empty so index == key");
+  for (int k = 0; k < key_count(); ++k)
+    res_[static_cast<std::size_t>(k)] =
+        model.add_resource(names_[static_cast<std::size_t>(k)],
+                           base_cap_[static_cast<std::size_t>(k)]);
+}
+
+void FabricGraph::minimal_path(int src, int dst, std::vector<int>& keys) const {
+  keys.push_back(tx_key(src));
+  switch (topo_.kind()) {
+    case Topology::Kind::kSingleSwitch:
+      keys.push_back(xbar_key(0));
+      break;
+    case Topology::Kind::kFatTree: {
+      const int k = topo_.param_k();
+      const int spines = k / 2;
+      const int ls = topo_.host_switch(src);
+      const int ld = topo_.host_switch(dst);
+      keys.push_back(xbar_key(ls));
+      if (ls != ld) {
+        const int spine = k + (ls + ld) % spines;
+        keys.push_back(link_key(link_index(ls, spine)));
+        keys.push_back(xbar_key(spine));
+        keys.push_back(link_key(link_index(spine, ld)));
+        keys.push_back(xbar_key(ld));
+      }
+      break;
+    }
+    case Topology::Kind::kDragonfly: {
+      const int R = topo_.param_routers();
+      const int rs = topo_.host_switch(src);
+      const int rd = topo_.host_switch(dst);
+      const int g = rs / R;
+      const int h = rd / R;
+      keys.push_back(xbar_key(rs));
+      if (rs == rd) break;
+      if (g == h) {
+        keys.push_back(link_key(link_index(rs, rd)));
+        keys.push_back(xbar_key(rd));
+        break;
+      }
+      const int out = g * R + gateway_out(g, h, R);
+      const int in = h * R + gateway_in(g, h, R);
+      if (rs != out) {
+        keys.push_back(link_key(link_index(rs, out)));
+        keys.push_back(xbar_key(out));
+      }
+      keys.push_back(link_key(link_index(out, in)));
+      keys.push_back(xbar_key(in));
+      if (in != rd) {
+        keys.push_back(link_key(link_index(in, rd)));
+        keys.push_back(xbar_key(rd));
+      }
+      break;
+    }
+  }
+  keys.push_back(rx_key(dst));
+}
+
+}  // namespace cci::net

@@ -1,5 +1,6 @@
 #include "net/topology.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 #include <stdexcept>
@@ -144,6 +145,75 @@ double Topology::min_remote_delay(const NetworkParams& net) const {
     case Kind::kSingleSwitch:
       break;
   }
+  return net.min_remote_delay() * scale;
+}
+
+sim::GroupGraph Topology::group_graph(int nodes) const {
+  sim::GroupGraph graph;
+  graph.groups = group_count_;
+  graph.load.assign(static_cast<std::size_t>(group_count_), 0.0);
+  for (int n = 0; n < nodes; ++n) {
+    const int g = group_of_node(n);
+    if (g >= 0) graph.load[static_cast<std::size_t>(g)] += 1.0;
+  }
+  if (group_count_ <= 1) return graph;
+  const std::size_t G = static_cast<std::size_t>(group_count_);
+  std::vector<double> pair_cap(G * G, 0.0);
+  double shared_cap = 0.0;  ///< capacity into/out of group-less switches
+  for (const Link& l : links_) {
+    const int ga = group_of_switch(l.src);
+    const int gb = group_of_switch(l.dst);
+    if (ga >= 0 && gb >= 0) {
+      if (ga == gb) continue;
+      const std::size_t lo = static_cast<std::size_t>(std::min(ga, gb));
+      const std::size_t hi = static_cast<std::size_t>(std::max(ga, gb));
+      pair_cap[lo * G + hi] += l.bw_scale;
+    } else {
+      shared_cap += l.bw_scale;
+    }
+  }
+  // Shared-switch capacity couples every pair uniformly (half of it is the
+  // return direction, but a uniform clique only needs relative weights).
+  const double pairs = static_cast<double>(G) * static_cast<double>(G - 1) / 2.0;
+  const double share = pairs > 0.0 ? shared_cap / pairs : 0.0;
+  for (std::size_t a = 0; a < G; ++a)
+    for (std::size_t b = a + 1; b < G; ++b) {
+      const double cap = pair_cap[a * G + b] + share;
+      if (cap > 0.0)
+        graph.edges.push_back(
+            {static_cast<int>(a), static_cast<int>(b), cap});
+    }
+  return graph;
+}
+
+std::vector<int> Topology::cut_links(const std::vector<int>& group_shard) const {
+  std::vector<int> cut;
+  bool multi = false;
+  for (std::size_t g = 1; g < group_shard.size(); ++g)
+    if (group_shard[g] != group_shard[0]) multi = true;
+  if (!multi) return cut;
+  auto shard_of = [&](int group) {
+    return group >= 0 && group < static_cast<int>(group_shard.size())
+               ? group_shard[static_cast<std::size_t>(group)]
+               : -1;
+  };
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    const int ga = group_of_switch(links_[li].src);
+    const int gb = group_of_switch(links_[li].dst);
+    // A group-less endpoint (fat-tree spine) is shared fabric: its links
+    // are boundary links whenever the carve is non-trivial.
+    if (ga < 0 || gb < 0 || shard_of(ga) != shard_of(gb))
+      cut.push_back(static_cast<int>(li));
+  }
+  return cut;
+}
+
+double Topology::min_cut_delay(const NetworkParams& net,
+                               const std::vector<int>& cut) const {
+  if (cut.empty()) return min_remote_delay(net);
+  double scale = latency_scale(LinkClass::kGlobal);
+  for (int li : cut)
+    scale = std::min(scale, latency_scale(links_[static_cast<std::size_t>(li)].cls));
   return net.min_remote_delay() * scale;
 }
 

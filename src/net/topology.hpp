@@ -39,6 +39,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/partition.hpp"
+
 namespace cci::net {
 
 struct NetworkParams;
@@ -130,6 +132,30 @@ class Topology {
   /// fabric floor scaled by the cheapest link class that can cross a group
   /// boundary.  Single-group topologies fall back to the fabric floor.
   [[nodiscard]] double min_remote_delay(const NetworkParams& net) const;
+
+  /// Condensed group graph for sim::partition_groups with `nodes` hosts
+  /// attached: one vertex per carve group weighted by attached hosts, one
+  /// undirected edge per inter-group coupling, capacities in units of
+  /// wire_bw (summed bw_scale).  Direct group-to-group links (dragonfly
+  /// globals) accumulate onto their pair's edge; links through shared
+  /// switches that belong to no group (fat-tree spines) couple *every*
+  /// group pair, so their total capacity is spread as a uniform clique —
+  /// any balanced carve of a fat tree cuts the same spine capacity, which
+  /// is exactly right.
+  [[nodiscard]] sim::GroupGraph group_graph(int nodes) const;
+  /// Indices into links() of the links a shard map cuts: a link is cut
+  /// when its endpoint groups land on different shards, and every link
+  /// touching a group-less shared switch (fat-tree spine) is cut as soon
+  /// as the map uses more than one shard — the spine couples all of them.
+  [[nodiscard]] std::vector<int> cut_links(const std::vector<int>& group_shard) const;
+  /// Conservative window for a concrete cut: the base fabric floor scaled
+  /// by the *cheapest link class actually cut* — a dragonfly carve that
+  /// only severs global links (latency scale 3) may run windows 3x longer
+  /// than the generic floor and stay conservative, because congestion
+  /// state needs a global-wire time to propagate between shards.  An empty
+  /// cut falls back to min_remote_delay(net).
+  [[nodiscard]] double min_cut_delay(const NetworkParams& net,
+                                     const std::vector<int>& cut) const;
 
   /// Canonical `key=value;` serialization for campaign cache keys (doubles
   /// as %.17g).  Everything that can change a route or a capacity is here.

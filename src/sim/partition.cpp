@@ -1,0 +1,145 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace cci::sim {
+
+namespace {
+
+/// Capacity between group g and each shard under `shard_of` (scratch is
+/// reused across calls to stay allocation-light).
+void edge_weight_to_shards(const GroupGraph& graph, const std::vector<int>& shard_of,
+                           int g, std::vector<double>& weight) {
+  std::fill(weight.begin(), weight.end(), 0.0);
+  for (const GroupGraph::Edge& e : graph.edges) {
+    if (e.a == g)
+      weight[static_cast<std::size_t>(shard_of[static_cast<std::size_t>(e.b)])] +=
+          e.capacity;
+    else if (e.b == g)
+      weight[static_cast<std::size_t>(shard_of[static_cast<std::size_t>(e.a)])] +=
+          e.capacity;
+  }
+}
+
+}  // namespace
+
+double cut_capacity(const GroupGraph& graph, const std::vector<int>& shard_of) {
+  double cut = 0.0;
+  for (const GroupGraph::Edge& e : graph.edges)
+    if (shard_of[static_cast<std::size_t>(e.a)] != shard_of[static_cast<std::size_t>(e.b)])
+      cut += e.capacity;
+  return cut;
+}
+
+double max_shard_load(const GroupGraph& graph, const std::vector<int>& shard_of) {
+  double worst = 0.0;
+  std::vector<double> load;
+  for (int s : shard_of)
+    if (static_cast<std::size_t>(s) >= load.size())
+      load.resize(static_cast<std::size_t>(s) + 1, 0.0);
+  for (std::size_t g = 0; g < shard_of.size(); ++g)
+    load[static_cast<std::size_t>(shard_of[g])] +=
+        g < graph.load.size() ? graph.load[g] : 0.0;
+  for (double l : load) worst = std::max(worst, l);
+  return worst;
+}
+
+std::vector<int> partition_groups(const GroupGraph& graph, int shards) {
+  const int groups = graph.groups;
+  std::vector<int> shard_of(static_cast<std::size_t>(std::max(groups, 0)), 0);
+  if (groups <= 0 || shards <= 1) return shard_of;
+  if (groups <= shards) {
+    for (int g = 0; g < groups; ++g) shard_of[static_cast<std::size_t>(g)] = g;
+    return shard_of;
+  }
+
+  // Contiguous-by-load seed: boundary s ends at the smallest prefix whose
+  // load reaches (s+1)/shards of the total, while leaving enough groups for
+  // the remaining shards.  Group order is the topology's builder order, so
+  // dragonfly groups / fat-tree leaves that are physically adjacent start
+  // on the same shard.
+  double total = 0.0;
+  for (int g = 0; g < groups; ++g)
+    total += g < static_cast<int>(graph.load.size())
+                 ? graph.load[static_cast<std::size_t>(g)]
+                 : 0.0;
+  double prefix = 0.0;
+  int shard = 0;
+  for (int g = 0; g < groups; ++g) {
+    const int remaining_groups = groups - g;
+    const int remaining_shards = shards - shard;
+    if (remaining_groups == remaining_shards && shard < shards - 1 &&
+        g > 0 && shard_of[static_cast<std::size_t>(g - 1)] == shard)
+      ++shard;  // exactly one group left per remaining shard
+    shard_of[static_cast<std::size_t>(g)] = shard;
+    prefix += g < static_cast<int>(graph.load.size())
+                  ? graph.load[static_cast<std::size_t>(g)]
+                  : 0.0;
+    // At most one advance per group: a group heavy enough to cross several
+    // thresholds at once must not skip shards (each subsequent group then
+    // opens the next shard, so none is left empty).
+    if (shard < shards - 1 &&
+        prefix >= total * (static_cast<double>(shard) + 1.0) /
+                      static_cast<double>(shards) &&
+        groups - (g + 1) > shards - (shard + 1))
+      ++shard;
+    if (shard < shards - 1 && groups - (g + 1) == shards - (shard + 1)) ++shard;
+  }
+
+  // Bounded refinement: move a group to an adjacent shard when that
+  // strictly lowers the cut without emptying its shard or worsening the
+  // max load.  Scans are in group order and pick the deterministic best
+  // candidate, so the result is a pure function of the graph.
+  std::vector<double> shard_load(static_cast<std::size_t>(shards), 0.0);
+  std::vector<int> shard_count(static_cast<std::size_t>(shards), 0);
+  for (int g = 0; g < groups; ++g) {
+    const int s = shard_of[static_cast<std::size_t>(g)];
+    shard_load[static_cast<std::size_t>(s)] +=
+        g < static_cast<int>(graph.load.size())
+            ? graph.load[static_cast<std::size_t>(g)]
+            : 0.0;
+    ++shard_count[static_cast<std::size_t>(s)];
+  }
+  std::vector<double> weight(static_cast<std::size_t>(shards), 0.0);
+  const int max_passes = 2 * groups;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool moved = false;
+    for (int g = 0; g < groups; ++g) {
+      const int from = shard_of[static_cast<std::size_t>(g)];
+      if (shard_count[static_cast<std::size_t>(from)] <= 1) continue;
+      edge_weight_to_shards(graph, shard_of, g, weight);
+      const double gl = g < static_cast<int>(graph.load.size())
+                            ? graph.load[static_cast<std::size_t>(g)]
+                            : 0.0;
+      const double max_before =
+          *std::max_element(shard_load.begin(), shard_load.end());
+      int best_to = -1;
+      double best_gain = 0.0;
+      for (int to = 0; to < shards; ++to) {
+        if (to == from) continue;
+        // Moving g from `from` to `to` changes the cut by
+        // (weight to current shard mates) - (weight to `to`).
+        const double gain = weight[static_cast<std::size_t>(to)] -
+                            weight[static_cast<std::size_t>(from)];
+        if (gain <= best_gain) continue;
+        const double to_load = shard_load[static_cast<std::size_t>(to)] + gl;
+        if (to_load > max_before) continue;  // never worsen balance
+        best_gain = gain;
+        best_to = to;
+      }
+      if (best_to < 0) continue;
+      shard_of[static_cast<std::size_t>(g)] = best_to;
+      shard_load[static_cast<std::size_t>(from)] -= gl;
+      shard_load[static_cast<std::size_t>(best_to)] += gl;
+      --shard_count[static_cast<std::size_t>(from)];
+      ++shard_count[static_cast<std::size_t>(best_to)];
+      moved = true;
+    }
+    if (!moved) break;
+  }
+  return shard_of;
+}
+
+}  // namespace cci::sim

@@ -30,6 +30,8 @@ class Resource {
   [[nodiscard]] double pressure() const { return pressure_; }
   /// Change capacity (e.g. a frequency transition); triggers reallocation.
   void set_capacity(double capacity);
+  /// Position in the owning model's resource table (registration order).
+  [[nodiscard]] std::size_t index() const { return index_; }
 
  private:
   friend class FlowModel;

@@ -6,8 +6,11 @@
 #include <stdexcept>
 #include <string>
 
+#include <cmath>
+
 #include "sched/point.hpp"
 #include "sim/maxmin.hpp"
+#include "sim/resource.hpp"
 #include "sim/stall.hpp"
 
 #ifdef CCI_SCHED
@@ -99,6 +102,7 @@ ShardGroup::ShardGroup(Options opts) : opts_(opts) {
   obs_windows_ = &obs::Registry::global().counter("sim.shard.windows");
   obs_messages_ = &obs::Registry::global().counter("sim.shard.messages");
   obs_spills_ = &obs::Registry::global().counter("sim.shard.spills");
+  obs_exchanges_ = &obs::Registry::global().counter("sim.shard.exchanges");
   for (int s = 0; s < n_; ++s) {
     auto sh = std::make_unique<Shard>();
     sh->index = s;
@@ -325,6 +329,10 @@ Time ShardGroup::run(Time until) {
         opts_.lookahead == kNever ? until : std::min(until, tmin + opts_.lookahead);
     run_window(horizon);
     ++stats_.windows;
+    // Workers are parked at the barrier: exchange boundary capacities and
+    // let the lab observe the global fabric state before the next window.
+    if (!boundaries_.empty()) exchange_boundaries(horizon);
+    if (barrier_probe_) barrier_probe_(horizon);
   }
   publish_stats();
   Time t = 0.0;
@@ -340,6 +348,48 @@ void ShardGroup::merge_obs(obs::Registry& dst) {
   }
 }
 
+int ShardGroup::add_boundary_link(std::string name, double base_capacity) {
+  Boundary b;
+  b.name = std::move(name);
+  b.base = base_capacity;
+  boundaries_.push_back(std::move(b));
+  return static_cast<int>(boundaries_.size()) - 1;
+}
+
+void ShardGroup::bind_boundary(int link, int shard, Resource* replica) {
+  assert(link >= 0 && link < static_cast<int>(boundaries_.size()));
+  assert(shard >= 0 && shard < n_);
+  Boundary& b = boundaries_[static_cast<std::size_t>(link)];
+  b.replicas.push_back({shard, replica, b.base});
+}
+
+void ShardGroup::exchange_boundaries(Time barrier) {
+  for (Boundary& b : boundaries_) {
+    double total = 0.0;
+    for (const Boundary::Replica& r : b.replicas) total += r.res->load();
+    // Small positive floor so a replica starved by remote load still makes
+    // progress (and its load stays observable for the next exchange).
+    const double floor = b.base / 1024.0;
+    // Once within tolerance, snap to the target exactly: otherwise the
+    // damped iteration approaches it forever, posting a capacity event at
+    // every barrier and dragging empty trailing windows behind the run.
+    const double tol = 1e-6 * b.base;
+    for (Boundary::Replica& r : b.replicas) {
+      const double others = total - r.res->load();
+      double target = b.base - others;
+      if (target < floor) target = floor;
+      const double next =
+          std::fabs(target - r.cap) <= tol ? target : r.cap + 0.5 * (target - r.cap);
+      if (next == r.cap) continue;
+      r.cap = next;
+      Resource* res = r.res;
+      shard_at(r.shard).engine->call_at(
+          barrier, [res, next] { res->set_capacity(next); });
+      ++stats_.exchanges;
+    }
+  }
+}
+
 void ShardGroup::publish_stats() {
   const auto flush = [](obs::Counter* c, std::uint64_t now, std::uint64_t& last) {
     if (now != last) {
@@ -350,6 +400,7 @@ void ShardGroup::publish_stats() {
   flush(obs_windows_, stats_.windows, published_.windows);
   flush(obs_messages_, stats_.messages, published_.messages);
   flush(obs_spills_, stats_.spills, published_.spills);
+  flush(obs_exchanges_, stats_.exchanges, published_.exchanges);
 }
 
 }  // namespace cci::sim

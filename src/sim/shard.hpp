@@ -38,6 +38,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -49,6 +50,7 @@
 namespace cci::sim {
 
 class MaxMinSolver;
+class Resource;
 
 /// Shard count requested via the CCI_SIM_SHARDS environment variable
 /// (re-read on every call, like CCI_SIM_POOLS).  Unset, empty, or
@@ -135,10 +137,40 @@ class ShardGroup {
   /// already accrued to the caller's registry.
   void merge_obs(obs::Registry& dst);
 
+  // ---- boundary proxies (cross-shard fabric) --------------------------------
+  /// Register one cut fabric resource (global link, spine port) that flows
+  /// on several shards share.  Each sharing shard models it with a local
+  /// *proxy replica* in its own FlowModel, attached via bind_boundary();
+  /// replicas must start at `base_capacity`.  At every window barrier the
+  /// coordinator reads each replica's allocated load (workers are parked),
+  /// computes a damped residual-capacity target
+  ///     cap' = cap + 1/2 * ((base - other shards' load) - cap)
+  /// clamped to a small positive floor, and delivers the update as an
+  /// engine event at the barrier time — so Resource::set_capacity(), which
+  /// may resume coroutines, runs on the owning worker in the next window.
+  /// Staleness is bounded by one window (the lookahead), and links and
+  /// replicas are visited in registration order, so multi-shard runs stay
+  /// bitwise deterministic at a fixed shard count.  Returns the link id.
+  int add_boundary_link(std::string name, double base_capacity);
+  /// Attach shard `shard`'s replica for boundary link `link`.  Call from
+  /// the coordinator between with_shard() setup calls (never during run).
+  void bind_boundary(int link, int shard, Resource* replica);
+  [[nodiscard]] int boundary_links() const {
+    return static_cast<int>(boundaries_.size());
+  }
+
+  /// Coordinator hook invoked after every window barrier (workers parked),
+  /// with the barrier time: labs sample cross-shard peaks here.  Never
+  /// called when shards() == 1 — the serial path has no barriers.
+  void set_barrier_probe(std::function<void(Time)> probe) {
+    barrier_probe_ = std::move(probe);
+  }
+
   struct Stats {
-    std::uint64_t windows = 0;   ///< synchronisation windows executed
-    std::uint64_t messages = 0;  ///< cross-shard messages delivered
-    std::uint64_t spills = 0;    ///< lane pushes beyond mailbox_capacity
+    std::uint64_t windows = 0;    ///< synchronisation windows executed
+    std::uint64_t messages = 0;   ///< cross-shard messages delivered
+    std::uint64_t spills = 0;     ///< lane pushes beyond mailbox_capacity
+    std::uint64_t exchanges = 0;  ///< boundary capacity updates delivered
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -178,18 +210,37 @@ class ShardGroup {
   /// Deliver all mailbox lanes into the receiving engines; runs on the
   /// coordinator while every worker is parked at the barrier.
   void drain_mail();
+  /// Damped residual-capacity exchange over every boundary link; runs on
+  /// the coordinator at the window barrier, posting set_capacity events at
+  /// `barrier` into the replicas' engines.
+  void exchange_boundaries(Time barrier);
   void publish_stats();
+
+  /// One cut fabric resource and its per-shard proxy replicas.
+  struct Boundary {
+    struct Replica {
+      int shard = 0;
+      Resource* res = nullptr;
+      double cap = 0.0;  ///< capacity last delivered (coordinator's view)
+    };
+    std::string name;
+    double base = 0.0;
+    std::vector<Replica> replicas;
+  };
 
   Options opts_;
   int n_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<Lane> lanes_;  ///< lanes_[from * n_ + to], multi-shard only
+  std::vector<Boundary> boundaries_;
+  std::function<void(Time)> barrier_probe_;
   Stats stats_;
   Stats published_;  ///< counters already flushed to obs
   // sim.shard.* counters in the coordinator's registry; multi-shard only.
   obs::Counter* obs_windows_ = nullptr;
   obs::Counter* obs_messages_ = nullptr;
   obs::Counter* obs_spills_ = nullptr;
+  obs::Counter* obs_exchanges_ = nullptr;
 };
 
 }  // namespace cci::sim

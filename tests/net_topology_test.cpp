@@ -4,12 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/cluster.hpp"
+#include "net/fabric_graph.hpp"
 #include "obs/metrics.hpp"
 #include "sim/flow_model.hpp"
+#include "sim/partition.hpp"
 
 namespace cci::net {
 namespace {
@@ -336,6 +340,153 @@ TEST(Fabric, SingleSwitchResourcesAllShareOneGroup) {
   Cluster cluster(spec_with(Topology::single_switch(), 3));
   for (int g : cluster.resource_groups()) EXPECT_EQ(g, 0);
   EXPECT_DOUBLE_EQ(cluster.shard_lookahead(), cluster.net().min_remote_delay());
+}
+
+// ---- cross-shard carve: group graph, cut links, fabric replicas -------------
+
+TEST(Topology, GroupGraphCondensesInterGroupCapacity) {
+  // Dragonfly: one global link per ordered group pair folds to an
+  // undirected edge of capacity 2; locals stay inside their group vertex.
+  const Topology df = Topology::dragonfly(4, 2, 2);
+  const sim::GroupGraph g = df.group_graph(16);
+  EXPECT_EQ(g.groups, 4);
+  ASSERT_EQ(g.load.size(), 4u);
+  for (double l : g.load) EXPECT_EQ(l, 4.0);
+  ASSERT_EQ(g.edges.size(), 6u);
+  for (const sim::GroupGraph::Edge& e : g.edges) {
+    EXPECT_LT(e.a, e.b);
+    EXPECT_DOUBLE_EQ(e.capacity, 2.0);
+  }
+  // Fat-tree: every link touches a group-less spine, so the whole fabric
+  // capacity (16 unit links) spreads uniformly over the 6 leaf pairs.
+  const Topology ft = Topology::fat_tree(4);
+  const sim::GroupGraph t = ft.group_graph(8);
+  EXPECT_EQ(t.groups, 4);
+  ASSERT_EQ(t.load.size(), 4u);
+  for (double l : t.load) EXPECT_EQ(l, 2.0);
+  ASSERT_EQ(t.edges.size(), 6u);
+  for (const sim::GroupGraph::Edge& e : t.edges)
+    EXPECT_DOUBLE_EQ(e.capacity, 16.0 / 6.0);
+}
+
+TEST(Topology, CutLinksFollowTheShardMap) {
+  const NetworkParams net = NetworkParams::ib_edr();
+  const Topology df = Topology::dragonfly(4, 2, 2);
+  // Trivial map: nothing is cut.
+  EXPECT_TRUE(df.cut_links({0, 0, 0, 0}).empty());
+  // {0,1} vs {2,3}: exactly the 8 ordered global pairs across the split;
+  // locals and same-side globals stay shard-internal.
+  const std::vector<int> cut = df.cut_links({0, 0, 1, 1});
+  EXPECT_EQ(cut.size(), 8u);
+  for (int li : cut)
+    EXPECT_EQ(df.links()[static_cast<std::size_t>(li)].cls, LinkClass::kGlobal);
+  // A global-only cut earns the 3x lookahead; an empty cut falls back to
+  // the topology's cross-group floor.
+  EXPECT_DOUBLE_EQ(df.min_cut_delay(net, cut), 3.0 * net.min_remote_delay());
+  EXPECT_DOUBLE_EQ(df.min_cut_delay(net, {}), df.min_remote_delay(net));
+
+  // Fat-tree spines are shared fabric: any non-trivial carve cuts every
+  // link, and leaf-spine hops keep the base (1x) lookahead.
+  const Topology ft = Topology::fat_tree(4);
+  const std::vector<int> tcut = ft.cut_links({0, 0, 1, 1});
+  EXPECT_EQ(tcut.size(), ft.links().size());
+  EXPECT_DOUBLE_EQ(ft.min_cut_delay(net, tcut), net.min_remote_delay());
+}
+
+TEST(FabricGraph, ReplicaMirrorsClusterResourcesExactly) {
+  struct Case {
+    Topology topo;
+    int nodes;
+  };
+  const Case cases[] = {{Topology::single_switch(), 4},
+                        {Topology::fat_tree(4, 0.5), 8},
+                        {Topology::dragonfly(3, 2, 2), 12}};
+  for (const Case& c : cases) {
+    Cluster cluster(spec_with(c.topo, c.nodes));
+    FabricGraph fg(c.topo, cluster.net(), c.nodes);
+    for (int n = 0; n < c.nodes; ++n) {
+      EXPECT_EQ(fg.name(fg.tx_key(n)), cluster.tx_port(n)->name());
+      EXPECT_EQ(fg.base_capacity(fg.tx_key(n)), cluster.tx_port(n)->capacity());
+      EXPECT_EQ(fg.name(fg.rx_key(n)), cluster.rx_port(n)->name());
+      EXPECT_EQ(fg.base_capacity(fg.rx_key(n)), cluster.rx_port(n)->capacity());
+    }
+    const std::vector<sim::Resource*>& fabric = cluster.fabric_resources();
+    for (int s = 0; s < c.topo.switch_count(); ++s) {
+      EXPECT_EQ(fg.name(fg.xbar_key(s)), fabric[static_cast<std::size_t>(s)]->name());
+      EXPECT_EQ(fg.base_capacity(fg.xbar_key(s)),
+                fabric[static_cast<std::size_t>(s)]->capacity());
+    }
+    const std::vector<sim::Resource*>& links = cluster.fabric_links();
+    ASSERT_EQ(links.size(), c.topo.links().size());
+    for (std::size_t li = 0; li < links.size(); ++li) {
+      const int key = fg.link_key(static_cast<int>(li));
+      EXPECT_EQ(fg.name(key), links[li]->name());
+      EXPECT_EQ(fg.base_capacity(key), links[li]->capacity());
+    }
+  }
+}
+
+TEST(FabricGraph, MinimalPathMatchesTheClusterRoute) {
+  struct Case {
+    Topology topo;
+    int nodes;
+    std::vector<std::pair<int, int>> pairs;
+  };
+  const Case cases[] = {
+      // Dragonfly 4x2x2: same router, same group, cross group (gateway on
+      // and off the source/destination routers).
+      {Topology::dragonfly(4, 2, 2), 16, {{0, 1}, {0, 2}, {0, 9}, {5, 14}, {2, 4}}},
+      // Fat-tree k=4: same leaf and the deterministic (ls + ld) % 2 spine.
+      {Topology::fat_tree(4), 8, {{0, 1}, {0, 2}, {1, 7}, {4, 6}}},
+      {Topology::single_switch(), 4, {{0, 3}, {2, 1}}},
+  };
+  for (const Case& c : cases) {
+    Cluster cluster(spec_with(c.topo, c.nodes));
+    FabricGraph fg(c.topo, cluster.net(), c.nodes);
+    for (auto [src, dst] : c.pairs) {
+      const Cluster::FabricPath path = cluster.fabric_path(src, dst);
+      std::vector<int> keys;
+      fg.minimal_path(src, dst, keys);
+      ASSERT_EQ(keys.size(), path.size()) << src << "->" << dst;
+      for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(fg.name(keys[i]), path[i]->name()) << src << "->" << dst;
+    }
+  }
+}
+
+TEST(FabricGraph, AdaptiveRoutingIsRejectedAtConstruction) {
+  Topology t = Topology::dragonfly(2, 2, 2);
+  t.routing(RoutingPolicy::kAdaptive);
+  EXPECT_THROW(FabricGraph(t, NetworkParams::ib_edr(), 8), std::invalid_argument);
+  EXPECT_THROW(FabricGraph(Topology::fat_tree(4), NetworkParams::ib_edr(), 9),
+               std::invalid_argument);  // beyond max_hosts
+}
+
+// ---- route-trace ring -------------------------------------------------------
+
+TEST(Fabric, RouteTraceRingKeepsTheTailAndCountsEvictions) {
+  Cluster cluster(spec_with(Topology::fat_tree(4), 8));
+  cluster.enable_route_trace(true);
+  EXPECT_EQ(cluster.route_trace_capacity(), 65536u);  // default ring bound
+  cluster.set_route_trace_capacity(4);
+  const std::pair<int, int> routed[6] = {{0, 2}, {0, 4}, {0, 6},
+                                         {2, 4}, {2, 6}, {4, 6}};
+  for (auto [src, dst] : routed) (void)cluster.fabric_path(src, dst);
+  EXPECT_EQ(cluster.route_trace_dropped(), 2u);
+  const std::vector<Cluster::RouteChoice> trace = cluster.route_trace();
+  ASSERT_EQ(trace.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto [src, dst] = routed[i + 2];
+    EXPECT_EQ(trace[i].src, src) << i;
+    EXPECT_EQ(trace[i].dst, dst) << i;
+    // Minimal fat-tree routing records its deterministic (ls + ld) % spines
+    // pick, which is what lets reroute accounting spot adaptive deviations.
+    EXPECT_EQ(trace[i].via, (src / 2 + dst / 2) % 2) << i;
+  }
+  // Resizing clears the ring and the eviction counter.
+  cluster.set_route_trace_capacity(8);
+  EXPECT_TRUE(cluster.route_trace().empty());
+  EXPECT_EQ(cluster.route_trace_dropped(), 0u);
 }
 
 }  // namespace

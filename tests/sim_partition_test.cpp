@@ -1,0 +1,110 @@
+// Topology-group partitioning (sim/partition.hpp): identity degeneration,
+// load balance, cut-capacity refinement, non-empty shards and determinism
+// of the pure-function carve feeding FabricLab::run_sharded.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/partition.hpp"
+
+namespace cci::sim {
+namespace {
+
+/// Ring of `groups` equal-load groups with unit-capacity edges — the
+/// dragonfly group graph once global links are folded pairwise.
+GroupGraph ring(int groups, double load = 1.0, double cap = 1.0) {
+  GroupGraph g;
+  g.groups = groups;
+  g.load.assign(static_cast<std::size_t>(groups), load);
+  for (int i = 0; i < groups; ++i)
+    g.edges.push_back({i, (i + 1) % groups, cap});
+  return g;
+}
+
+TEST(Partition, GroupsAtMostShardsIsTheIdentity) {
+  for (int groups = 1; groups <= 4; ++groups) {
+    const GroupGraph g = ring(groups);
+    const std::vector<int> out = partition_groups(g, 4);
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(groups));
+    for (int i = 0; i < groups; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Partition, EqualLoadRingSplitsIntoBalancedContiguousRuns) {
+  const GroupGraph g = ring(16);
+  const std::vector<int> out = partition_groups(g, 4);
+  std::vector<double> load(4, 0.0);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_GE(out[static_cast<std::size_t>(i)], 0);
+    ASSERT_LT(out[static_cast<std::size_t>(i)], 4);
+    load[static_cast<std::size_t>(out[static_cast<std::size_t>(i)])] += 1.0;
+  }
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(load[static_cast<std::size_t>(s)], 4.0) << s;
+  // A ring cut into 4 contiguous arcs severs exactly 4 edges.
+  EXPECT_EQ(cut_capacity(g, out), 4.0);
+  EXPECT_EQ(max_shard_load(g, out), 4.0);
+}
+
+TEST(Partition, NoShardLeftEmptyWhenGroupsExceedShards) {
+  for (int groups : {5, 7, 9, 16, 33}) {
+    for (int shards : {2, 3, 4}) {
+      const GroupGraph g = ring(groups);
+      const std::vector<int> out = partition_groups(g, shards);
+      std::vector<int> count(static_cast<std::size_t>(shards), 0);
+      for (int s : out) {
+        ASSERT_GE(s, 0);
+        ASSERT_LT(s, shards);
+        ++count[static_cast<std::size_t>(s)];
+      }
+      for (int s = 0; s < shards; ++s)
+        EXPECT_GT(count[static_cast<std::size_t>(s)], 0)
+            << "groups=" << groups << " shards=" << shards;
+    }
+  }
+}
+
+TEST(Partition, SkewedLoadsKeepTheMaximumShardBounded) {
+  // One heavy group (8 hosts) among seven light ones (1 host), 4 shards:
+  // the heavy group dominates any shard it lands on, so the best possible
+  // max load is 8; the seed must not pile light groups on top of it.
+  GroupGraph g = ring(8);
+  g.load[0] = 8.0;
+  const std::vector<int> out = partition_groups(g, 4);
+  EXPECT_LE(max_shard_load(g, out), 9.0);
+  // All shards still populated.
+  std::vector<int> count(4, 0);
+  for (int s : out) ++count[static_cast<std::size_t>(s)];
+  for (int s = 0; s < 4; ++s) EXPECT_GT(count[static_cast<std::size_t>(s)], 0) << s;
+}
+
+TEST(Partition, CarveCutsTheWeakBridgeNotTheCliques) {
+  // Two 3-group cliques bridged by one thin edge: the carve should cut the
+  // bridge (capacity 0.1), not a clique edge (capacity 10 each).
+  GroupGraph g;
+  g.groups = 6;
+  g.load.assign(6, 1.0);
+  for (int base : {0, 3})
+    for (int i = 0; i < 3; ++i)
+      for (int j = i + 1; j < 3; ++j) g.edges.push_back({base + i, base + j, 10.0});
+  g.edges.push_back({2, 3, 0.1});
+  const std::vector<int> out = partition_groups(g, 2);
+  EXPECT_EQ(out[0], out[1]);
+  EXPECT_EQ(out[1], out[2]);
+  EXPECT_EQ(out[3], out[4]);
+  EXPECT_EQ(out[4], out[5]);
+  EXPECT_NE(out[0], out[3]);
+  EXPECT_EQ(cut_capacity(g, out), 0.1);
+}
+
+TEST(Partition, CarveIsAPureFunctionOfTheGraph) {
+  const GroupGraph g = ring(12, 2.0, 3.0);
+  const std::vector<int> first = partition_groups(g, 4);
+  for (int run = 0; run < 3; ++run) {
+    // Rebuilt from scratch each time: no state can leak between calls.
+    const GroupGraph fresh = ring(12, 2.0, 3.0);
+    EXPECT_EQ(partition_groups(fresh, 4), first);
+  }
+}
+
+}  // namespace
+}  // namespace cci::sim
